@@ -1,0 +1,85 @@
+// Ablation A1 - interpolation degree for the table models.
+//
+// The paper chooses cubic splines ("3E") "to maximise accuracy" (section
+// 2.2). This ablation quantifies that choice: the performance table is
+// downsampled, reconstructed with degree-1/2/3 interpolants, and the
+// reconstruction error against the held-out points is reported, plus
+// lookup-speed benchmarks per degree.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "table/table_model.hpp"
+#include "util/text_table.hpp"
+
+using namespace ypm;
+
+namespace {
+
+std::vector<core::FrontPointData> g_front;
+
+table::TableModel1d build_model(int degree, int stride) {
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < g_front.size(); i += stride) {
+        xs.push_back(g_front[i].gain_db);
+        ys.push_back(g_front[i].pm_deg);
+    }
+    const std::string control = std::to_string(degree) + "C";
+    return table::TableModel1d(std::move(xs), std::move(ys),
+                               table::ControlString(control));
+}
+
+void BM_Lookup(benchmark::State& state) {
+    const auto model = build_model(static_cast<int>(state.range(0)), 2);
+    const double lo = model.x_min();
+    const double hi = model.x_max();
+    double x = lo;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.eval(x));
+        x += (hi - lo) / 64.0;
+        if (x > hi) x = lo;
+    }
+    state.SetLabel("degree " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Lookup)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kNanosecond);
+
+void experiment() {
+    std::printf("\n=== A1: interpolation degree ablation (paper section 2.2) ===\n");
+    if (g_front.size() < 8) {
+        std::printf("front too small for the ablation\n");
+        return;
+    }
+
+    TextTable t({"degree", "held-out RMS error (deg)", "max error (deg)"});
+    for (int degree : {1, 2, 3}) {
+        const auto model = build_model(degree, 2); // even points build...
+        double sse = 0.0, worst = 0.0;
+        std::size_t n = 0;
+        for (std::size_t i = 1; i < g_front.size(); i += 2) { // ...odd held out
+            const double x = g_front[i].gain_db;
+            if (x < model.x_min() || x > model.x_max()) continue;
+            const double err = std::fabs(model.eval(x) - g_front[i].pm_deg);
+            sse += err * err;
+            worst = std::max(worst, err);
+            ++n;
+        }
+        const double rms = n > 0 ? std::sqrt(sse / static_cast<double>(n)) : 0.0;
+        t.add_row({std::to_string(degree), benchx::fmt3(rms), benchx::fmt3(worst)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::printf("\npaper picks cubic (degree 3) for accuracy; degree 1/2 rows "
+                "show what that buys on this front.\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    g_front = benchx::load_or_build_front();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    experiment();
+    return 0;
+}

@@ -1,0 +1,87 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared experiment plumbing for the per-table/figure bench
+///        binaries: a cached paper-scale flow run (WBGA 100x100 + per-point
+///        Monte Carlo) so the E2/E3/E4/E6 binaries do not redo the same
+///        work, plus small formatting helpers.
+///
+/// Environment knobs:
+///   YPM_BENCH_POP        population size          (default 100, paper value)
+///   YPM_BENCH_GENS       generations              (default 100, paper value)
+///   YPM_BENCH_MC         MC samples per point     (default 200, paper value)
+///   YPM_BENCH_MC_POINTS  front points given MC    (default 200; 0 = all,
+///                        the paper runs all ~1022 - slower)
+///   YPM_BENCH_DIR        artifact cache directory (default ypm_bench_artifacts)
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/behav_model.hpp"
+#include "core/flow.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace ypm::benchx {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline std::string artifact_dir() {
+    const char* v = std::getenv("YPM_BENCH_DIR");
+    return v != nullptr && *v != '\0' ? v : "ypm_bench_artifacts";
+}
+
+inline core::FlowConfig paper_flow_config() {
+    core::FlowConfig cfg;
+    cfg.ga.population = env_size("YPM_BENCH_POP", 100);
+    cfg.ga.generations = env_size("YPM_BENCH_GENS", 100);
+    cfg.mc_samples = env_size("YPM_BENCH_MC", 200);
+    cfg.max_mc_points = env_size("YPM_BENCH_MC_POINTS", 200);
+    cfg.seed = 2008; // DATE'08
+    cfg.artifact_dir = artifact_dir();
+    return cfg;
+}
+
+/// Artifact paths as written by a previous bench run in this directory.
+inline core::ModelArtifacts cached_artifacts() {
+    namespace fs = std::filesystem;
+    const std::string dir = artifact_dir();
+    core::ModelArtifacts art;
+    art.dir = dir;
+    art.gain_delta_tbl = (fs::path(dir) / "gain_delta.tbl").string();
+    art.pm_delta_tbl = (fs::path(dir) / "pm_delta.tbl").string();
+    for (int i = 1; i <= 8; ++i)
+        art.param_tbls.push_back(
+            (fs::path(dir) / ("lp" + std::to_string(i) + "_data.tbl")).string());
+    art.f3db_tbl = (fs::path(dir) / "lp_f3db.tbl").string();
+    art.front_csv = (fs::path(dir) / "pareto_front.csv").string();
+    art.va_module = (fs::path(dir) / "ota_yield_model.va").string();
+    return art;
+}
+
+inline bool artifacts_present() {
+    const auto art = cached_artifacts();
+    return std::filesystem::exists(art.gain_delta_tbl) &&
+           std::filesystem::exists(art.f3db_tbl) &&
+           std::filesystem::exists(art.param_tbls.back());
+}
+
+/// Load the MC-enriched front from cache, or run the full flow (and cache).
+inline std::vector<core::FrontPointData> load_or_build_front() {
+    if (artifacts_present()) {
+        log::info("bench: reusing cached artifacts in ", artifact_dir());
+        return core::read_front_from_artifacts(cached_artifacts());
+    }
+    log::info("bench: no cache - running the full flow (WBGA + MC)");
+    const core::YieldFlow flow(circuits::OtaConfig{}, paper_flow_config());
+    return flow.run().front;
+}
+
+inline std::string fmt2(double v) { return str::fmt_fixed(v, 2); }
+inline std::string fmt3(double v) { return str::fmt_fixed(v, 3); }
+
+} // namespace ypm::benchx

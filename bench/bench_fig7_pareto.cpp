@@ -1,0 +1,115 @@
+// Experiment E1 - paper Figure 7 and part of Table 5.
+//
+// Runs the WBGA at the paper's scale (population 100 x 100 generations =
+// 10,000 evaluated sizings), extracts the Pareto front, and reports the
+// objective-space cloud and front statistics the figure shows (the paper
+// finds 1022 Pareto-optimal points). google-benchmark timings cover the two
+// kernels: one full OTA evaluation and one non-dominated filtering pass.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuits/ota_problem.hpp"
+#include "core/flow.hpp"
+#include "mc/stats.hpp"
+#include "moo/pareto.hpp"
+#include "moo/wbga.hpp"
+#include "util/text_table.hpp"
+
+using namespace ypm;
+
+namespace {
+
+// ------------------------------------------------- timed kernels
+
+void BM_OtaEvaluation(benchmark::State& state) {
+    const circuits::OtaProblem problem;
+    const circuits::OtaSizing sizing;
+    const auto params = sizing.to_vector();
+    for (auto _ : state) {
+        auto objs = problem.evaluate(params);
+        benchmark::DoNotOptimize(objs);
+    }
+}
+BENCHMARK(BM_OtaEvaluation)->Unit(benchmark::kMillisecond);
+
+void BM_ParetoFilter10k(benchmark::State& state) {
+    Rng rng(1);
+    std::vector<std::vector<double>> objs;
+    objs.reserve(10000);
+    for (int i = 0; i < 10000; ++i)
+        objs.push_back({rng.uniform(40.0, 65.0), rng.uniform(10.0, 90.0)});
+    const std::vector<moo::ObjectiveSpec> specs = {
+        {"gain", moo::Direction::maximize}, {"pm", moo::Direction::maximize}};
+    for (auto _ : state) {
+        auto front = moo::pareto_front_indices_2d(objs, specs);
+        benchmark::DoNotOptimize(front);
+    }
+}
+BENCHMARK(BM_ParetoFilter10k)->Unit(benchmark::kMillisecond);
+
+void experiment() {
+    std::printf("\n=== E1 / Figure 7: gain & phase margin cloud with Pareto front ===\n");
+    const auto cfg = benchx::paper_flow_config();
+    std::printf("WBGA: population %zu x %zu generations = %zu evaluations "
+                "(paper: 100 x 100 = 10,000)\n",
+                cfg.ga.population, cfg.ga.generations,
+                cfg.ga.population * cfg.ga.generations);
+
+    circuits::OtaProblem problem{circuits::OtaConfig{}};
+    moo::WbgaConfig ga = cfg.ga;
+    const moo::Wbga optimiser(problem, ga);
+    Rng rng(cfg.seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const moo::WbgaResult result = optimiser.run(rng);
+    const double ga_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    std::size_t failed = 0;
+    std::vector<double> gains, pms;
+    for (const auto& e : result.archive) {
+        if (moo::evaluation_failed(e.objectives)) {
+            ++failed;
+            continue;
+        }
+        gains.push_back(e.objectives[0]);
+        pms.push_back(e.objectives[1]);
+    }
+    const auto front = core::extract_front_indices(result);
+
+    const auto gs = mc::summarize(gains);
+    const auto ps = mc::summarize(pms);
+    TextTable t({"quantity", "paper", "measured"});
+    t.add_row({"evaluated individuals", "10000", std::to_string(result.evaluations)});
+    t.add_row({"failed evaluations", "n/a", std::to_string(failed)});
+    t.add_row({"pareto-optimal points", "1022", std::to_string(front.size())});
+    t.add_row({"gain cloud range (dB)", "~44-52 (fig 7)",
+               benchx::fmt2(gs.min) + " - " + benchx::fmt2(gs.max)});
+    t.add_row({"pm cloud range (deg)", "~55-90 (fig 7)",
+               benchx::fmt2(ps.min) + " - " + benchx::fmt2(ps.max)});
+    t.add_row({"optimisation wall clock (s)", "14400 (4 h, Table 5)",
+               benchx::fmt2(ga_seconds)});
+    std::printf("%s", t.to_string().c_str());
+
+    // The front itself, decimated to ~15 rows for the log.
+    std::printf("\nPareto front (decimated):\n");
+    TextTable f({"idx", "gain (dB)", "pm (deg)"});
+    const std::size_t step = std::max<std::size_t>(1, front.size() / 15);
+    for (std::size_t k = 0; k < front.size(); k += step) {
+        const auto& e = result.archive[front[k]];
+        f.add_row({std::to_string(k), benchx::fmt2(e.objectives[0]),
+                   benchx::fmt2(e.objectives[1])});
+    }
+    std::printf("%s", f.to_string().c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    experiment();
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Experiment E6 - paper Figure 8: "Open loop gain comparison".
+//
+// Overlays the transistor-level AC response of the sized OTA with the
+// behavioural (single-pole) macromodel across frequency, printing the two
+// series and the divergence frequency. The paper attributes the divergence
+// above ~40 MHz to parasitic poles the behavioural model does not carry -
+// the same mechanism reproduces here via the mirror-node poles.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/behav_model.hpp"
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/devices/capacitor.hpp"
+#include "spice/devices/sources.hpp"
+#include "util/text_table.hpp"
+#include "util/units.hpp"
+#include "va/behav_ota_device.hpp"
+
+using namespace ypm;
+
+namespace {
+
+std::vector<core::FrontPointData> g_front;
+
+void BM_AcSweepTransistor(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const circuits::OtaSizing sizing;
+    for (auto _ : state) {
+        auto resp = evaluator.ac_response(sizing);
+        benchmark::DoNotOptimize(resp);
+    }
+}
+BENCHMARK(BM_AcSweepTransistor)->Unit(benchmark::kMillisecond);
+
+/// Open-loop response of the macromodel with the same load capacitance the
+/// transistor testbench carries (the rout-based dominant pole needs it).
+std::vector<std::complex<double>>
+macromodel_response(const va::BehaviouralOtaSpec& spec, double c_load,
+                    const std::vector<double>& freqs) {
+    spice::Circuit c;
+    const auto inp = c.node("inp");
+    const auto out = c.node("out");
+    c.add<spice::VoltageSource>("vin", inp, spice::ground, 0.0, 1.0);
+    c.add<va::BehaviouralOta>("ota", inp, spice::ground, out, spec);
+    c.add<spice::Capacitor>("cl", out, spice::ground, c_load);
+    const spice::Solution op = spice::solve_op(c);
+    const spice::AcResult ac = spice::run_ac(c, op, freqs);
+    return ac.transfer(out, inp);
+}
+
+void experiment() {
+    std::printf("\n=== E6 / Figure 8: open-loop gain, transistor vs Verilog-A model ===\n");
+    const core::BehaviouralModel model(g_front);
+    const double req_gain =
+        model.gain_min() + 0.4 * (model.gain_max() - model.gain_min());
+    const double req_pm = model.pm_min() + 0.3 * (model.pm_max() - model.pm_min());
+    const core::SizingResult sized = model.size_for_spec(req_gain, req_pm);
+    const va::BehaviouralOtaSpec spec = model.macromodel_spec(sized);
+
+    const circuits::OtaEvaluator evaluator;
+    const auto trans = evaluator.ac_response(sized.sizing);
+    const auto behav =
+        macromodel_response(spec, evaluator.config().c_load, trans.freqs);
+
+    TextTable t({"freq (Hz)", "transistor (dB)", "behavioural (dB)", "delta (dB)"});
+    double divergence_freq = 0.0;
+    const auto tmag = spice::magnitude_db(trans.h);
+    const auto bmag = spice::magnitude_db(behav);
+    for (std::size_t i = 0; i < trans.freqs.size(); ++i) {
+        const double delta = std::fabs(tmag[i] - bmag[i]);
+        if (divergence_freq == 0.0 && delta > 3.0) divergence_freq = trans.freqs[i];
+        if (i % 6 == 0)
+            t.add_row({units::format_eng(trans.freqs[i], 3), benchx::fmt2(tmag[i]),
+                       benchx::fmt2(bmag[i]), benchx::fmt2(delta)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::printf("\nmodels diverge by >3 dB above %s Hz "
+                "(paper: divergence above 40 MHz from parasitic poles)\n",
+                divergence_freq > 0.0 ? units::format_eng(divergence_freq, 3).c_str()
+                                      : "never");
+
+    const auto tb = spice::bode_metrics(trans.freqs, trans.h);
+    const auto bb = spice::bode_metrics(trans.freqs, behav);
+    TextTable s({"metric", "transistor", "behavioural"});
+    s.add_row({"dc gain (dB)", benchx::fmt2(tb.dc_gain_db), benchx::fmt2(bb.dc_gain_db)});
+    s.add_row({"f3db (Hz)", units::format_eng(tb.f3db, 3), units::format_eng(bb.f3db, 3)});
+    s.add_row({"unity freq (Hz)", units::format_eng(tb.unity_freq, 3),
+               units::format_eng(bb.unity_freq, 3)});
+    s.add_row({"phase margin (deg)", benchx::fmt2(tb.phase_margin_deg),
+               benchx::fmt2(bb.phase_margin_deg)});
+    std::printf("\n%s", s.to_string().c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    g_front = benchx::load_or_build_front();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    experiment();
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation A4 - simulator kernel throughput.
+//
+// The flow's cost is dominated by DC Newton solves and AC sweeps of the OTA
+// testbench; this binary benchmarks those kernels plus the underlying LU
+// factorisation at representative sizes, so changes to the numerics are
+// caught before they hit the multi-minute experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "circuits/ota.hpp"
+#include "linalg/lu.hpp"
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/dc.hpp"
+#include "util/rng.hpp"
+
+using namespace ypm;
+
+namespace {
+
+void BM_LuFactorSolve(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(42);
+    linalg::MatrixD a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+        a(i, i) += static_cast<double>(n);
+    }
+    std::vector<double> b(n, 1.0);
+    for (auto _ : state) {
+        auto x = linalg::solve(a, b);
+        benchmark::DoNotOptimize(x);
+    }
+    state.SetComplexityN(static_cast<long long>(n));
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_LuComplexFactorSolve(benchmark::State& state) {
+    using C = std::complex<double>;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(43);
+    linalg::MatrixC a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) = C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+        a(i, i) += C(static_cast<double>(n), 0.0);
+    }
+    std::vector<C> b(n, C(1.0, 0.0));
+    for (auto _ : state) {
+        auto x = linalg::solve(a, b);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_LuComplexFactorSolve)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OtaDcOperatingPoint(benchmark::State& state) {
+    const circuits::OtaConfig cfg;
+    const circuits::OtaSizing sizing;
+    for (auto _ : state) {
+        spice::Circuit ckt = circuits::build_ota_testbench(sizing, cfg);
+        const spice::DcSolver solver;
+        auto op = solver.solve(ckt);
+        benchmark::DoNotOptimize(op);
+    }
+}
+BENCHMARK(BM_OtaDcOperatingPoint)->Unit(benchmark::kMicrosecond);
+
+void BM_OtaAcSweep(benchmark::State& state) {
+    const circuits::OtaConfig cfg;
+    const circuits::OtaSizing sizing;
+    spice::Circuit ckt = circuits::build_ota_testbench(sizing, cfg);
+    const spice::DcSolver solver;
+    const auto op = solver.solve(ckt);
+    const auto freqs = spice::log_sweep(cfg.f_start, cfg.f_stop,
+                                        cfg.points_per_decade);
+    for (auto _ : state) {
+        auto ac = spice::run_ac(ckt, op.solution, freqs);
+        benchmark::DoNotOptimize(ac);
+    }
+    state.counters["freq_points"] = static_cast<double>(freqs.size());
+}
+BENCHMARK(BM_OtaAcSweep)->Unit(benchmark::kMillisecond);
+
+void BM_OtaFullMeasurement(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const circuits::OtaSizing sizing;
+    for (auto _ : state) {
+        auto perf = evaluator.measure(sizing);
+        benchmark::DoNotOptimize(perf);
+    }
+}
+BENCHMARK(BM_OtaFullMeasurement)->Unit(benchmark::kMillisecond);
+
+void BM_CircuitConstruction(benchmark::State& state) {
+    const circuits::OtaConfig cfg;
+    const circuits::OtaSizing sizing;
+    for (auto _ : state) {
+        auto ckt = circuits::build_ota_testbench(sizing, cfg);
+        benchmark::DoNotOptimize(ckt);
+    }
+}
+BENCHMARK(BM_CircuitConstruction)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Experiment E2 - paper Table 2: "Performance and variation values".
+//
+// Every Pareto point carries a 200-sample Monte Carlo variation analysis;
+// the table lists design id, nominal gain, Δgain %, nominal PM and Δpm %
+// for the designs around the paper's 50 dB / 75 deg region. The timed
+// kernel is a single MC sample (process draw + full testbench measurement).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ota_mc.hpp"
+#include "util/text_table.hpp"
+
+using namespace ypm;
+
+namespace {
+
+void BM_OneMcSample(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    const circuits::OtaSizing sizing;
+    spice::Circuit proto = circuits::build_ota_testbench(sizing, evaluator.config());
+    const auto geometries = proto.mos_geometries();
+    Rng rng(7);
+    for (auto _ : state) {
+        const auto real = sampler.sample(rng, geometries);
+        auto perf = evaluator.measure(sizing, real);
+        benchmark::DoNotOptimize(perf);
+    }
+}
+BENCHMARK(BM_OneMcSample)->Unit(benchmark::kMillisecond);
+
+void experiment() {
+    std::printf("\n=== E2 / Table 2: performance and variation values ===\n");
+    const auto front = benchx::load_or_build_front();
+    std::printf("front points with variation model: %zu "
+                "(paper: 1022, MC 200 samples each)\n\n",
+                front.size());
+
+    // The paper's table shows designs around PM 73-77 deg (its front's
+    // knee). Our topology lands its knee at the same PM band but a
+    // different absolute gain, so the window is selected on PM; if the
+    // front misses that band entirely, print a decimated overview instead.
+    TextTable t({"Design", "Gain (dB)", "dGain (%)", "PM (deg)", "dPM (%)"});
+    std::size_t in_window = 0;
+    for (const auto& p : front) {
+        if (p.pm_deg >= 72.0 && p.pm_deg <= 78.0) {
+            t.add_row({std::to_string(p.design_id), benchx::fmt2(p.gain_db),
+                       benchx::fmt2(p.dgain_pct), benchx::fmt2(p.pm_deg),
+                       benchx::fmt2(p.dpm_pct)});
+            ++in_window;
+            if (in_window >= 12) break;
+        }
+    }
+    if (in_window == 0) {
+        const std::size_t step = std::max<std::size_t>(1, front.size() / 12);
+        for (std::size_t k = 0; k < front.size(); k += step) {
+            const auto& p = front[k];
+            t.add_row({std::to_string(p.design_id), benchx::fmt2(p.gain_db),
+                       benchx::fmt2(p.dgain_pct), benchx::fmt2(p.pm_deg),
+                       benchx::fmt2(p.dpm_pct)});
+        }
+    }
+    std::printf("%s", t.to_string().c_str());
+
+    // Aggregate comparison against the paper's reported deltas, over the
+    // same PM band the paper tabulates.
+    double dg_min = 1e9, dg_max = -1e9, dp_min = 1e9, dp_max = -1e9;
+    std::size_t band = 0;
+    for (const auto& p : front) {
+        if (p.pm_deg < 70.0 || p.pm_deg > 80.0) continue;
+        dg_min = std::min(dg_min, p.dgain_pct);
+        dg_max = std::max(dg_max, p.dgain_pct);
+        dp_min = std::min(dp_min, p.dpm_pct);
+        dp_max = std::max(dp_max, p.dpm_pct);
+        ++band;
+    }
+    if (band > 0) {
+        TextTable s({"quantity", "paper (Table 2)", "measured (PM 70-80 band)"});
+        s.add_row({"designs in band", "10 shown", std::to_string(band)});
+        s.add_row({"dGain range (%)", "0.42 - 0.52",
+                   benchx::fmt2(dg_min) + " - " + benchx::fmt2(dg_max)});
+        s.add_row({"dPM range (%)", "1.50 - 1.71",
+                   benchx::fmt2(dp_min) + " - " + benchx::fmt2(dp_max)});
+        s.add_row({"dPM > dGain", "yes", dp_max > dg_min ? "yes" : "no"});
+        std::printf("\n%s", s.to_string().c_str());
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    experiment();
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E3 - paper Table 3: the yield-targeting interpolation example.
+//
+// Required spec: gain > 50 dB and PM > 74 deg. The model interpolates the
+// variation Δ at the requirement, inflates the target
+// (new = required * (1 + Δ/100)), and interpolates the designable
+// parameters at the inflated target. The timed kernel is one complete
+// size_for_spec query.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/behav_model.hpp"
+#include "util/text_table.hpp"
+#include "util/units.hpp"
+
+using namespace ypm;
+
+namespace {
+
+std::vector<core::FrontPointData> g_front;
+
+void BM_SizeForSpec(benchmark::State& state) {
+    const core::BehaviouralModel model(g_front);
+    const double g = (model.gain_min() + model.gain_max()) / 2.0;
+    const double p = model.pm_min() + 0.25 * (model.pm_max() - model.pm_min());
+    for (auto _ : state) {
+        auto r = model.size_for_spec(g, p);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SizeForSpec)->Unit(benchmark::kMicrosecond);
+
+void experiment() {
+    std::printf("\n=== E3 / Table 3: yield-targeted interpolation ===\n");
+    const core::BehaviouralModel model(g_front);
+    std::printf("model coverage: gain [%s, %s] dB, pm [%s, %s] deg\n",
+                benchx::fmt2(model.gain_min()).c_str(),
+                benchx::fmt2(model.gain_max()).c_str(),
+                benchx::fmt2(model.pm_min()).c_str(),
+                benchx::fmt2(model.pm_max()).c_str());
+
+    // Paper spec: gain > 50 dB, PM > 74 deg. If this front does not cover
+    // that exact window, use the equivalent relative position and say so.
+    double req_gain = 50.0, req_pm = 74.0;
+    if (req_gain < model.gain_min() || req_gain > model.gain_max() ||
+        req_pm < model.pm_min() || req_pm > model.pm_max()) {
+        req_gain = model.gain_min() + 0.4 * (model.gain_max() - model.gain_min());
+        req_pm = model.pm_min() + 0.3 * (model.pm_max() - model.pm_min());
+        std::printf("note: paper spec (50 dB, 74 deg) outside this front; using "
+                    "equivalent interior spec (%.2f dB, %.2f deg)\n",
+                    req_gain, req_pm);
+    }
+
+    const core::SizingResult r = model.size_for_spec(req_gain, req_pm);
+
+    TextTable t({"Performance", "Required", "Variation (%)", "New performance"});
+    t.add_row({"Gain", "> " + benchx::fmt2(req_gain) + " dB",
+               benchx::fmt2(r.variation_gain_pct),
+               benchx::fmt2(r.target_gain_db) + " dB"});
+    t.add_row({"Phase margin", "> " + benchx::fmt2(req_pm) + " deg",
+               benchx::fmt2(r.variation_pm_pct),
+               benchx::fmt2(r.target_pm_deg) + " deg"});
+    std::printf("%s", t.to_string().c_str());
+    std::printf("\npaper Table 3: gain 50 dB + 0.51%% -> 50.26 dB; "
+                "pm 74 deg + 1.71%% -> 75.27 deg\n");
+
+    std::printf("\ninterpolated designable parameters (feasible=%s):\n",
+                r.feasible ? "yes" : "no");
+    TextTable p({"param", "value"});
+    const auto& names = circuits::OtaSizing::parameter_names();
+    const auto values = r.sizing.to_vector();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        p.add_row({names[i], units::format_eng(values[i]) + "m"});
+    std::printf("%s", p.to_string().c_str());
+    std::printf("\nmodel-predicted performance at this sizing: %s dB, %s deg\n",
+                benchx::fmt2(r.predicted_gain_db).c_str(),
+                benchx::fmt2(r.predicted_pm_deg).c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    g_front = benchx::load_or_build_front();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    experiment();
+    return 0;
+}

@@ -1,0 +1,110 @@
+// The paper's section 5 application: designing a 2nd-order low-pass filter
+// hierarchically with the OTA behavioural macromodel.
+//
+// The OTA spec is gain >= 50 dB and PM >= 60 deg (paper values). A small
+// flow run builds the OTA model; the macromodel then drives a Sallen-Key
+// filter whose capacitors C1-C3 are optimised by a 30x40 WBGA (paper's
+// budget); the result is checked against the Fig. 10 anti-aliasing mask and
+// Monte Carlo yield is verified.
+//
+// Run:  ./build/examples/filter_design
+
+#include <cstdio>
+
+#include "circuits/filter.hpp"
+#include "circuits/filter_problem.hpp"
+#include "core/behav_model.hpp"
+#include "core/flow.hpp"
+#include "moo/wbga.hpp"
+#include "util/text_table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+using namespace ypm;
+
+int main() {
+    // 1. OTA behavioural model from a light flow run.
+    std::printf("building the OTA behavioural model...\n");
+    circuits::OtaConfig ota;
+    core::FlowConfig cfg;
+    cfg.ga.population = 40;
+    cfg.ga.generations = 20;
+    cfg.mc_samples = 60;
+    cfg.max_mc_points = 20;
+    cfg.seed = 5;
+    const core::FlowResult flow = core::YieldFlow(ota, cfg).run();
+    const core::BehaviouralModel model(flow.front);
+
+    // 2. Size the OTA. The paper asks gain >= 50 dB, PM >= 60 deg at its
+    //    front's knee; on this topology gain correlates with bandwidth and
+    //    the knee sits near 60 dB, so the equivalent spec is 60/60 (the
+    //    full-scale bench_fig9to11_filter run uses 50/60 on a denser front
+    //    and lands on the same kind of design).
+    double req_gain = 60.0, req_pm = 60.0;
+    if (req_gain < model.gain_min() || req_gain > model.gain_max())
+        req_gain = model.gain_min() + 0.4 * (model.gain_max() - model.gain_min());
+    if (req_pm < model.pm_min() || req_pm > model.pm_max())
+        req_pm = model.pm_min() + 0.3 * (model.pm_max() - model.pm_min());
+    const core::SizingResult sized = model.size_for_spec(req_gain, req_pm);
+    std::printf("OTA: gain >= %.1f dB, pm >= %.1f deg -> macromodel %.2f dB, "
+                "f3db %sHz\n",
+                req_gain, req_pm, sized.predicted_gain_db,
+                units::format_eng(sized.f3db, 3).c_str());
+
+    // 3. Optimise the filter capacitors with the macromodel in the loop
+    //    (paper: 30 individuals, 40 generations).
+    circuits::FilterConfig fcfg;
+    fcfg.ota_spec = model.macromodel_spec(sized);
+    fcfg.ota_sizing = sized.sizing;
+    const circuits::FilterSpecMask mask;
+    circuits::FilterProblem problem{fcfg, mask};
+    moo::WbgaConfig ga;
+    ga.population = 30;
+    ga.generations = 40;
+    Rng rng(11);
+    const auto result = moo::Wbga(problem, ga).run(rng);
+
+    const circuits::FilterEvaluator evaluator{fcfg, mask};
+    double best_err = 1e18;
+    circuits::FilterSizing best{};
+    for (const auto& e : result.archive) {
+        if (moo::evaluation_failed(e.objectives)) continue;
+        const auto s = circuits::FilterSizing::from_vector(e.params);
+        const auto perf = evaluator.measure(s, circuits::OtaModelKind::behavioural);
+        if (!perf.meets(mask)) continue;
+        if (e.objectives[0] < best_err) {
+            best_err = e.objectives[0];
+            best = s;
+        }
+    }
+    std::printf("\nchosen capacitors: C1=%sF  C2=%sF  C3=%sF\n",
+                units::format_eng(best.c1, 3).c_str(),
+                units::format_eng(best.c2, 3).c_str(),
+                units::format_eng(best.c3, 3).c_str());
+
+    // 4. Report the response against the mask, macromodel vs transistor.
+    const auto pb = evaluator.measure(best, circuits::OtaModelKind::behavioural);
+    const auto pt = evaluator.measure(best, circuits::OtaModelKind::transistor);
+    TextTable t({"metric", "mask", "behavioural", "transistor"});
+    t.add_row({"cutoff fc", units::format_eng(mask.fc_target, 3) + "Hz",
+               units::format_eng(pb.fc, 3) + "Hz", units::format_eng(pt.fc, 3) + "Hz"});
+    t.add_row({"passband dev (dB)", "<= " + str::fmt_fixed(mask.passband_ripple_db, 1),
+               str::fmt_fixed(pb.worst_passband_dev_db, 2),
+               str::fmt_fixed(pt.worst_passband_dev_db, 2)});
+    t.add_row({"stopband atten (dB)", ">= " + str::fmt_fixed(mask.min_stop_atten_db, 1),
+               str::fmt_fixed(pb.stopband_atten_db, 2),
+               str::fmt_fixed(pt.stopband_atten_db, 2)});
+    t.add_row({"meets mask", "yes", pb.meets(mask) ? "yes" : "no",
+               pt.meets(mask) ? "yes" : "no"});
+    std::printf("%s", t.to_string().c_str());
+
+    // 5. Monte Carlo yield with the model's own variation numbers.
+    circuits::FilterVariation var;
+    var.gain_delta_pct = sized.variation_gain_pct;
+    var.pm_delta_pct = sized.variation_pm_pct;
+    Rng mc_rng(500);
+    const auto yield = filter_yield_behavioural(evaluator, best, var, 500, mc_rng);
+    std::printf("\nfilter MC yield: %.2f%% over %zu samples [paper: 100%%]\n",
+                yield.yield * 100.0, yield.samples);
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Yield explorer: sweeps the required specification across the behavioural
+// model's coverage and prints, for each requirement, the interpolated
+// variation, the inflated target, whether the front can satisfy it and the
+// transistor-verified margins. Useful for reading the performance/yield
+// trade-off off the model interactively - the "what can this topology
+// guarantee?" question the paper's flow is built to answer.
+//
+// Run:  ./build/examples/yield_explorer
+
+#include <cstdio>
+
+#include "core/behav_model.hpp"
+#include "core/flow.hpp"
+#include "util/strings.hpp"
+#include "util/text_table.hpp"
+
+using namespace ypm;
+
+int main() {
+    circuits::OtaConfig ota;
+    core::FlowConfig cfg;
+    cfg.ga.population = 40;
+    cfg.ga.generations = 20;
+    cfg.mc_samples = 60;
+    cfg.max_mc_points = 20;
+    cfg.seed = 17;
+    std::printf("building the model (this is the one-off investment the paper "
+                "amortises)...\n");
+    const core::FlowResult flow = core::YieldFlow(ota, cfg).run();
+    const core::BehaviouralModel model(flow.front);
+    std::printf("model coverage: gain [%.2f, %.2f] dB x pm [%.2f, %.2f] deg\n\n",
+                model.gain_min(), model.gain_max(), model.pm_min(), model.pm_max());
+
+    const circuits::OtaEvaluator evaluator(ota);
+    TextTable t({"req gain", "req pm", "dGain%", "dPM%", "target gain",
+                 "target pm", "feasible", "sim gain", "sim pm"});
+    for (double tg : {0.15, 0.40, 0.65, 0.90}) {
+        for (double tp : {0.15, 0.45, 0.75}) {
+            const double req_gain =
+                model.gain_min() + tg * (model.gain_max() - model.gain_min());
+            const double req_pm =
+                model.pm_min() + tp * (model.pm_max() - model.pm_min());
+            const core::SizingResult r = model.size_for_spec(req_gain, req_pm);
+
+            std::string sim_gain = "-", sim_pm = "-";
+            if (r.feasible) {
+                const auto perf = evaluator.measure(r.sizing);
+                if (perf.valid) {
+                    sim_gain = str::fmt_fixed(perf.gain_db, 2);
+                    sim_pm = str::fmt_fixed(perf.pm_deg, 2);
+                }
+            }
+            t.add_row({str::fmt_fixed(req_gain, 2), str::fmt_fixed(req_pm, 2),
+                       str::fmt_fixed(r.variation_gain_pct, 2),
+                       str::fmt_fixed(r.variation_pm_pct, 2),
+                       str::fmt_fixed(r.target_gain_db, 2),
+                       str::fmt_fixed(r.target_pm_deg, 2),
+                       r.feasible ? "yes" : "no", sim_gain, sim_pm});
+        }
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::printf("\n'feasible = no' rows ask for gain AND pm beyond the front - "
+                "the model refuses instead of extrapolating (paper's \"3E\" "
+                "no-extrapolation choice).\n");
+    return 0;
+}

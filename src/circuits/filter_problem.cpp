@@ -1,0 +1,33 @@
+#include "circuits/filter_problem.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ypm::circuits {
+
+FilterProblem::FilterProblem(FilterConfig config, FilterSpecMask mask,
+                             OtaModelKind kind)
+    : evaluator_(config, mask), kind_(kind),
+      params_(FilterSizing::parameter_specs()),
+      objectives_{{"fc_err_rel", moo::Direction::minimize},
+                  {"passband_dev_db", moo::Direction::minimize}} {}
+
+const std::vector<moo::ParameterSpec>& FilterProblem::parameters() const {
+    return params_;
+}
+
+const std::vector<moo::ObjectiveSpec>& FilterProblem::objectives() const {
+    return objectives_;
+}
+
+std::vector<double> FilterProblem::evaluate(const std::vector<double>& p) const {
+    constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+    const FilterSizing sizing = FilterSizing::from_vector(p);
+    const FilterPerformance perf = evaluator_.measure(sizing, kind_);
+    if (!perf.valid || std::isnan(perf.fc)) return {nan_v, nan_v};
+    const auto& mask = evaluator_.mask();
+    const double fc_err = std::fabs(perf.fc - mask.fc_target) / mask.fc_target;
+    return {fc_err, perf.worst_passband_dev_db};
+}
+
+} // namespace ypm::circuits

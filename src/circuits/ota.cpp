@@ -1,0 +1,195 @@
+#include "circuits/ota.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/devices/capacitor.hpp"
+#include "spice/devices/inductor.hpp"
+#include "spice/devices/sources.hpp"
+#include "util/error.hpp"
+
+namespace ypm::circuits {
+
+using spice::Circuit;
+using spice::Mosfet;
+using spice::NodeId;
+
+OtaSizing OtaSizing::from_vector(const std::vector<double>& v) {
+    if (v.size() != parameter_count)
+        throw InvalidInputError("OtaSizing: expected 8 parameters");
+    OtaSizing s;
+    s.w1 = v[0];
+    s.l1 = v[1];
+    s.w2 = v[2];
+    s.l2 = v[3];
+    s.w3 = v[4];
+    s.l3 = v[5];
+    s.w4 = v[6];
+    s.l4 = v[7];
+    return s;
+}
+
+std::vector<double> OtaSizing::to_vector() const {
+    return {w1, l1, w2, l2, w3, l3, w4, l4};
+}
+
+std::vector<moo::ParameterSpec> OtaSizing::parameter_specs() {
+    // Paper Table 1.
+    constexpr double w_lo = 10e-6, w_hi = 60e-6;
+    constexpr double l_lo = 0.35e-6, l_hi = 4e-6;
+    return {
+        {"w1", w_lo, w_hi}, {"l1", l_lo, l_hi}, {"w2", w_lo, w_hi},
+        {"l2", l_lo, l_hi}, {"w3", w_lo, w_hi}, {"l3", l_lo, l_hi},
+        {"w4", w_lo, w_hi}, {"l4", l_lo, l_hi},
+    };
+}
+
+const std::vector<std::string>& OtaSizing::parameter_names() {
+    static const std::vector<std::string> names = {"w1", "l1", "w2", "l2",
+                                                   "w3", "l3", "w4", "l4"};
+    return names;
+}
+
+void add_ota_core(Circuit& ckt, const std::string& prefix, const OtaSizing& s,
+                  const OtaConfig& cfg, NodeId inp, NodeId inn, NodeId out,
+                  NodeId vdd) {
+    using Type = Mosfet::Type;
+    const auto& nm = cfg.card.nmos;
+    const auto& pm = cfg.card.pmos;
+
+    const NodeId tail = ckt.node(prefix + "tail");
+    const NodeId d1 = ckt.node(prefix + "d1");
+    const NodeId d2 = ckt.node(prefix + "d2");
+    const NodeId x = ckt.node(prefix + "x"); // cascode mirror input branch
+    const NodeId w = ckt.node(prefix + "w"); // bottom diode gate node
+    const NodeId z = ckt.node(prefix + "z"); // output cascode source node
+
+    // Differential pair (fixed dimensions, paper section 4.1).
+    ckt.add<Mosfet>(prefix + "m1", d1, inp, tail, spice::ground, Type::nmos, nm,
+                    cfg.w_in, cfg.l_in);
+    ckt.add<Mosfet>(prefix + "m2", d2, inn, tail, spice::ground, Type::nmos, nm,
+                    cfg.w_in, cfg.l_in);
+    ckt.add<spice::CurrentSource>(prefix + "itail", tail, spice::ground,
+                                  cfg.i_tail);
+
+    // Diode-connected PMOS loads (W4, L4).
+    ckt.add<Mosfet>(prefix + "m3", d1, d1, vdd, vdd, Type::pmos, pm, s.w4, s.l4);
+    ckt.add<Mosfet>(prefix + "m6", d2, d2, vdd, vdd, Type::pmos, pm, s.w4, s.l4);
+
+    // PMOS mirror outputs (W1, L1): current gain B = (W1/L1)/(W4/L4).
+    ckt.add<Mosfet>(prefix + "m5", out, d1, vdd, vdd, Type::pmos, pm, s.w1, s.l1);
+    ckt.add<Mosfet>(prefix + "m4", x, d2, vdd, vdd, Type::pmos, pm, s.w1, s.l1);
+
+    // NMOS cascode mirror: input branch M9 (top diode) over M7 (bottom
+    // diode), output branch M10 (cascode) over M8.
+    ckt.add<Mosfet>(prefix + "m9", x, x, w, spice::ground, Type::nmos, nm, s.w2,
+                    s.l2);
+    ckt.add<Mosfet>(prefix + "m7", w, w, spice::ground, spice::ground, Type::nmos,
+                    nm, s.w2, s.l2);
+    ckt.add<Mosfet>(prefix + "m10", out, x, z, spice::ground, Type::nmos, nm, s.w3,
+                    s.l3);
+    ckt.add<Mosfet>(prefix + "m8", z, w, spice::ground, spice::ground, Type::nmos,
+                    nm, s.w3, s.l3);
+}
+
+Circuit build_ota_testbench(const OtaSizing& sizing, const OtaConfig& cfg) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId inp = ckt.node("inp");
+    const NodeId inn = ckt.node("inn");
+    const NodeId out = ckt.node("out");
+
+    ckt.add<spice::VoltageSource>("vsupply", vdd, spice::ground, cfg.card.vdd);
+    // AC-driven non-inverting input at the common-mode level.
+    ckt.add<spice::VoltageSource>("vinp", inp, spice::ground, cfg.vcm, 1.0);
+
+    add_ota_core(ckt, "", sizing, cfg, inp, inn, out, vdd);
+
+    // DC unity feedback / AC open loop.
+    ckt.add<spice::Inductor>("lfb", out, inn, cfg.fb_inductor);
+    ckt.add<spice::Capacitor>("cfb", inn, spice::ground, cfg.fb_capacitor);
+
+    // Load.
+    ckt.add<spice::Capacitor>("cload", out, spice::ground, cfg.c_load);
+    return ckt;
+}
+
+OtaEvaluator::OtaEvaluator(OtaConfig config) : config_(config) {}
+
+OtaPerformance OtaEvaluator::measure_impl(const OtaSizing& sizing,
+                                          const process::Realization* real) const {
+    OtaPerformance perf;
+    Circuit ckt = build_ota_testbench(sizing, config_);
+    if (real != nullptr) ckt.apply_process(*real);
+
+    const spice::DcSolver solver;
+    const spice::DcResult op = solver.solve(ckt);
+    if (!op.converged) {
+        perf.failure = "dc operating point did not converge";
+        return perf;
+    }
+
+    const auto freqs =
+        spice::log_sweep(config_.f_start, config_.f_stop, config_.points_per_decade);
+    spice::AcResult ac;
+    try {
+        ac = spice::run_ac(ckt, op.solution, freqs);
+    } catch (const NumericalError& e) {
+        perf.failure = std::string("ac analysis failed: ") + e.what();
+        return perf;
+    }
+
+    const NodeId out = *ckt.find_node("out");
+    const NodeId inp = *ckt.find_node("inp");
+    const auto h = ac.transfer(out, inp);
+    perf.bode = spice::bode_metrics(freqs, h);
+    perf.gain_db = perf.bode.dc_gain_db;
+    perf.pm_deg = perf.bode.phase_margin_deg;
+    if (std::isnan(perf.pm_deg) || perf.gain_db <= 0.0) {
+        perf.failure = "no unity-gain crossing (gain too low)";
+        return perf;
+    }
+    perf.valid = true;
+    return perf;
+}
+
+OtaPerformance OtaEvaluator::measure(const OtaSizing& sizing) const {
+    return measure_impl(sizing, nullptr);
+}
+
+OtaPerformance OtaEvaluator::measure(const OtaSizing& sizing,
+                                     const process::Realization& real) const {
+    return measure_impl(sizing, &real);
+}
+
+OtaEvaluator::Response
+OtaEvaluator::ac_response(const OtaSizing& sizing,
+                          const process::Realization* real) const {
+    Circuit ckt = build_ota_testbench(sizing, config_);
+    if (real != nullptr) ckt.apply_process(*real);
+    const spice::Solution op = spice::solve_op(ckt);
+    const auto freqs =
+        spice::log_sweep(config_.f_start, config_.f_stop, config_.points_per_decade);
+    const spice::AcResult ac = spice::run_ac(ckt, op, freqs);
+    Response r;
+    r.freqs = freqs;
+    r.h = ac.transfer(*ckt.find_node("out"), *ckt.find_node("inp"));
+    return r;
+}
+
+std::vector<std::pair<std::string, Mosfet::Region>>
+OtaEvaluator::op_regions(const OtaSizing& sizing) const {
+    Circuit ckt = build_ota_testbench(sizing, config_);
+    const spice::Solution op = spice::solve_op(ckt);
+    std::vector<std::pair<std::string, Mosfet::Region>> out;
+    for (const auto& dev : ckt.devices()) {
+        const auto* mos = dynamic_cast<const Mosfet*>(dev.get());
+        if (mos == nullptr) continue;
+        out.emplace_back(mos->name(), mos->op_info(op).region);
+    }
+    return out;
+}
+
+} // namespace ypm::circuits

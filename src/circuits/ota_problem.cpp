@@ -1,0 +1,28 @@
+#include "circuits/ota_problem.hpp"
+
+#include <limits>
+
+namespace ypm::circuits {
+
+OtaProblem::OtaProblem(OtaConfig config)
+    : evaluator_(config), params_(OtaSizing::parameter_specs()),
+      objectives_{{"gain_db", moo::Direction::maximize},
+                  {"pm_deg", moo::Direction::maximize}} {}
+
+const std::vector<moo::ParameterSpec>& OtaProblem::parameters() const {
+    return params_;
+}
+
+const std::vector<moo::ObjectiveSpec>& OtaProblem::objectives() const {
+    return objectives_;
+}
+
+std::vector<double> OtaProblem::evaluate(const std::vector<double>& params) const {
+    constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+    const OtaSizing sizing = OtaSizing::from_vector(params);
+    const OtaPerformance perf = evaluator_.measure(sizing);
+    if (!perf.valid) return {nan_v, nan_v};
+    return {perf.gain_db, perf.pm_deg};
+}
+
+} // namespace ypm::circuits

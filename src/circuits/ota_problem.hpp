@@ -1,0 +1,31 @@
+#pragma once
+/// \file ota_problem.hpp
+/// \brief moo::Problem adapter for OTA sizing: the optimisation problem of
+///        paper section 4.2 (maximise open-loop gain and phase margin over
+///        the 8 designable parameters of Table 1).
+
+#include "circuits/ota.hpp"
+#include "moo/problem.hpp"
+
+namespace ypm::circuits {
+
+class OtaProblem final : public moo::Problem {
+public:
+    explicit OtaProblem(OtaConfig config = {});
+
+    [[nodiscard]] const std::vector<moo::ParameterSpec>& parameters() const override;
+    [[nodiscard]] const std::vector<moo::ObjectiveSpec>& objectives() const override;
+
+    /// Returns {gain_db, pm_deg}; NaNs when the sizing fails to simulate.
+    [[nodiscard]] std::vector<double>
+    evaluate(const std::vector<double>& params) const override;
+
+    [[nodiscard]] const OtaEvaluator& evaluator() const { return evaluator_; }
+
+private:
+    OtaEvaluator evaluator_;
+    std::vector<moo::ParameterSpec> params_;
+    std::vector<moo::ObjectiveSpec> objectives_;
+};
+
+} // namespace ypm::circuits

@@ -1,0 +1,49 @@
+#pragma once
+/// \file artifacts.hpp
+/// \brief The data files the flow emits (paper sections 3.3-3.5): Pareto
+///        performance tables, variation tables and the generated Verilog-A
+///        module.
+
+#include <string>
+#include <vector>
+
+#include "circuits/ota.hpp"
+
+namespace ypm::core {
+
+/// One enriched Pareto-front point: nominal performance + MC variation.
+struct FrontPointData {
+    std::size_t design_id = 0; ///< 1-based index along the front (by gain)
+    circuits::OtaSizing sizing;
+    double gain_db = 0.0;
+    double pm_deg = 0.0;
+    double dgain_pct = 0.0; ///< paper Δ: 3*sigma/mean*100 over the MC population
+    double dpm_pct = 0.0;
+    double dgain_halfrange_pct = 0.0; ///< worst-case variant
+    double dpm_halfrange_pct = 0.0;
+    double f3db = 0.0; ///< dominant pole (Hz) for the macromodel
+    double gbw = 0.0;
+    std::size_t mc_failures = 0;
+};
+
+/// Paths of everything written to the artifact directory.
+struct ModelArtifacts {
+    std::string dir;
+    std::string gain_delta_tbl; ///< 1-D: gain_db -> Δgain %
+    std::string pm_delta_tbl;   ///< 1-D: pm_deg -> Δpm %
+    std::vector<std::string> param_tbls; ///< 2-D: (gain, pm) -> parameter, lp1..lp8
+    std::string f3db_tbl;       ///< 2-D: (gain, pm) -> f3db
+    std::string front_csv;      ///< full front table for plotting
+    std::string va_module;      ///< generated Verilog-A source
+};
+
+/// Write every artefact for a computed front. Creates `dir` if needed.
+/// \throws ypm::IoError on filesystem problems.
+[[nodiscard]] ModelArtifacts write_artifacts(const std::vector<FrontPointData>& front,
+                                             const std::string& dir);
+
+/// Reload the front from artefact files (inverse of write_artifacts).
+[[nodiscard]] std::vector<FrontPointData>
+read_front_from_artifacts(const ModelArtifacts& artifacts);
+
+} // namespace ypm::core

@@ -1,0 +1,90 @@
+#pragma once
+/// \file behav_model.hpp
+/// \brief The combined performance + variation behavioural model - the
+///        paper's headline deliverable.
+///
+/// Given a required specification (gain >= G, PM >= P), the model:
+///   1. interpolates the performance variation Δ at the required values
+///      from the variation tables (paper $table_model on gain_delta.tbl),
+///   2. inflates the requirement so the worst-case (3-sigma) sample still
+///      meets it: target = required * (1 + Δ/100)  (paper Table 3),
+///   3. interpolates the designable parameters at the inflated target from
+///      the Pareto performance tables (paper lp*_data.tbl),
+/// and can emit the electrical macromodel spec for hierarchical simulation.
+
+#include <optional>
+#include <vector>
+
+#include "circuits/ota.hpp"
+#include "core/artifacts.hpp"
+#include "table/pareto_table.hpp"
+#include "table/table_model.hpp"
+#include "va/behav_ota_device.hpp"
+
+namespace ypm::core {
+
+/// Outcome of a yield-targeted sizing query (paper Table 3 row pair).
+struct SizingResult {
+    double required_gain_db = 0.0;
+    double required_pm_deg = 0.0;
+    double variation_gain_pct = 0.0; ///< Δ interpolated at the requirement
+    double variation_pm_pct = 0.0;
+    double target_gain_db = 0.0; ///< "New Performance" (inflated)
+    double target_pm_deg = 0.0;
+    circuits::OtaSizing sizing;  ///< interpolated designable parameters
+    double predicted_gain_db = 0.0; ///< front performance at the chosen point
+    double predicted_pm_deg = 0.0;
+    double f3db = 0.0;           ///< macromodel pole at the chosen point
+    bool feasible = false;       ///< front point meets both inflated targets
+};
+
+class BehaviouralModel {
+public:
+    /// Build from an in-memory front (>= 3 points).
+    explicit BehaviouralModel(const std::vector<FrontPointData>& front);
+
+    /// Build by reloading the .tbl artefacts from disk.
+    [[nodiscard]] static BehaviouralModel
+    from_artifacts(const ModelArtifacts& artifacts);
+
+    /// Δgain(%) interpolated at a gain requirement (cubic, clamped ends).
+    [[nodiscard]] double gain_delta_pct(double gain_db) const;
+
+    /// Δpm(%) interpolated at a PM requirement.
+    [[nodiscard]] double pm_delta_pct(double pm_deg) const;
+
+    /// Full yield-targeted sizing (steps 1-3 above). If no front point
+    /// satisfies both inflated targets, the closest point is returned with
+    /// feasible = false.
+    [[nodiscard]] SizingResult size_for_spec(double min_gain_db,
+                                             double min_pm_deg) const;
+
+    /// Electrical macromodel spec for a sizing result (drives
+    /// va::BehaviouralOta in hierarchical designs). Mirrors the paper's
+    /// module, whose output contribution is gain*Vin - I(out)*ro: the
+    /// dominant pole comes from ro against the load, so ro is derived from
+    /// the characterised pole and the testbench load capacitance - the
+    /// macromodel's bandwidth then scales with loading exactly like the
+    /// transistor circuit's.
+    /// \param c_load the OtaConfig::c_load used during characterisation.
+    [[nodiscard]] va::BehaviouralOtaSpec
+    macromodel_spec(const SizingResult& sizing, double c_load = 10e-12) const;
+
+    /// Covered performance ranges.
+    [[nodiscard]] double gain_min() const { return front_.obj0_min(); }
+    [[nodiscard]] double gain_max() const { return front_.obj0_max(); }
+    [[nodiscard]] double pm_min() const { return front_.obj1_min(); }
+    [[nodiscard]] double pm_max() const { return front_.obj1_max(); }
+
+    /// Underlying scattered front table.
+    [[nodiscard]] const table::ParetoTable& front_table() const { return front_; }
+
+private:
+    static table::ParetoTable build_front(const std::vector<FrontPointData>& front);
+
+    table::ParetoTable front_; ///< payload: 8 params + f3db
+    table::TableModel1d gain_delta_;
+    table::TableModel1d pm_delta_;
+};
+
+} // namespace ypm::core

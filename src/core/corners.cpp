@@ -1,0 +1,64 @@
+#include "core/corners.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ypm::core {
+
+const CornerPoint& CornerSweep::at(process::Corner c) const {
+    for (const auto& p : points)
+        if (p.corner == c) return p;
+    throw InvalidInputError("CornerSweep: corner not present");
+}
+
+CornerSweep run_corner_sweep(const circuits::OtaEvaluator& evaluator,
+                             const circuits::OtaSizing& sizing,
+                             const process::ProcessSampler& sampler) {
+    using process::Corner;
+    CornerSweep sweep;
+    sweep.points.reserve(5);
+
+    for (Corner c : {Corner::tt, Corner::ff, Corner::ss, Corner::fs, Corner::sf}) {
+        CornerPoint point;
+        point.corner = c;
+        const process::Realization real = sampler.corner(c);
+        const circuits::OtaPerformance perf = evaluator.measure(sizing, real);
+        if (perf.valid) {
+            point.valid = true;
+            point.gain_db = perf.gain_db;
+            point.pm_deg = perf.pm_deg;
+        }
+        sweep.points.push_back(point);
+    }
+
+    if (!sweep.points.front().valid)
+        throw NumericalError("run_corner_sweep: typical corner failed to simulate");
+
+    bool first = true;
+    for (const auto& p : sweep.points) {
+        if (!p.valid) continue;
+        if (first) {
+            sweep.gain_min = sweep.gain_max = p.gain_db;
+            sweep.pm_min = sweep.pm_max = p.pm_deg;
+            first = false;
+            continue;
+        }
+        sweep.gain_min = std::min(sweep.gain_min, p.gain_db);
+        sweep.gain_max = std::max(sweep.gain_max, p.gain_db);
+        sweep.pm_min = std::min(sweep.pm_min, p.pm_deg);
+        sweep.pm_max = std::max(sweep.pm_max, p.pm_deg);
+    }
+
+    const CornerPoint& tt = sweep.points.front();
+    if (std::fabs(tt.gain_db) > 0.0)
+        sweep.dgain_halfspread_pct =
+            0.5 * (sweep.gain_max - sweep.gain_min) / std::fabs(tt.gain_db) * 100.0;
+    if (std::fabs(tt.pm_deg) > 0.0)
+        sweep.dpm_halfspread_pct =
+            0.5 * (sweep.pm_max - sweep.pm_min) / std::fabs(tt.pm_deg) * 100.0;
+    return sweep;
+}
+
+} // namespace ypm::core

@@ -1,0 +1,162 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "circuits/ota_problem.hpp"
+#include "core/ota_mc.hpp"
+#include "moo/pareto.hpp"
+#include "util/log.hpp"
+
+namespace ypm::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - t0).count();
+}
+} // namespace
+
+YieldFlow::YieldFlow(circuits::OtaConfig ota, FlowConfig config)
+    : ota_(ota), config_(config) {}
+
+std::vector<std::size_t> extract_front_indices(const moo::WbgaResult& result) {
+    std::vector<std::vector<double>> objectives;
+    objectives.reserve(result.archive.size());
+    for (const auto& e : result.archive) objectives.push_back(e.objectives);
+    const std::vector<moo::ObjectiveSpec> specs = {
+        {"gain_db", moo::Direction::maximize}, {"pm_deg", moo::Direction::maximize}};
+    auto front = moo::pareto_front_indices_2d(objectives, specs);
+    std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+        return result.archive[a].objectives[0] < result.archive[b].objectives[0];
+    });
+    // Elites re-enter the archive every generation, and identical objective
+    // vectors are mutually non-dominated - keep one representative each.
+    front.erase(std::unique(front.begin(), front.end(),
+                            [&](std::size_t a, std::size_t b) {
+                                return result.archive[a].objectives ==
+                                       result.archive[b].objectives;
+                            }),
+                front.end());
+    return front;
+}
+
+FlowResult YieldFlow::run() const {
+    const auto t_start = std::chrono::steady_clock::now();
+    FlowResult result;
+    Rng rng(config_.seed);
+
+    // Steps 1-2: problem definition + WBGA optimisation.
+    circuits::OtaProblem problem(ota_);
+    moo::WbgaConfig ga = config_.ga;
+    ga.parallel = config_.parallel;
+    const moo::Wbga optimiser(problem, ga);
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        Rng ga_rng = rng.child(1);
+        result.optimisation = optimiser.run(ga_rng, [](std::size_t gen, double best) {
+            log::info("flow: generation ", gen, " best fitness ", best);
+        });
+        result.timings.moo_seconds = seconds_since(t0);
+        result.timings.moo_evaluations = result.optimisation.evaluations;
+    }
+
+    // Step 3: performance model from the Pareto front.
+    result.pareto_indices = extract_front_indices(result.optimisation);
+    log::info("flow: pareto front has ", result.pareto_indices.size(), " points");
+
+    // Optional subsampling for MC budget control (evenly along the front).
+    std::vector<std::size_t> mc_points = result.pareto_indices;
+    if (config_.max_mc_points > 0 && mc_points.size() > config_.max_mc_points) {
+        std::vector<std::size_t> picked;
+        picked.reserve(config_.max_mc_points);
+        const double step = static_cast<double>(mc_points.size() - 1) /
+                            static_cast<double>(config_.max_mc_points - 1);
+        for (std::size_t k = 0; k < config_.max_mc_points; ++k) {
+            const auto idx = static_cast<std::size_t>(
+                static_cast<double>(k) * step + 0.5);
+            picked.push_back(mc_points[std::min(idx, mc_points.size() - 1)]);
+        }
+        picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+        mc_points = std::move(picked);
+    }
+
+    // Step 4: variation model - MC on every (selected) Pareto point.
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        const process::ProcessSampler sampler(ota_.card, config_.variation);
+        const circuits::OtaEvaluator& evaluator = problem.evaluator();
+        Rng mc_rng = rng.child(2);
+
+        result.front.reserve(mc_points.size());
+        std::size_t design_id = 1;
+        for (std::size_t archive_idx : mc_points) {
+            const auto& e = result.optimisation.archive[archive_idx];
+            const circuits::OtaSizing sizing =
+                circuits::OtaSizing::from_vector(e.params);
+
+            FrontPointData point;
+            point.design_id = design_id++;
+            point.sizing = sizing;
+            point.gain_db = e.objectives[0];
+            point.pm_deg = e.objectives[1];
+
+            // Nominal Bode data for the macromodel.
+            const circuits::OtaPerformance nominal = evaluator.measure(sizing);
+            if (nominal.valid) {
+                point.f3db = nominal.bode.f3db;
+                point.gbw = nominal.bode.gbw;
+            }
+
+            // Front hygiene: skip endpoints no model query should land on.
+            if (point.pm_deg < config_.min_front_pm_deg ||
+                point.gain_db < config_.min_front_gain_db) {
+                log::debug("flow: dropping extreme front point (gain ",
+                           point.gain_db, " dB, pm ", point.pm_deg, " deg)");
+                --design_id;
+                continue;
+            }
+
+            Rng point_rng = mc_rng.child(point.design_id);
+            const mc::McResult mc_result = run_ota_monte_carlo(
+                evaluator, sizing, sampler, config_.mc_samples, point_rng,
+                config_.parallel);
+            result.timings.mc_evaluations += config_.mc_samples;
+            point.mc_failures = mc_result.failed;
+            if (static_cast<double>(point.mc_failures) >
+                config_.max_front_mc_failure_ratio *
+                    static_cast<double>(config_.mc_samples)) {
+                --design_id;
+                continue;
+            }
+            const auto gain_var = mc_result.column_variation(0);
+            const auto pm_var = mc_result.column_variation(1);
+            point.dgain_pct = gain_var.delta_3sigma_pct;
+            point.dpm_pct = pm_var.delta_3sigma_pct;
+            point.dgain_halfrange_pct = gain_var.delta_halfrange_pct;
+            point.dpm_halfrange_pct = pm_var.delta_halfrange_pct;
+            if (point.dgain_pct > config_.max_front_delta_pct ||
+                point.dpm_pct > config_.max_front_delta_pct) {
+                --design_id;
+                continue;
+            }
+            result.front.push_back(point);
+        }
+        result.timings.mc_seconds = seconds_since(t0);
+    }
+
+    // Step 5: table model generation.
+    if (!config_.artifact_dir.empty() && result.front.size() < 3) {
+        log::warn("flow: only ", result.front.size(),
+                  " usable front points after filtering - skipping artifacts");
+    } else if (!config_.artifact_dir.empty()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        result.artifacts = write_artifacts(result.front, config_.artifact_dir);
+        result.timings.table_seconds = seconds_since(t0);
+    }
+
+    result.timings.total_seconds = seconds_since(t_start);
+    return result;
+}
+
+} // namespace ypm::core

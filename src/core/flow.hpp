@@ -1,0 +1,78 @@
+#pragma once
+/// \file flow.hpp
+/// \brief The paper's Fig. 3 pipeline, end to end:
+///        1. netlist + objective generation     (circuits::OtaProblem)
+///        2. multi-objective optimisation        (moo::Wbga)
+///        3. performance model from Pareto front (moo::pareto + sort)
+///        4. variation model from Monte Carlo    (core::run_ota_monte_carlo)
+///        5. table model generation              (core::write_artifacts)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/ota.hpp"
+#include "core/artifacts.hpp"
+#include "moo/wbga.hpp"
+#include "process/variation.hpp"
+
+namespace ypm::core {
+
+struct FlowConfig {
+    moo::WbgaConfig ga;             ///< paper: population 100 x 100 generations
+    std::size_t mc_samples = 200;   ///< paper: 200 per Pareto point
+    std::size_t max_mc_points = 0;  ///< cap MC to N front points (0 = all),
+                                    ///< evenly subsampled along the front
+    std::uint64_t seed = 1;
+    std::string artifact_dir;       ///< empty = skip file output
+    process::VariationSpec variation = process::VariationSpec::c35();
+    bool parallel = true;
+
+    /// Front hygiene: extreme Pareto endpoints (near-zero phase margin,
+    /// exploding relative variation, frequent MC failures) are useless in a
+    /// model and poison the spline tables; points violating these limits
+    /// are dropped from the variation model.
+    double min_front_pm_deg = 10.0;
+    double min_front_gain_db = 1.0;
+    double max_front_delta_pct = 25.0;
+    double max_front_mc_failure_ratio = 0.2;
+};
+
+struct FlowTimings {
+    double moo_seconds = 0.0;
+    double mc_seconds = 0.0;
+    double table_seconds = 0.0;
+    double total_seconds = 0.0;
+    std::size_t moo_evaluations = 0;
+    std::size_t mc_evaluations = 0;
+};
+
+struct FlowResult {
+    moo::WbgaResult optimisation;
+    std::vector<std::size_t> pareto_indices; ///< into optimisation.archive
+    std::vector<FrontPointData> front;       ///< MC-enriched, sorted by gain
+    ModelArtifacts artifacts;                ///< empty paths if no artifact_dir
+    FlowTimings timings;
+};
+
+class YieldFlow {
+public:
+    YieldFlow(circuits::OtaConfig ota, FlowConfig config);
+
+    /// Run the full pipeline. Deterministic in config.seed.
+    [[nodiscard]] FlowResult run() const;
+
+    [[nodiscard]] const FlowConfig& config() const { return config_; }
+    [[nodiscard]] const circuits::OtaConfig& ota_config() const { return ota_; }
+
+private:
+    circuits::OtaConfig ota_;
+    FlowConfig config_;
+};
+
+/// Step 3 alone: extract and sort the front from an optimisation archive.
+/// Returns archive indices of non-dominated points, sorted by gain.
+[[nodiscard]] std::vector<std::size_t>
+extract_front_indices(const moo::WbgaResult& result);
+
+} // namespace ypm::core

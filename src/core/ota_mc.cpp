@@ -1,0 +1,28 @@
+#include "core/ota_mc.hpp"
+
+#include <limits>
+
+namespace ypm::core {
+
+mc::McResult run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
+                                 const circuits::OtaSizing& sizing,
+                                 const process::ProcessSampler& sampler,
+                                 std::size_t samples, Rng& rng, bool parallel) {
+    // Geometry inventory once (identical for every sample of this sizing).
+    spice::Circuit proto = circuits::build_ota_testbench(sizing, evaluator.config());
+    const auto geometries = proto.mos_geometries();
+
+    mc::McConfig cfg;
+    cfg.samples = samples;
+    cfg.parallel = parallel;
+    return mc::run_monte_carlo(
+        cfg, rng, [&](std::size_t, Rng& sample_rng) -> std::vector<double> {
+            constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+            const process::Realization real = sampler.sample(sample_rng, geometries);
+            const circuits::OtaPerformance perf = evaluator.measure(sizing, real);
+            if (!perf.valid) return {nan_v, nan_v};
+            return {perf.gain_db, perf.pm_deg};
+        });
+}
+
+} // namespace ypm::core

@@ -1,0 +1,21 @@
+#pragma once
+/// \file ota_mc.hpp
+/// \brief Monte Carlo analysis of one OTA sizing (paper section 3.4 / 4.4):
+///        N process realisations, each measured through the full testbench.
+
+#include "circuits/ota.hpp"
+#include "mc/monte_carlo.hpp"
+#include "process/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace ypm::core {
+
+/// Run `samples` process realisations of the given sizing. Result columns:
+/// 0 = gain_db, 1 = pm_deg (NaN rows mark convergence failures).
+[[nodiscard]] mc::McResult
+run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
+                    const circuits::OtaSizing& sizing,
+                    const process::ProcessSampler& sampler, std::size_t samples,
+                    Rng& rng, bool parallel = true);
+
+} // namespace ypm::core

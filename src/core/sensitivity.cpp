@@ -1,0 +1,90 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::core {
+
+namespace {
+
+const ParameterSensitivity&
+dominant(const std::vector<ParameterSensitivity>& params, bool for_gain) {
+    if (params.empty())
+        throw InvalidInputError("SensitivityReport: empty parameter list");
+    const auto it = std::max_element(
+        params.begin(), params.end(),
+        [&](const ParameterSensitivity& a, const ParameterSensitivity& b) {
+            const double va = for_gain ? a.gain_elasticity : a.pm_elasticity;
+            const double vb = for_gain ? b.gain_elasticity : b.pm_elasticity;
+            return std::fabs(va) < std::fabs(vb);
+        });
+    return *it;
+}
+
+} // namespace
+
+const ParameterSensitivity& SensitivityReport::dominant_for_gain() const {
+    return dominant(parameters, true);
+}
+
+const ParameterSensitivity& SensitivityReport::dominant_for_pm() const {
+    return dominant(parameters, false);
+}
+
+SensitivityReport compute_sensitivities(const circuits::OtaEvaluator& evaluator,
+                                        const circuits::OtaSizing& sizing,
+                                        double rel_step) {
+    if (!(rel_step > 0.0) || rel_step > 0.2)
+        throw InvalidInputError("compute_sensitivities: rel_step must be in (0, 0.2]");
+
+    const circuits::OtaPerformance nominal = evaluator.measure(sizing);
+    if (!nominal.valid)
+        throw NumericalError("compute_sensitivities: nominal point failed: " +
+                             nominal.failure);
+
+    SensitivityReport report;
+    report.gain_db = nominal.gain_db;
+    report.pm_deg = nominal.pm_deg;
+
+    const auto specs = circuits::OtaSizing::parameter_specs();
+    const auto base = sizing.to_vector();
+    report.parameters.reserve(base.size());
+
+    for (std::size_t k = 0; k < base.size(); ++k) {
+        ParameterSensitivity ps;
+        ps.name = specs[k].name;
+        ps.value = base[k];
+
+        const double h = base[k] * rel_step;
+        auto lo = base;
+        auto hi = base;
+        lo[k] = mathx::clamp(base[k] - h, specs[k].lo, specs[k].hi);
+        hi[k] = mathx::clamp(base[k] + h, specs[k].lo, specs[k].hi);
+        const double span = hi[k] - lo[k];
+        if (span <= 0.0) {
+            report.parameters.push_back(ps);
+            continue;
+        }
+
+        const auto p_lo =
+            evaluator.measure(circuits::OtaSizing::from_vector(lo));
+        const auto p_hi =
+            evaluator.measure(circuits::OtaSizing::from_vector(hi));
+        if (p_lo.valid && p_hi.valid) {
+            // Elasticity: (relative change in objective)/(relative change
+            // in parameter), from the central difference over [lo, hi].
+            const double rel_dp = span / base[k];
+            ps.gain_elasticity =
+                (p_hi.gain_db - p_lo.gain_db) / std::fabs(report.gain_db) / rel_dp;
+            ps.pm_elasticity =
+                (p_hi.pm_deg - p_lo.pm_deg) / std::fabs(report.pm_deg) / rel_dp;
+        }
+        report.parameters.push_back(ps);
+    }
+    return report;
+}
+
+} // namespace ypm::core

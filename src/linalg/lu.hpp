@@ -1,0 +1,57 @@
+#pragma once
+/// \file lu.hpp
+/// \brief Partial-pivot LU factorisation and linear solves for the MNA
+///        kernel (real for DC Newton iterations, complex for AC sweeps).
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ypm::linalg {
+
+/// LU factorisation with row partial pivoting: P*A = L*U.
+/// Factor once, solve for many right-hand sides (the AC sweep re-factors per
+/// frequency, the DC Newton loop per iteration).
+template <typename T>
+class Lu {
+public:
+    /// Factor a square matrix. \throws ypm::NumericalError if singular to
+    /// working precision.
+    explicit Lu(Matrix<T> a);
+
+    /// Solve A x = b.
+    [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const;
+
+    /// Solve in place (b becomes x).
+    void solve_in_place(std::vector<T>& b) const;
+
+    /// Determinant (product of pivots with sign of permutation).
+    [[nodiscard]] T determinant() const;
+
+    /// Reciprocal of the pivot-growth conditioning heuristic:
+    /// min |pivot| / max |pivot|. Near zero indicates ill-conditioning.
+    [[nodiscard]] double pivot_ratio() const { return pivot_ratio_; }
+
+    [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+private:
+    Matrix<T> lu_;
+    std::vector<std::size_t> perm_;
+    int sign_ = 1;
+    double pivot_ratio_ = 0.0;
+};
+
+/// One-shot convenience: solve A x = b.
+/// \throws ypm::NumericalError if A is singular.
+template <typename T>
+[[nodiscard]] std::vector<T> solve(Matrix<T> a, std::vector<T> b) {
+    const Lu<T> lu(std::move(a));
+    lu.solve_in_place(b);
+    return b;
+}
+
+extern template class Lu<double>;
+extern template class Lu<std::complex<double>>;
+
+} // namespace ypm::linalg

@@ -1,0 +1,68 @@
+#include "mc/lhs.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ypm::mc {
+
+std::vector<std::vector<double>> latin_hypercube(std::size_t n, std::size_t d,
+                                                 Rng& rng) {
+    if (n == 0 || d == 0)
+        throw InvalidInputError("latin_hypercube: n and d must be positive");
+    std::vector<std::vector<double>> samples(n, std::vector<double>(d));
+    for (std::size_t dim = 0; dim < d; ++dim) {
+        const auto perm = rng.permutation(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double stratum = static_cast<double>(perm[i]);
+            samples[i][dim] = (stratum + rng.uniform01()) / static_cast<double>(n);
+        }
+    }
+    return samples;
+}
+
+double inverse_normal_cdf(double p) {
+    if (p <= 0.0 || p >= 1.0)
+        throw InvalidInputError("inverse_normal_cdf: p must be in (0, 1)");
+
+    // Acklam's rational approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double plow = 0.02425;
+    constexpr double phigh = 1.0 - plow;
+
+    double q, r;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= phigh) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+std::vector<std::vector<double>> latin_hypercube_gaussian(std::size_t n, std::size_t d,
+                                                          Rng& rng) {
+    auto cube = latin_hypercube(n, d, rng);
+    for (auto& row : cube)
+        for (auto& v : row) v = inverse_normal_cdf(v);
+    return cube;
+}
+
+} // namespace ypm::mc

@@ -1,0 +1,26 @@
+#pragma once
+/// \file lhs.hpp
+/// \brief Latin hypercube sampling - a variance-reduction alternative to
+///        plain MC used by the sampling ablation (bench A3).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ypm::mc {
+
+/// n stratified samples in the d-dimensional unit cube: each dimension's
+/// marginal hits every one of the n strata exactly once.
+[[nodiscard]] std::vector<std::vector<double>>
+latin_hypercube(std::size_t n, std::size_t d, Rng& rng);
+
+/// Map a unit-cube sample through the inverse normal CDF (per dimension) to
+/// obtain stratified standard-normal draws for process parameters.
+[[nodiscard]] std::vector<std::vector<double>>
+latin_hypercube_gaussian(std::size_t n, std::size_t d, Rng& rng);
+
+/// Acklam-style inverse normal CDF (max abs error ~ 1.15e-9).
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+} // namespace ypm::mc

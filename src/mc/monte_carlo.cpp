@@ -1,0 +1,68 @@
+#include "mc/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ypm::mc {
+
+namespace {
+bool row_failed(const std::vector<double>& row) {
+    for (double v : row)
+        if (std::isnan(v)) return true;
+    return false;
+}
+} // namespace
+
+Summary McResult::column_summary(std::size_t col) const {
+    return summarize(column(col));
+}
+
+std::vector<double> McResult::column(std::size_t col) const {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) {
+        if (row_failed(row)) continue;
+        if (col >= row.size())
+            throw InvalidInputError("McResult::column: column out of range");
+        out.push_back(row[col]);
+    }
+    if (out.empty())
+        throw NumericalError("McResult::column: every sample failed");
+    return out;
+}
+
+VariationMetrics McResult::column_variation(std::size_t col) const {
+    return variation_metrics(column(col));
+}
+
+McResult run_monte_carlo(
+    const McConfig& config, Rng& rng,
+    const std::function<std::vector<double>(std::size_t, Rng&)>& fn) {
+    if (config.samples == 0)
+        throw InvalidInputError("run_monte_carlo: need >= 1 sample");
+
+    McResult result;
+    result.rows.assign(config.samples, {});
+
+    // Derive one child stream per sample from the caller's RNG so results
+    // are identical for any thread count; advance the parent once so
+    // successive runs differ.
+    const Rng base = rng.child(rng.engine()());
+
+    auto eval_one = [&](std::size_t i) {
+        Rng sample_rng = base.child(i);
+        result.rows[i] = fn(i, sample_rng);
+    };
+    if (config.parallel)
+        ThreadPool::global().parallel_for(config.samples, eval_one);
+    else
+        for (std::size_t i = 0; i < config.samples; ++i) eval_one(i);
+
+    for (const auto& row : result.rows)
+        if (row_failed(row)) ++result.failed;
+    return result;
+}
+
+} // namespace ypm::mc

@@ -1,0 +1,44 @@
+#pragma once
+/// \file monte_carlo.hpp
+/// \brief Generic Monte Carlo runner (paper section 3.4).
+///
+/// The runner owns only the sampling discipline: N samples, each evaluated
+/// with an independent deterministic RNG child stream, optionally in
+/// parallel, with failed samples (NaN performances) tracked separately so
+/// convergence failures degrade yield instead of silently vanishing.
+
+#include <functional>
+#include <vector>
+
+#include "mc/stats.hpp"
+#include "util/rng.hpp"
+
+namespace ypm::mc {
+
+struct McConfig {
+    std::size_t samples = 200; ///< paper section 4.4 uses 200 per Pareto point
+    bool parallel = true;
+};
+
+struct McResult {
+    /// rows[i] = performance vector of sample i (may contain NaN on failure)
+    std::vector<std::vector<double>> rows;
+    std::size_t failed = 0; ///< samples with any NaN performance
+
+    /// Column-wise summary over the *successful* samples only.
+    [[nodiscard]] Summary column_summary(std::size_t column) const;
+
+    /// Column extracted over successful samples.
+    [[nodiscard]] std::vector<double> column(std::size_t column) const;
+
+    /// Paper Δ(%) metric for one column.
+    [[nodiscard]] VariationMetrics column_variation(std::size_t column) const;
+};
+
+/// Evaluate `fn(sample_index, rng)` for each sample. fn must be thread-safe
+/// and return the same arity every call.
+[[nodiscard]] McResult run_monte_carlo(
+    const McConfig& config, Rng& rng,
+    const std::function<std::vector<double>(std::size_t, Rng&)>& fn);
+
+} // namespace ypm::mc

@@ -1,0 +1,87 @@
+#include "mc/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::mc {
+
+Summary summarize(const std::vector<double>& data) {
+    if (data.empty()) throw NumericalError("summarize: empty population");
+    Summary s;
+    s.count = data.size();
+    s.min = data.front();
+    s.max = data.front();
+    // Welford's algorithm for numerical stability.
+    double mean = 0.0;
+    double m2 = 0.0;
+    std::size_t n = 0;
+    for (double v : data) {
+        if (std::isnan(v)) throw NumericalError("summarize: NaN in population");
+        ++n;
+        const double d1 = v - mean;
+        mean += d1 / static_cast<double>(n);
+        m2 += d1 * (v - mean);
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = mean;
+    s.variance = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    s.stddev = std::sqrt(s.variance);
+    return s;
+}
+
+double percentile(std::vector<double> data, double p) {
+    if (data.empty()) throw NumericalError("percentile: empty population");
+    if (p < 0.0 || p > 100.0)
+        throw InvalidInputError("percentile: p must be in [0, 100]");
+    std::sort(data.begin(), data.end());
+    if (data.size() == 1) return data[0];
+    const double rank = p / 100.0 * static_cast<double>(data.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, data.size() - 1);
+    const double t = rank - static_cast<double>(lo);
+    return mathx::lerp(data[lo], data[hi], t);
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& data, std::size_t bins,
+                                   double lo, double hi) {
+    if (bins == 0) throw InvalidInputError("histogram: need >= 1 bin");
+    if (!(lo < hi)) throw InvalidInputError("histogram: lo must be < hi");
+    std::vector<std::size_t> counts(bins, 0);
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (double v : data) {
+        auto idx = static_cast<long long>(std::floor((v - lo) / width));
+        idx = std::clamp<long long>(idx, 0, static_cast<long long>(bins) - 1);
+        ++counts[static_cast<std::size_t>(idx)];
+    }
+    return counts;
+}
+
+VariationMetrics variation_metrics(const std::vector<double>& data) {
+    VariationMetrics m;
+    m.summary = summarize(data);
+    const double denom = std::fabs(m.summary.mean);
+    if (denom > 0.0) {
+        m.delta_3sigma_pct = 3.0 * m.summary.stddev / denom * 100.0;
+        m.delta_halfrange_pct = 0.5 * (m.summary.max - m.summary.min) / denom * 100.0;
+    }
+    return m;
+}
+
+double correlation(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size() || a.size() < 2)
+        throw InvalidInputError("correlation: need matched populations of size >= 2");
+    const Summary sa = summarize(a);
+    const Summary sb = summarize(b);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        cov += (a[i] - sa.mean) * (b[i] - sb.mean);
+    cov /= static_cast<double>(a.size() - 1);
+    const double denom = sa.stddev * sb.stddev;
+    return denom > 0.0 ? cov / denom : 0.0;
+}
+
+} // namespace ypm::mc

@@ -1,0 +1,50 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Descriptive statistics for Monte Carlo populations, including the
+///        paper's Δ(%) performance-variation metric (Tables 2 and 3).
+
+#include <cstddef>
+#include <vector>
+
+namespace ypm::mc {
+
+/// Moments and extremes of one performance population.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0; ///< unbiased (n-1)
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// Compute a Summary. NaN entries are rejected with ypm::NumericalError -
+/// MC callers must filter failed samples first (they carry yield meaning).
+[[nodiscard]] Summary summarize(const std::vector<double>& data);
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> data, double p);
+
+/// Fixed-width histogram of data over [lo, hi] with `bins` bins; values
+/// outside the range clamp into the end bins.
+[[nodiscard]] std::vector<std::size_t> histogram(const std::vector<double>& data,
+                                                 std::size_t bins, double lo,
+                                                 double hi);
+
+/// The paper's performance-variation measure. Δ is reported relative to the
+/// mean, in percent:
+///   delta_3sigma_pct   = 3*sigma / |mean| * 100   (default used in tables)
+///   delta_halfrange_pct = (max-min)/2 / |mean| * 100 (worst-case variant)
+struct VariationMetrics {
+    Summary summary;
+    double delta_3sigma_pct = 0.0;
+    double delta_halfrange_pct = 0.0;
+};
+
+[[nodiscard]] VariationMetrics variation_metrics(const std::vector<double>& data);
+
+/// Pearson correlation of two equal-length populations.
+[[nodiscard]] double correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+} // namespace ypm::mc

@@ -1,0 +1,89 @@
+#include "mc/yield.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ypm::mc {
+
+Spec Spec::at_least(std::string name, double bound) {
+    Spec s;
+    s.name = std::move(name);
+    s.kind = Kind::at_least;
+    s.lo = bound;
+    return s;
+}
+
+Spec Spec::at_most(std::string name, double bound) {
+    Spec s;
+    s.name = std::move(name);
+    s.kind = Kind::at_most;
+    s.hi = bound;
+    return s;
+}
+
+Spec Spec::range(std::string name, double lo, double hi) {
+    if (!(lo <= hi)) throw InvalidInputError("Spec::range: lo must be <= hi");
+    Spec s;
+    s.name = std::move(name);
+    s.kind = Kind::range;
+    s.lo = lo;
+    s.hi = hi;
+    return s;
+}
+
+bool Spec::pass(double value) const {
+    if (std::isnan(value)) return false;
+    switch (kind) {
+    case Kind::at_least: return value >= lo;
+    case Kind::at_most: return value <= hi;
+    case Kind::range: return value >= lo && value <= hi;
+    }
+    return false;
+}
+
+std::pair<double, double> wilson_interval(std::size_t passes, std::size_t samples) {
+    if (samples == 0) return {0.0, 1.0};
+    constexpr double z = 1.959963984540054; // 97.5 percentile of N(0,1)
+    const double n = static_cast<double>(samples);
+    const double phat = static_cast<double>(passes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double centre = phat + z2 / (2.0 * n);
+    const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+    return {(centre - margin) / denom, (centre + margin) / denom};
+}
+
+YieldEstimate yield_from_flags(const std::vector<bool>& pass) {
+    YieldEstimate y;
+    y.samples = pass.size();
+    for (bool p : pass)
+        if (p) ++y.passes;
+    y.yield = y.samples > 0
+                  ? static_cast<double>(y.passes) / static_cast<double>(y.samples)
+                  : 0.0;
+    const auto [lo, hi] = wilson_interval(y.passes, y.samples);
+    y.ci_low = lo;
+    y.ci_high = hi;
+    return y;
+}
+
+YieldEstimate estimate_yield(const std::vector<std::vector<double>>& rows,
+                             const std::vector<Spec>& specs) {
+    std::vector<bool> flags;
+    flags.reserve(rows.size());
+    for (const auto& row : rows) {
+        if (row.size() != specs.size())
+            throw InvalidInputError("estimate_yield: row arity mismatch");
+        bool all = true;
+        for (std::size_t c = 0; c < specs.size(); ++c)
+            if (!specs[c].pass(row[c])) {
+                all = false;
+                break;
+            }
+        flags.push_back(all);
+    }
+    return yield_from_flags(flags);
+}
+
+} // namespace ypm::mc

@@ -1,0 +1,57 @@
+#include "moo/ga_string.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::moo {
+
+bool evaluation_failed(const std::vector<double>& objectives) {
+    for (double v : objectives)
+        if (std::isnan(v)) return true;
+    return false;
+}
+
+GaString::GaString(std::size_t n_params, std::size_t n_weights)
+    : n_params_(n_params), n_weights_(n_weights), genes_(n_params + n_weights, 0.0) {}
+
+GaString GaString::random(std::size_t n_params, std::size_t n_weights, Rng& rng) {
+    GaString s(n_params, n_weights);
+    for (auto& g : s.genes_) g = rng.uniform01();
+    return s;
+}
+
+void GaString::clamp() {
+    for (auto& g : genes_) g = mathx::clamp(g, 0.0, 1.0);
+}
+
+std::vector<double>
+GaString::decode_parameters(const std::vector<ParameterSpec>& specs) const {
+    if (specs.size() != n_params_)
+        throw InvalidInputError("GaString: parameter spec arity mismatch");
+    std::vector<double> out(n_params_);
+    for (std::size_t i = 0; i < n_params_; ++i)
+        out[i] = mathx::denormalize(genes_[i], specs[i].lo, specs[i].hi);
+    return out;
+}
+
+std::vector<double> GaString::decode_weights() const {
+    std::vector<double> raw(genes_.begin() + static_cast<std::ptrdiff_t>(n_params_),
+                            genes_.end());
+    return normalize_weights(std::move(raw));
+}
+
+std::vector<double> normalize_weights(std::vector<double> raw) {
+    const double sum = std::accumulate(raw.begin(), raw.end(), 0.0);
+    if (sum <= 0.0) {
+        // Degenerate chromosome: fall back to uniform weighting.
+        const double u = raw.empty() ? 0.0 : 1.0 / static_cast<double>(raw.size());
+        std::fill(raw.begin(), raw.end(), u);
+        return raw;
+    }
+    for (auto& w : raw) w /= sum;
+    return raw;
+}
+
+} // namespace ypm::moo

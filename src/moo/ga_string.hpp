@@ -1,0 +1,57 @@
+#pragma once
+/// \file ga_string.hpp
+/// \brief The WBGA chromosome (paper Figs. 4 and 6).
+///
+/// A GA string concatenates the designable parameters with the objective
+/// weights, all held as normalised genes in [0, 1]. Decoding maps parameter
+/// genes through their box constraints and normalises weight genes with
+/// paper eq. (4): w_i <- w_i / sum_j w_j.
+
+#include <cstddef>
+#include <vector>
+
+#include "moo/problem.hpp"
+#include "util/rng.hpp"
+
+namespace ypm::moo {
+
+class GaString {
+public:
+    /// Zero-initialised string with the given layout.
+    GaString(std::size_t n_params, std::size_t n_weights);
+
+    /// Uniformly random genes.
+    [[nodiscard]] static GaString random(std::size_t n_params, std::size_t n_weights,
+                                         Rng& rng);
+
+    [[nodiscard]] std::size_t n_params() const { return n_params_; }
+    [[nodiscard]] std::size_t n_weights() const { return n_weights_; }
+    [[nodiscard]] std::size_t size() const { return genes_.size(); }
+
+    /// Full gene vector (parameters first, then weights), each in [0, 1].
+    [[nodiscard]] const std::vector<double>& genes() const { return genes_; }
+    [[nodiscard]] std::vector<double>& genes() { return genes_; }
+
+    /// Clamp every gene into [0, 1] (after crossover/mutation).
+    void clamp();
+
+    /// Physical parameter values: gene t -> lo + t*(hi - lo).
+    /// \throws ypm::InvalidInputError if specs.size() != n_params().
+    [[nodiscard]] std::vector<double>
+    decode_parameters(const std::vector<ParameterSpec>& specs) const;
+
+    /// Normalised objective weights per eq. (4). A degenerate all-zero
+    /// weight block decodes to uniform weights.
+    [[nodiscard]] std::vector<double> decode_weights() const;
+
+private:
+    std::size_t n_params_;
+    std::size_t n_weights_;
+    std::vector<double> genes_;
+};
+
+/// Standalone eq. (4): normalise a raw weight vector to unit sum.
+/// All-zero input yields the uniform vector.
+[[nodiscard]] std::vector<double> normalize_weights(std::vector<double> raw);
+
+} // namespace ypm::moo

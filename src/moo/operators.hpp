@@ -1,0 +1,48 @@
+#pragma once
+/// \file operators.hpp
+/// \brief Genetic operators on GA strings: selection, crossover, mutation
+///        (paper section 3.2: "crossover, mutation and selection from one
+///        generation to another").
+
+#include <cstddef>
+#include <vector>
+
+#include "moo/ga_string.hpp"
+#include "util/rng.hpp"
+
+namespace ypm::moo {
+
+/// Crossover flavours. All produce two children from two parents and keep
+/// genes in [0, 1].
+enum class CrossoverKind {
+    single_point, ///< classic Goldberg one-point splice
+    two_point,    ///< two-point splice
+    uniform,      ///< per-gene coin flip
+    blend,        ///< BLX-0.5 arithmetic blend (real-coded GA)
+};
+
+/// Mutation flavours.
+enum class MutationKind {
+    uniform_reset, ///< replace the gene with a fresh uniform draw
+    gaussian,      ///< additive N(0, sigma) creep, clamped
+};
+
+/// Tournament selection: pick `tournament` random indices, return the one
+/// with the highest fitness. fitness.size() defines the population.
+[[nodiscard]] std::size_t select_tournament(const std::vector<double>& fitness,
+                                            std::size_t tournament, Rng& rng);
+
+/// Fitness-proportionate (roulette) selection. Non-positive total fitness
+/// degrades to a uniform pick.
+[[nodiscard]] std::size_t select_roulette(const std::vector<double>& fitness,
+                                          Rng& rng);
+
+/// Apply crossover; parents must share the same layout.
+void crossover(CrossoverKind kind, const GaString& pa, const GaString& pb,
+               GaString& child_a, GaString& child_b, Rng& rng);
+
+/// Mutate in place. \param rate per-gene probability \param sigma gaussian
+/// step (ignored for uniform_reset).
+void mutate(MutationKind kind, GaString& s, double rate, double sigma, Rng& rng);
+
+} // namespace ypm::moo

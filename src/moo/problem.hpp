@@ -1,0 +1,52 @@
+#pragma once
+/// \file problem.hpp
+/// \brief Abstract multi-objective problem (paper eq. 1).
+///
+/// A problem owns its designable-parameter box constraints and its objective
+/// directions; optimisers only see this interface, so the OTA sizing problem
+/// and the analytic test suites (ZDT, Schaffer) are interchangeable.
+
+#include <string>
+#include <vector>
+
+namespace ypm::moo {
+
+/// One designable parameter with box constraints (paper Table 1 rows).
+struct ParameterSpec {
+    std::string name;
+    double lo = 0.0;
+    double hi = 1.0;
+};
+
+/// Optimisation direction per objective.
+enum class Direction { maximize, minimize };
+
+/// One performance function f_m(x) of paper eq. (1).
+struct ObjectiveSpec {
+    std::string name;
+    Direction dir = Direction::maximize;
+};
+
+/// Multi-objective problem interface.
+class Problem {
+public:
+    virtual ~Problem() = default;
+
+    /// Box-constrained designable parameters (defines the parameter space).
+    [[nodiscard]] virtual const std::vector<ParameterSpec>& parameters() const = 0;
+
+    /// Objective names and directions (defines the objective space).
+    [[nodiscard]] virtual const std::vector<ObjectiveSpec>& objectives() const = 0;
+
+    /// Evaluate all objectives at a physical parameter point.
+    /// Must be thread-safe (populations are evaluated in parallel).
+    /// A failed evaluation (e.g. simulator non-convergence) is reported by
+    /// returning NaN entries; optimisers assign worst fitness to such points.
+    [[nodiscard]] virtual std::vector<double>
+    evaluate(const std::vector<double>& params) const = 0;
+};
+
+/// True if any objective entry is NaN (failed evaluation).
+[[nodiscard]] bool evaluation_failed(const std::vector<double>& objectives);
+
+} // namespace ypm::moo

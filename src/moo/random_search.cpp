@@ -1,0 +1,35 @@
+#include "moo/random_search.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace ypm::moo {
+
+RandomSearchResult random_search(const Problem& problem, std::size_t samples,
+                                 Rng& rng, bool parallel) {
+    const auto& pspecs = problem.parameters();
+    const std::size_t n_params = pspecs.size();
+
+    RandomSearchResult result;
+    result.archive.assign(samples, EvaluatedIndividual{GaString(n_params, 0), {}, {},
+                                                       {}, 0.0, 0});
+
+    // Draw all chromosomes up-front on the caller's stream so the sample set
+    // is independent of evaluation order.
+    for (std::size_t i = 0; i < samples; ++i)
+        result.archive[i].chromosome = GaString::random(n_params, 0, rng);
+
+    auto eval_one = [&](std::size_t i) {
+        auto& e = result.archive[i];
+        e.params = e.chromosome.decode_parameters(pspecs);
+        e.objectives = problem.evaluate(e.params);
+    };
+    if (parallel)
+        ThreadPool::global().parallel_for(samples, eval_one);
+    else
+        for (std::size_t i = 0; i < samples; ++i) eval_one(i);
+
+    result.evaluations = samples;
+    return result;
+}
+
+} // namespace ypm::moo

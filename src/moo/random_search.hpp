@@ -1,0 +1,26 @@
+#pragma once
+/// \file random_search.hpp
+/// \brief Uniform random sampling baseline - the "conventional simulation
+///        based approach" of blindly sweeping the design space with the
+///        same evaluation budget as the GA.
+
+#include <vector>
+
+#include "moo/problem.hpp"
+#include "moo/wbga.hpp" // EvaluatedIndividual
+#include "util/rng.hpp"
+
+namespace ypm::moo {
+
+struct RandomSearchResult {
+    std::vector<EvaluatedIndividual> archive;
+    std::size_t evaluations = 0;
+};
+
+/// Evaluate `samples` uniform points in the parameter box.
+/// Deterministic in the RNG seed regardless of parallelism.
+[[nodiscard]] RandomSearchResult random_search(const Problem& problem,
+                                               std::size_t samples, Rng& rng,
+                                               bool parallel = true);
+
+} // namespace ypm::moo

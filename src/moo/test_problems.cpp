@@ -1,0 +1,97 @@
+#include "moo/test_problems.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::moo {
+
+// ------------------------------------------------------------- Schaffer
+
+SchafferProblem::SchafferProblem()
+    : params_{{"x", -3.0, 5.0}},
+      objectives_{{"f1", Direction::minimize}, {"f2", Direction::minimize}} {}
+
+const std::vector<ParameterSpec>& SchafferProblem::parameters() const {
+    return params_;
+}
+const std::vector<ObjectiveSpec>& SchafferProblem::objectives() const {
+    return objectives_;
+}
+
+std::vector<double> SchafferProblem::evaluate(const std::vector<double>& p) const {
+    if (p.size() != 1) throw InvalidInputError("Schaffer: expects 1 parameter");
+    const double x = p[0];
+    return {x * x, (x - 2.0) * (x - 2.0)};
+}
+
+// ------------------------------------------------------------------ ZDT
+
+ZdtProblem::ZdtProblem(int variant, std::size_t n) : variant_(variant) {
+    if (variant < 1 || variant > 3)
+        throw InvalidInputError("Zdt: variant must be 1, 2 or 3");
+    if (n < 2) throw InvalidInputError("Zdt: need >= 2 parameters");
+    params_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        params_.push_back({"x" + std::to_string(i + 1), 0.0, 1.0});
+    objectives_ = {{"f1", Direction::minimize}, {"f2", Direction::minimize}};
+}
+
+const std::vector<ParameterSpec>& ZdtProblem::parameters() const { return params_; }
+const std::vector<ObjectiveSpec>& ZdtProblem::objectives() const {
+    return objectives_;
+}
+
+std::vector<double> ZdtProblem::evaluate(const std::vector<double>& p) const {
+    if (p.size() != params_.size())
+        throw InvalidInputError("Zdt: parameter arity mismatch");
+    const double f1 = p[0];
+    double tail = 0.0;
+    for (std::size_t i = 1; i < p.size(); ++i) tail += p[i];
+    const double g = 1.0 + 9.0 * tail / static_cast<double>(p.size() - 1);
+    double h;
+    switch (variant_) {
+    case 1: h = 1.0 - std::sqrt(f1 / g); break;
+    case 2: h = 1.0 - (f1 / g) * (f1 / g); break;
+    default:
+        h = 1.0 - std::sqrt(f1 / g) - (f1 / g) * std::sin(10.0 * mathx::pi * f1);
+        break;
+    }
+    return {f1, g * h};
+}
+
+double ZdtProblem::true_front_f2(double f1) const {
+    switch (variant_) {
+    case 1: return 1.0 - std::sqrt(f1);
+    case 2: return 1.0 - f1 * f1;
+    default: return 1.0 - std::sqrt(f1) - f1 * std::sin(10.0 * mathx::pi * f1);
+    }
+}
+
+// -------------------------------------------------------- ToyAmplifier
+
+ToyAmplifierProblem::ToyAmplifierProblem()
+    : params_{{"b", 1.0, 8.0}, {"bias", 0.2, 1.0}},
+      objectives_{{"gain_db", Direction::maximize},
+                  {"pm_deg", Direction::maximize}} {}
+
+const std::vector<ParameterSpec>& ToyAmplifierProblem::parameters() const {
+    return params_;
+}
+const std::vector<ObjectiveSpec>& ToyAmplifierProblem::objectives() const {
+    return objectives_;
+}
+
+std::vector<double> ToyAmplifierProblem::evaluate(const std::vector<double>& p) const {
+    if (p.size() != 2) throw InvalidInputError("ToyAmplifier: expects 2 parameters");
+    const double b = p[0];    // mirror ratio surrogate
+    const double bias = p[1]; // bias current surrogate (mA-ish units)
+    // Gain rises with b, falls mildly with bias; PM falls with b, rises with
+    // bias - a smooth concave trade-off akin to the OTA's.
+    const double gain = 40.0 + 20.0 * std::log10(b) - 4.0 * bias;
+    const double pm = 90.0 - 7.5 * b + 12.0 * bias;
+    return {gain, pm};
+}
+
+} // namespace ypm::moo

@@ -1,0 +1,62 @@
+#pragma once
+/// \file test_problems.hpp
+/// \brief Analytic benchmark problems with known Pareto fronts, used to
+///        validate the optimisers independently of the circuit simulator.
+
+#include <vector>
+
+#include "moo/problem.hpp"
+
+namespace ypm::moo {
+
+/// Schaffer's SCH: one parameter x in [-3, 5]; minimise {x^2, (x-2)^2}.
+/// Pareto-optimal set: x in [0, 2].
+class SchafferProblem final : public Problem {
+public:
+    SchafferProblem();
+    [[nodiscard]] const std::vector<ParameterSpec>& parameters() const override;
+    [[nodiscard]] const std::vector<ObjectiveSpec>& objectives() const override;
+    [[nodiscard]] std::vector<double>
+    evaluate(const std::vector<double>& params) const override;
+
+private:
+    std::vector<ParameterSpec> params_;
+    std::vector<ObjectiveSpec> objectives_;
+};
+
+/// ZDT test family (Zitzler-Deb-Thiele), n parameters in [0, 1], minimise
+/// {f1, f2}. variant: 1 (convex front), 2 (non-convex), 3 (disconnected).
+class ZdtProblem final : public Problem {
+public:
+    explicit ZdtProblem(int variant, std::size_t n = 30);
+    [[nodiscard]] const std::vector<ParameterSpec>& parameters() const override;
+    [[nodiscard]] const std::vector<ObjectiveSpec>& objectives() const override;
+    [[nodiscard]] std::vector<double>
+    evaluate(const std::vector<double>& params) const override;
+
+    /// True front value f2*(f1) with g = 1.
+    [[nodiscard]] double true_front_f2(double f1) const;
+
+private:
+    int variant_;
+    std::vector<ParameterSpec> params_;
+    std::vector<ObjectiveSpec> objectives_;
+};
+
+/// A two-parameter analytic stand-in for the OTA trade-off: maximise
+/// gain-like and pm-like objectives that are in tension, with a known
+/// concave trade-off curve. Cheap enough for operator-level unit tests.
+class ToyAmplifierProblem final : public Problem {
+public:
+    ToyAmplifierProblem();
+    [[nodiscard]] const std::vector<ParameterSpec>& parameters() const override;
+    [[nodiscard]] const std::vector<ObjectiveSpec>& objectives() const override;
+    [[nodiscard]] std::vector<double>
+    evaluate(const std::vector<double>& params) const override;
+
+private:
+    std::vector<ParameterSpec> params_;
+    std::vector<ObjectiveSpec> objectives_;
+};
+
+} // namespace ypm::moo

@@ -1,0 +1,162 @@
+#include "moo/wbga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ypm::moo {
+
+std::vector<double> share_fitness(const std::vector<double>& fitness,
+                                  const std::vector<std::vector<double>>& weights,
+                                  double radius) {
+    if (radius <= 0.0) return fitness;
+    if (fitness.size() != weights.size())
+        throw InvalidInputError("share_fitness: size mismatch");
+    const std::size_t n = fitness.size();
+    std::vector<double> shared(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double niche = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            double d2 = 0.0;
+            for (std::size_t k = 0; k < weights[i].size(); ++k) {
+                const double d = weights[i][k] - weights[j][k];
+                d2 += d * d;
+            }
+            const double d = std::sqrt(d2);
+            if (d < radius) niche += 1.0 - d / radius;
+        }
+        // niche >= 1 always (self-distance 0), so the division is safe.
+        shared[i] = fitness[i] / niche;
+    }
+    return shared;
+}
+
+Wbga::Wbga(const Problem& problem, WbgaConfig config)
+    : problem_(problem), config_(config) {
+    if (config_.population < 2)
+        throw InvalidInputError("Wbga: population must be >= 2");
+    if (config_.generations == 0)
+        throw InvalidInputError("Wbga: generations must be >= 1");
+    if (config_.elites >= config_.population)
+        throw InvalidInputError("Wbga: elites must be < population");
+}
+
+WbgaResult Wbga::run(Rng& rng, const ProgressFn& progress) const {
+    const auto& pspecs = problem_.parameters();
+    const auto& ospecs = problem_.objectives();
+    const std::size_t n_params = pspecs.size();
+    const std::size_t n_weights = ospecs.size();
+    const std::size_t pop_size = config_.population;
+    const double mutation_rate =
+        config_.mutation_rate > 0.0
+            ? config_.mutation_rate
+            : 1.0 / static_cast<double>(n_params + n_weights);
+
+    WbgaResult result;
+    if (config_.keep_archive)
+        result.archive.reserve(pop_size * config_.generations);
+
+    // Initial random population.
+    std::vector<GaString> population;
+    population.reserve(pop_size);
+    for (std::size_t i = 0; i < pop_size; ++i)
+        population.push_back(GaString::random(n_params, n_weights, rng));
+
+    std::vector<EvaluatedIndividual> evaluated(pop_size,
+                                               EvaluatedIndividual{GaString(n_params, n_weights),
+                                                                   {}, {}, {}, 0.0, 0});
+
+    auto evaluate_population = [&](std::size_t generation) {
+        auto eval_one = [&](std::size_t i) {
+            EvaluatedIndividual& e = evaluated[i];
+            e.chromosome = population[i];
+            e.params = population[i].decode_parameters(pspecs);
+            e.weights = population[i].decode_weights();
+            e.objectives = problem_.evaluate(e.params);
+            if (e.objectives.size() != ospecs.size())
+                throw InvalidInputError("Wbga: problem returned wrong objective arity");
+            e.generation = generation;
+        };
+        if (config_.parallel) {
+            ThreadPool::global().parallel_for(pop_size, eval_one);
+        } else {
+            for (std::size_t i = 0; i < pop_size; ++i) eval_one(i);
+        }
+
+        // eq. (5) fitness with per-generation min/max normalisation.
+        std::vector<std::vector<double>> objs(pop_size), wts(pop_size);
+        for (std::size_t i = 0; i < pop_size; ++i) {
+            objs[i] = evaluated[i].objectives;
+            wts[i] = evaluated[i].weights;
+        }
+        const auto fit = wbga_fitness_all(objs, wts, ospecs);
+        for (std::size_t i = 0; i < pop_size; ++i) evaluated[i].fitness = fit[i];
+
+        if (config_.keep_archive)
+            for (const auto& e : evaluated) result.archive.push_back(e);
+        result.evaluations += pop_size;
+    };
+
+    for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+        evaluate_population(gen);
+
+        double best = 0.0;
+        for (const auto& e : evaluated) best = std::max(best, e.fitness);
+        result.best_fitness_history.push_back(best);
+        if (progress) progress(gen, best);
+        log::debug("wbga gen ", gen, " best fitness ", best);
+
+        if (gen + 1 == config_.generations) break;
+
+        // Selection pressure uses shared fitness (weight-space niching).
+        std::vector<double> fitness(pop_size);
+        std::vector<std::vector<double>> weights(pop_size);
+        for (std::size_t i = 0; i < pop_size; ++i) {
+            fitness[i] = evaluated[i].fitness;
+            weights[i] = evaluated[i].weights;
+        }
+        const auto shared = share_fitness(fitness, weights, config_.sharing_radius);
+
+        // Elitism on raw fitness.
+        std::vector<std::size_t> order(pop_size);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return fitness[a] > fitness[b];
+        });
+
+        std::vector<GaString> next;
+        next.reserve(pop_size);
+        for (std::size_t e = 0; e < config_.elites; ++e)
+            next.push_back(population[order[e]]);
+
+        while (next.size() < pop_size) {
+            const std::size_t ia = select_tournament(shared, config_.tournament, rng);
+            const std::size_t ib = select_tournament(shared, config_.tournament, rng);
+            GaString child_a(n_params, n_weights), child_b(n_params, n_weights);
+            if (rng.bernoulli(config_.crossover_rate)) {
+                crossover(config_.crossover, population[ia], population[ib], child_a,
+                          child_b, rng);
+            } else {
+                child_a = population[ia];
+                child_b = population[ib];
+            }
+            mutate(config_.mutation, child_a, mutation_rate, config_.mutation_sigma, rng);
+            next.push_back(std::move(child_a));
+            if (next.size() < pop_size) {
+                mutate(config_.mutation, child_b, mutation_rate, config_.mutation_sigma,
+                       rng);
+                next.push_back(std::move(child_b));
+            }
+        }
+        population = std::move(next);
+    }
+
+    result.final_population = evaluated;
+    return result;
+}
+
+} // namespace ypm::moo

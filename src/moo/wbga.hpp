@@ -1,0 +1,82 @@
+#pragma once
+/// \file wbga.hpp
+/// \brief Weight-Based Genetic Algorithm (paper section 3.2, after Hajela &
+///        Lin [9]).
+///
+/// Each chromosome carries the designable parameters *and* the objective
+/// weights (GaString), so the GA searches weight space and parameter space
+/// simultaneously instead of requiring a designer-chosen weight vector.
+/// Fitness is the normalised weighted sum of eq. (5); fitness sharing over
+/// the weight sub-vector maintains a spread of weightings, which is what
+/// makes a single WBGA run trace out the whole trade-off cloud the Pareto
+/// filter then reduces (paper Fig. 7).
+
+#include <functional>
+#include <vector>
+
+#include "moo/fitness.hpp"
+#include "moo/ga_string.hpp"
+#include "moo/operators.hpp"
+#include "moo/problem.hpp"
+#include "util/rng.hpp"
+
+namespace ypm::moo {
+
+/// One evaluated design point (kept for the full-run archive).
+struct EvaluatedIndividual {
+    GaString chromosome{0, 0};
+    std::vector<double> params;     ///< decoded physical parameters
+    std::vector<double> objectives; ///< raw performance values (NaN = failed)
+    std::vector<double> weights;    ///< eq. (4)-normalised weights
+    double fitness = 0.0;           ///< eq. (5) score within its generation
+    std::size_t generation = 0;
+};
+
+struct WbgaConfig {
+    std::size_t population = 100;   ///< paper section 4.2 uses 100
+    std::size_t generations = 100;  ///< paper section 4.2 uses 100
+    double crossover_rate = 0.9;
+    CrossoverKind crossover = CrossoverKind::blend;
+    double mutation_rate = 0.0;     ///< per-gene; 0 selects 1/genes
+    double mutation_sigma = 0.08;
+    MutationKind mutation = MutationKind::gaussian;
+    std::size_t tournament = 2;
+    std::size_t elites = 2;         ///< copied unchanged each generation
+    double sharing_radius = 0.15;   ///< weight-space niching; 0 disables
+    bool parallel = true;           ///< evaluate populations on the pool
+    bool keep_archive = true;       ///< record every evaluation
+};
+
+struct WbgaResult {
+    std::vector<EvaluatedIndividual> archive; ///< all evaluations, in order
+    std::vector<EvaluatedIndividual> final_population;
+    std::vector<double> best_fitness_history; ///< per generation
+    std::size_t evaluations = 0;
+};
+
+class Wbga {
+public:
+    /// \param problem must outlive the optimiser
+    Wbga(const Problem& problem, WbgaConfig config);
+
+    /// Progress callback: (generation index, best eq.5 fitness).
+    using ProgressFn = std::function<void(std::size_t, double)>;
+
+    /// Run the full optimisation. Deterministic in the RNG seed regardless
+    /// of thread count.
+    [[nodiscard]] WbgaResult run(Rng& rng, const ProgressFn& progress = {}) const;
+
+    [[nodiscard]] const WbgaConfig& config() const { return config_; }
+
+private:
+    const Problem& problem_;
+    WbgaConfig config_;
+};
+
+/// Hajela-Lin fitness sharing: divide each fitness by its niche count,
+/// where niching distance is the Euclidean distance between weight vectors.
+[[nodiscard]] std::vector<double>
+share_fitness(const std::vector<double>& fitness,
+              const std::vector<std::vector<double>>& weights, double radius);
+
+} // namespace ypm::moo

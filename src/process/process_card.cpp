@@ -1,0 +1,47 @@
+#include "process/process_card.hpp"
+
+namespace ypm::process {
+
+namespace {
+constexpr double eps_sio2 = 3.45e-11; // F/m (3.9 * eps0)
+} // namespace
+
+double MosModelParams::cox() const { return eps_sio2 / tox; }
+
+ProcessCard ProcessCard::c35() {
+    ProcessCard card;
+    card.name = "c35-class-0.35um";
+    card.vdd = 3.3;
+
+    // NMOS: u0 ~ 475 cm^2/Vs -> kp = u0*Cox ~ 215 uA/V^2 at tox 7.6 nm.
+    card.nmos.vth0 = 0.50;
+    card.nmos.kp = 215e-6;
+    card.nmos.lambda_l = 0.04e-6;
+    card.nmos.gamma = 0.58;
+    card.nmos.phi = 0.70;
+    card.nmos.nfac = 1.35;
+    card.nmos.tox = 7.6e-9;
+    card.nmos.cgso = 0.12e-9;
+    card.nmos.cgdo = 0.12e-9;
+    card.nmos.cj = 0.94e-3;
+    card.nmos.cjsw = 0.25e-9;
+    card.nmos.ldiff = 0.85e-6;
+
+    // PMOS: u0 ~ 148 cm^2/Vs -> kp ~ 67 uA/V^2; higher |Vth|.
+    card.pmos.vth0 = 0.65;
+    card.pmos.kp = 67e-6;
+    card.pmos.lambda_l = 0.05e-6;
+    card.pmos.gamma = 0.40;
+    card.pmos.phi = 0.70;
+    card.pmos.nfac = 1.40;
+    card.pmos.tox = 7.6e-9;
+    card.pmos.cgso = 0.09e-9;
+    card.pmos.cgdo = 0.09e-9;
+    card.pmos.cj = 1.36e-3;
+    card.pmos.cjsw = 0.32e-9;
+    card.pmos.ldiff = 0.85e-6;
+
+    return card;
+}
+
+} // namespace ypm::process

@@ -1,0 +1,45 @@
+#pragma once
+/// \file process_card.hpp
+/// \brief Nominal process model card.
+///
+/// Substitute for the AMS 0.35 um C35B4 BSim3v3 foundry deck the paper
+/// simulates with. Parameter values are 0.35 um-class textbook numbers (not
+/// the proprietary deck); DESIGN.md section 2 records this substitution.
+
+#include <string>
+
+namespace ypm::process {
+
+/// Per-polarity MOSFET model parameters consumed by spice::Mosfet.
+struct MosModelParams {
+    double vth0 = 0.5;     ///< zero-bias threshold magnitude (V)
+    double kp = 170e-6;    ///< transconductance factor u0*Cox (A/V^2)
+    double lambda_l = 0.03e-6; ///< CLM: lambda = lambda_l / L  (1/V * m)
+    double gamma = 0.58;   ///< body-effect coefficient (sqrt(V))
+    double phi = 0.7;      ///< surface potential 2*phiF (V)
+    double nfac = 1.35;    ///< subthreshold slope factor
+    double tox = 7.6e-9;   ///< gate oxide thickness (m)
+    double cgso = 0.12e-9; ///< gate-source overlap capacitance (F/m)
+    double cgdo = 0.12e-9; ///< gate-drain overlap capacitance (F/m)
+    double cj = 0.9e-3;    ///< junction area capacitance (F/m^2)
+    double cjsw = 0.25e-9; ///< junction sidewall capacitance (F/m)
+    double ldiff = 0.85e-6;///< source/drain diffusion length (m)
+
+    /// Oxide capacitance per area (F/m^2), eps_SiO2 / tox.
+    [[nodiscard]] double cox() const;
+};
+
+/// Complete nominal card for one process.
+struct ProcessCard {
+    std::string name = "generic";
+    double vdd = 3.3;      ///< nominal supply (V)
+    double temperature = 300.15; ///< K
+    MosModelParams nmos;
+    MosModelParams pmos;
+
+    /// 0.35 um-class card modelled on the AMS C35B4 generation: 3.3 V,
+    /// tox 7.6 nm, Vthn ~ 0.50 V, Vthp ~ 0.65 V.
+    [[nodiscard]] static ProcessCard c35();
+};
+
+} // namespace ypm::process

@@ -1,0 +1,71 @@
+#include "process/sampler.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ypm::process {
+
+MosDelta Realization::global_for(bool is_pmos) const {
+    MosDelta d;
+    d.dvth = is_pmos ? global.dvth_p : global.dvth_n;
+    d.kp_scale = is_pmos ? global.kp_scale_p : global.kp_scale_n;
+    d.cox_scale = global.cox_scale;
+    return d;
+}
+
+MosDelta Realization::delta_for(const std::string& name, bool is_pmos) const {
+    MosDelta d = global_for(is_pmos);
+    const auto it = local.find(name);
+    if (it != local.end()) {
+        d.dvth += it->second.dvth;
+        d.kp_scale *= it->second.kp_scale;
+    }
+    return d;
+}
+
+ProcessSampler::ProcessSampler(ProcessCard card, VariationSpec spec)
+    : card_(std::move(card)), spec_(spec) {}
+
+Realization ProcessSampler::sample(Rng& rng,
+                                   const std::vector<MosGeometry>& devices) const {
+    Realization r;
+    const auto& g = spec_.global;
+    r.global.dvth_n = rng.gauss(0.0, g.sigma_vth_n);
+    r.global.dvth_p = rng.gauss(0.0, g.sigma_vth_p);
+    r.global.kp_scale_n = 1.0 + rng.gauss(0.0, g.sigma_kp_rel_n);
+    r.global.kp_scale_p = 1.0 + rng.gauss(0.0, g.sigma_kp_rel_p);
+    // Thinner oxide -> larger Cox; tox and Cox are inversely related, and at
+    // 1 % spreads the first-order reciprocal is adequate.
+    r.global.cox_scale = 1.0 / (1.0 + rng.gauss(0.0, g.sigma_tox_rel));
+
+    const auto& mm = spec_.mismatch;
+    for (const auto& dev : devices) {
+        if (dev.w <= 0.0 || dev.l <= 0.0)
+            throw InvalidInputError("ProcessSampler: non-positive geometry for '" +
+                                    dev.name + "'");
+        const double inv_sqrt_area = 1.0 / std::sqrt(dev.w * dev.l);
+        const double a_vt = dev.is_pmos ? mm.a_vt_p : mm.a_vt_n;
+        const double a_beta = dev.is_pmos ? mm.a_beta_p : mm.a_beta_n;
+        MosDelta d;
+        d.dvth = rng.gauss(0.0, a_vt * inv_sqrt_area);
+        d.kp_scale = 1.0 + rng.gauss(0.0, a_beta * inv_sqrt_area);
+        r.local[dev.name] = d;
+    }
+    return r;
+}
+
+Realization ProcessSampler::corner(Corner c) const {
+    Realization r;
+    const CornerShift shift = corner_shift(c);
+    const auto& g = spec_.global;
+    // "Fast" = lower threshold magnitude and higher transconductance.
+    r.global.dvth_n = -shift.nmos_speed * g.sigma_vth_n;
+    r.global.dvth_p = -shift.pmos_speed * g.sigma_vth_p;
+    r.global.kp_scale_n = 1.0 + shift.nmos_speed * g.sigma_kp_rel_n;
+    r.global.kp_scale_p = 1.0 + shift.pmos_speed * g.sigma_kp_rel_p;
+    r.global.cox_scale = 1.0;
+    return r;
+}
+
+} // namespace ypm::process

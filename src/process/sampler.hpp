@@ -1,0 +1,75 @@
+#pragma once
+/// \file sampler.hpp
+/// \brief Draws process realisations (global + per-device mismatch deltas)
+///        for Monte Carlo analysis and worst-case corners.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "process/process_card.hpp"
+#include "process/variation.hpp"
+#include "util/rng.hpp"
+
+namespace ypm::process {
+
+/// Geometry of one MOS instance, used to scale Pelgrom mismatch.
+struct MosGeometry {
+    std::string name;   ///< instance name, e.g. "m3"
+    bool is_pmos = false;
+    double w = 10e-6;   ///< m
+    double l = 1e-6;    ///< m
+};
+
+/// Combined parameter delta for one device instance.
+struct MosDelta {
+    double dvth = 0.0;     ///< additive threshold shift (V, magnitude space)
+    double kp_scale = 1.0; ///< multiplicative KP factor
+    double cox_scale = 1.0;///< multiplicative Cox factor (from tox)
+};
+
+/// One sampled die: global shifts plus per-instance mismatch.
+class Realization {
+public:
+    Realization() = default;
+
+    /// Total delta (global + local) for a named instance; unknown names get
+    /// the global component only (devices excluded from mismatch, e.g.
+    /// ideal bias elements).
+    [[nodiscard]] MosDelta delta_for(const std::string& name, bool is_pmos) const;
+
+    /// Global-only component for a polarity.
+    [[nodiscard]] MosDelta global_for(bool is_pmos) const;
+
+    struct Global {
+        double dvth_n = 0.0, dvth_p = 0.0;
+        double kp_scale_n = 1.0, kp_scale_p = 1.0;
+        double cox_scale = 1.0;
+    };
+
+    Global global;
+    std::unordered_map<std::string, MosDelta> local; ///< per-instance mismatch
+};
+
+/// Sampler bound to a card + statistical spec.
+class ProcessSampler {
+public:
+    ProcessSampler(ProcessCard card, VariationSpec spec);
+
+    /// Draw a full Monte Carlo realisation. Deterministic in the RNG state;
+    /// callers derive per-sample child streams for parallel runs.
+    [[nodiscard]] Realization sample(Rng& rng,
+                                     const std::vector<MosGeometry>& devices) const;
+
+    /// Global-only realisation for a worst-case corner (no mismatch).
+    [[nodiscard]] Realization corner(Corner c) const;
+
+    [[nodiscard]] const ProcessCard& card() const { return card_; }
+    [[nodiscard]] const VariationSpec& spec() const { return spec_; }
+
+private:
+    ProcessCard card_;
+    VariationSpec spec_;
+};
+
+} // namespace ypm::process

@@ -1,0 +1,77 @@
+#include "spice/analysis/ac.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::spice {
+
+std::vector<std::complex<double>> AcResult::node_response(NodeId node) const {
+    std::vector<std::complex<double>> out;
+    out.reserve(points.size());
+    for (const auto& p : points) out.push_back(p.voltage(node));
+    return out;
+}
+
+std::vector<std::complex<double>> AcResult::transfer(NodeId out, NodeId in) const {
+    std::vector<std::complex<double>> h;
+    h.reserve(points.size());
+    for (const auto& p : points) {
+        const std::complex<double> vin = p.voltage(in);
+        const std::complex<double> vout = p.voltage(out);
+        if (std::abs(vin) == 0.0)
+            throw NumericalError("AcResult::transfer: zero input response");
+        h.push_back(vout / vin);
+    }
+    return h;
+}
+
+AcResult run_ac(Circuit& circuit, const Solution& op,
+                const std::vector<double>& freqs) {
+    circuit.finalize();
+    if (op.size() != circuit.unknowns())
+        throw InvalidInputError("run_ac: operating point does not match circuit");
+
+    const std::size_t n_nodes = circuit.node_count();
+    const std::size_t n = circuit.unknowns();
+
+    AcResult result;
+    result.freqs = freqs;
+    result.points.reserve(freqs.size());
+
+    linalg::MatrixC a(n);
+    std::vector<std::complex<double>> b(n);
+
+    for (double f : freqs) {
+        if (!(f > 0.0)) throw InvalidInputError("run_ac: frequencies must be > 0");
+        const double omega = 2.0 * mathx::pi * f;
+        a.set_zero();
+        std::fill(b.begin(), b.end(), std::complex<double>{});
+        ComplexStamper stamper(a, b, n_nodes);
+        for (const auto& dev : circuit.devices()) dev->stamp_ac(stamper, omega, op);
+        // Tiny conductance floor mirrors the DC gmin and keeps isolated
+        // nodes (e.g. behind DC-blocked paths) non-singular.
+        for (std::size_t i = 0; i < n_nodes; ++i) a(i, i) += 1e-15;
+
+        auto x = linalg::solve(a, b);
+        result.points.emplace_back(n_nodes, std::move(x));
+    }
+    return result;
+}
+
+std::vector<double> log_sweep(double f_start, double f_stop,
+                              std::size_t points_per_decade) {
+    if (!(f_start > 0.0) || !(f_stop > f_start))
+        throw InvalidInputError("log_sweep: need 0 < f_start < f_stop");
+    if (points_per_decade == 0)
+        throw InvalidInputError("log_sweep: points_per_decade must be > 0");
+    const double decades = std::log10(f_stop / f_start);
+    const auto n = static_cast<std::size_t>(
+                       std::ceil(decades * static_cast<double>(points_per_decade))) +
+                   1;
+    return mathx::logspace(f_start, f_stop, std::max<std::size_t>(n, 2));
+}
+
+} // namespace ypm::spice

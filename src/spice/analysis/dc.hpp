@@ -1,0 +1,57 @@
+#pragma once
+/// \file dc.hpp
+/// \brief DC operating-point solver: damped Newton-Raphson with gmin
+///        stepping and source stepping fallbacks.
+///
+/// Robustness matters more than raw speed here: the WBGA evaluates 10,000
+/// sizings (paper Table 5) and every one must either converge or fail
+/// loudly so the optimiser can penalise it.
+
+#include <string>
+
+#include "spice/circuit.hpp"
+#include "spice/solution.hpp"
+
+namespace ypm::spice {
+
+struct DcOptions {
+    std::size_t max_iterations = 150; ///< per Newton attempt
+    double vtol = 1e-6;               ///< absolute node-voltage tolerance (V)
+    double reltol = 1e-6;             ///< relative tolerance
+    double max_step = 0.6;            ///< Newton damping: max |dV| per iter (V)
+    double gmin = 1e-12;              ///< node-to-ground conductance floor
+    bool gmin_stepping = true;        ///< homotopy 1: relax gmin 1e-3 -> gmin
+    bool source_stepping = true;      ///< homotopy 2: ramp sources 0 -> 1
+};
+
+struct DcResult {
+    bool converged = false;
+    Solution solution;
+    std::size_t iterations = 0; ///< total Newton iterations spent
+    std::string method;         ///< "newton", "gmin-stepping", "source-stepping"
+};
+
+class DcSolver {
+public:
+    explicit DcSolver(DcOptions options = {});
+
+    /// Solve from a cold start (all unknowns zero).
+    [[nodiscard]] DcResult solve(Circuit& circuit) const;
+
+    /// Solve from a warm start (e.g. the nominal OP during Monte Carlo).
+    [[nodiscard]] DcResult solve(Circuit& circuit, const Solution& initial) const;
+
+    [[nodiscard]] const DcOptions& options() const { return options_; }
+
+private:
+    /// One Newton attempt; returns true on convergence, updating x.
+    [[nodiscard]] bool newton(Circuit& circuit, Solution& x, double gmin,
+                              double source_scale, std::size_t& iterations) const;
+
+    DcOptions options_;
+};
+
+/// Convenience: solve and throw ypm::NumericalError on failure.
+[[nodiscard]] Solution solve_op(Circuit& circuit, const DcOptions& options = {});
+
+} // namespace ypm::spice

@@ -1,0 +1,53 @@
+#include "spice/analysis/dc_sweep.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "spice/devices/sources.hpp"
+#include "util/error.hpp"
+
+namespace ypm::spice {
+
+std::vector<double> DcSweepResult::node_voltage(NodeId node) const {
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        out.push_back(converged[i] ? points[i].voltage(node)
+                                   : std::numeric_limits<double>::quiet_NaN());
+    return out;
+}
+
+DcSweepResult run_dc_sweep(Circuit& circuit, const std::string& source_name,
+                           const std::vector<double>& values,
+                           const DcOptions& options) {
+    auto* source = dynamic_cast<VoltageSource*>(circuit.find_device(source_name));
+    if (source == nullptr)
+        throw InvalidInputError("run_dc_sweep: no voltage source named '" +
+                                source_name + "'");
+
+    const double original = source->dc();
+    const DcSolver solver(options);
+
+    DcSweepResult result;
+    result.values = values;
+    result.points.reserve(values.size());
+    result.converged.reserve(values.size());
+
+    Solution warm;
+    bool have_warm = false;
+    for (double v : values) {
+        source->set_dc(v);
+        const DcResult r =
+            have_warm ? solver.solve(circuit, warm) : solver.solve(circuit);
+        result.points.push_back(r.solution);
+        result.converged.push_back(r.converged);
+        if (r.converged) {
+            warm = r.solution;
+            have_warm = true;
+        }
+    }
+    source->set_dc(original);
+    return result;
+}
+
+} // namespace ypm::spice

@@ -1,0 +1,32 @@
+#pragma once
+/// \file dc_sweep.hpp
+/// \brief DC transfer sweep: step one independent voltage source and
+///        re-solve the operating point with warm starts.
+
+#include <string>
+#include <vector>
+
+#include "spice/analysis/dc.hpp"
+#include "spice/circuit.hpp"
+
+namespace ypm::spice {
+
+struct DcSweepResult {
+    std::vector<double> values;     ///< swept source values
+    std::vector<Solution> points;   ///< OP at each value
+    std::vector<bool> converged;    ///< per-point convergence
+
+    /// Voltage of `node` across the sweep (NaN where unconverged).
+    [[nodiscard]] std::vector<double> node_voltage(NodeId node) const;
+};
+
+/// Sweep the DC value of the named VoltageSource across `values`.
+/// The source is restored to its original value afterwards.
+/// \throws ypm::InvalidInputError if the device is missing or not a
+///         voltage source.
+[[nodiscard]] DcSweepResult run_dc_sweep(Circuit& circuit,
+                                         const std::string& source_name,
+                                         const std::vector<double>& values,
+                                         const DcOptions& options = {});
+
+} // namespace ypm::spice

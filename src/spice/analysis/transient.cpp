@@ -1,0 +1,126 @@
+#include "spice/analysis/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "spice/analysis/dc.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::spice {
+
+std::vector<double> TranResult::node_waveform(NodeId node) const {
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto& p : points) out.push_back(p.voltage(node));
+    return out;
+}
+
+namespace {
+
+/// One Newton solve of the companion system at a fixed time.
+/// Returns false when not converged.
+/// \param damp clamp per-iteration node-voltage deltas (needed for MOSFET
+///        stability; a purely linear circuit solves exactly in one step and
+///        must not be clamped - high-gain behavioural blocks swing their
+///        internal nodes by tens of volts at waveform edges).
+bool solve_step(Circuit& circuit, const TranOptions& opt, const TranContext& ctx,
+                Solution& x, bool damp) {
+    const std::size_t n_nodes = circuit.node_count();
+    const std::size_t n = circuit.unknowns();
+    linalg::MatrixD a(n);
+    std::vector<double> b(n, 0.0);
+
+    for (std::size_t iter = 0; iter < opt.max_newton_iterations; ++iter) {
+        a.set_zero();
+        std::fill(b.begin(), b.end(), 0.0);
+        RealStamper stamper(a, b, n_nodes);
+        for (const auto& dev : circuit.devices()) dev->stamp_tran(stamper, x, ctx);
+        for (std::size_t i = 0; i < n_nodes; ++i) a(i, i) += 1e-12;
+
+        std::vector<double> x_new;
+        try {
+            x_new = linalg::solve(a, b);
+        } catch (const NumericalError&) {
+            return false;
+        }
+
+        bool converged = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            double delta = x_new[i] - x.raw()[i];
+            if (!std::isfinite(delta)) return false;
+            if (damp && i < n_nodes) delta = mathx::clamp(delta, -0.6, 0.6);
+            x.raw()[i] += delta;
+            const double scale =
+                std::max(std::fabs(x.raw()[i]), std::fabs(x_new[i]));
+            const double tol = (i < n_nodes ? opt.vtol : 1e-9) + opt.reltol * scale;
+            if (std::fabs(delta) > tol) converged = false;
+        }
+        if (converged && iter > 0) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TranResult run_transient(Circuit& circuit, const TranOptions& opt) {
+    if (!(opt.dt > 0.0) || !(opt.tstop > 0.0))
+        throw InvalidInputError("run_transient: dt and tstop must be > 0");
+    circuit.finalize();
+
+    TranResult result;
+
+    // t = 0: DC operating point (capacitors open, inductors short).
+    const DcSolver dc;
+    const DcResult op = dc.solve(circuit);
+    if (!op.converged)
+        throw NumericalError("run_transient: initial operating point failed");
+    result.times.push_back(0.0);
+    result.points.push_back(op.solution);
+
+    std::vector<double> state_prev(circuit.tran_state_count(), 0.0);
+    std::vector<double> state_now(circuit.tran_state_count(), 0.0);
+
+    bool has_nonlinear = false;
+    for (const auto& dev : circuit.devices())
+        if (dev->nonlinear()) has_nonlinear = true;
+
+    const auto steps = static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt));
+    Solution x = op.solution; // warm start
+    for (std::size_t k = 1; k <= steps; ++k) {
+        const double t = std::min(static_cast<double>(k) * opt.dt, opt.tstop);
+        TranContext ctx;
+        ctx.time = t;
+        ctx.dt = opt.dt;
+        ctx.method = opt.method;
+        ctx.prev = &result.points.back();
+        ctx.state_prev = &state_prev;
+
+        if (!solve_step(circuit, opt, ctx, x, has_nonlinear)) {
+            // One retry with the more robust integrator before giving up.
+            if (opt.method == TranMethod::trapezoidal) {
+                TranContext be = ctx;
+                be.method = TranMethod::backward_euler;
+                x = result.points.back();
+                if (!solve_step(circuit, opt, be, x, has_nonlinear))
+                    throw NumericalError("run_transient: step " +
+                                         std::to_string(k) + " did not converge");
+                ctx = be;
+            } else {
+                throw NumericalError("run_transient: step " + std::to_string(k) +
+                                     " did not converge");
+            }
+        }
+
+        for (const auto& dev : circuit.devices())
+            dev->update_tran_state(x, ctx, state_now);
+        state_prev = state_now;
+
+        result.times.push_back(t);
+        result.points.push_back(x);
+    }
+    return result;
+}
+
+} // namespace ypm::spice

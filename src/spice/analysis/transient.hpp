@@ -1,0 +1,39 @@
+#pragma once
+/// \file transient.hpp
+/// \brief Fixed-step transient analysis.
+///
+/// Each timestep solves the nonlinear companion-model system with Newton
+/// iterations warm-started from the previous point. Integration method is
+/// trapezoidal (2nd order, SPICE default) or backward Euler (L-stable).
+/// The initial condition is the DC operating point (sources at their DC
+/// values); waveform sources then take over from t > 0.
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/solution.hpp"
+
+namespace ypm::spice {
+
+struct TranOptions {
+    double tstop = 1e-3;  ///< end time (s)
+    double dt = 1e-6;     ///< fixed step size (s)
+    TranMethod method = TranMethod::trapezoidal;
+    std::size_t max_newton_iterations = 80;
+    double vtol = 1e-6;
+    double reltol = 1e-6;
+};
+
+struct TranResult {
+    std::vector<double> times;    ///< t = 0 (DC OP) then dt, 2dt, ...
+    std::vector<Solution> points; ///< solution at each time
+
+    /// Waveform of one node across the run.
+    [[nodiscard]] std::vector<double> node_waveform(NodeId node) const;
+};
+
+/// Run the analysis. \throws ypm::NumericalError if the initial OP or any
+/// timestep fails to converge.
+[[nodiscard]] TranResult run_transient(Circuit& circuit, const TranOptions& options);
+
+} // namespace ypm::spice

@@ -1,0 +1,6 @@
+#include "spice/device.hpp"
+
+// Device is header-only apart from the vtable anchor below; keeping the key
+// function here gives every translation unit a single vtable instance.
+
+namespace ypm::spice {} // namespace ypm::spice

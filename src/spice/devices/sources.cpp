@@ -1,0 +1,94 @@
+#include "spice/devices/sources.hpp"
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace ypm::spice {
+
+double pulse_value(const PulseWave& w, double t) {
+    double tau = t - w.delay;
+    if (tau < 0.0) return w.v1;
+    if (w.period > 0.0) tau = std::fmod(tau, w.period);
+    if (tau < w.rise)
+        return w.v1 + (w.v2 - w.v1) * (w.rise > 0.0 ? tau / w.rise : 1.0);
+    tau -= w.rise;
+    if (tau < w.width) return w.v2;
+    tau -= w.width;
+    if (tau < w.fall)
+        return w.v2 + (w.v1 - w.v2) * (w.fall > 0.0 ? tau / w.fall : 1.0);
+    return w.v1;
+}
+
+// --------------------------------------------------------- VoltageSource
+
+VoltageSource::VoltageSource(std::string name, NodeId a, NodeId b, double dc,
+                             double ac_magnitude, double ac_phase_deg)
+    : Device(std::move(name)), a_(a), b_(b), dc_(dc), ac_mag_(ac_magnitude),
+      ac_phase_deg_(ac_phase_deg) {}
+
+void VoltageSource::set_ac(double magnitude, double phase_deg) {
+    ac_mag_ = magnitude;
+    ac_phase_deg_ = phase_deg;
+}
+
+std::complex<double> VoltageSource::ac_phasor() const {
+    const double ph = mathx::rad_from_deg(ac_phase_deg_);
+    return {ac_mag_ * std::cos(ph), ac_mag_ * std::sin(ph)};
+}
+
+void VoltageSource::stamp_dc(RealStamper& s, const Solution&) const {
+    s.mat_branch_col(a_, branch(), 1.0);
+    s.mat_branch_col(b_, branch(), -1.0);
+    s.mat_branch_row(branch(), a_, 1.0);
+    s.mat_branch_row(branch(), b_, -1.0);
+    s.rhs_branch(branch(), dc_ * s.source_scale());
+}
+
+double VoltageSource::tran_value(double t) const {
+    if (sine_)
+        return sine_->offset +
+               sine_->amplitude *
+                   std::sin(2.0 * mathx::pi * sine_->freq_hz * (t - sine_->delay));
+    if (pulse_) return pulse_value(*pulse_, t);
+    return dc_;
+}
+
+void VoltageSource::stamp_tran(RealStamper& s, const Solution&,
+                               const TranContext& ctx) const {
+    s.mat_branch_col(a_, branch(), 1.0);
+    s.mat_branch_col(b_, branch(), -1.0);
+    s.mat_branch_row(branch(), a_, 1.0);
+    s.mat_branch_row(branch(), b_, -1.0);
+    s.rhs_branch(branch(), tran_value(ctx.time));
+}
+
+void VoltageSource::stamp_ac(ComplexStamper& s, double, const Solution&) const {
+    s.mat_branch_col(a_, branch(), {1.0, 0.0});
+    s.mat_branch_col(b_, branch(), {-1.0, 0.0});
+    s.mat_branch_row(branch(), a_, {1.0, 0.0});
+    s.mat_branch_row(branch(), b_, {-1.0, 0.0});
+    s.rhs_branch(branch(), ac_phasor());
+}
+
+// --------------------------------------------------------- CurrentSource
+
+CurrentSource::CurrentSource(std::string name, NodeId a, NodeId b, double dc,
+                             double ac_magnitude, double ac_phase_deg)
+    : Device(std::move(name)), a_(a), b_(b), dc_(dc), ac_mag_(ac_magnitude),
+      ac_phase_deg_(ac_phase_deg) {}
+
+void CurrentSource::stamp_dc(RealStamper& s, const Solution&) const {
+    const double i = dc_ * s.source_scale();
+    s.rhs(a_, -i);
+    s.rhs(b_, i);
+}
+
+void CurrentSource::stamp_ac(ComplexStamper& s, double, const Solution&) const {
+    const double ph = mathx::rad_from_deg(ac_phase_deg_);
+    const std::complex<double> i{ac_mag_ * std::cos(ph), ac_mag_ * std::sin(ph)};
+    s.rhs(a_, -i);
+    s.rhs(b_, i);
+}
+
+} // namespace ypm::spice

@@ -1,0 +1,347 @@
+#include "spice/netlist.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "spice/devices/capacitor.hpp"
+#include "spice/devices/controlled.hpp"
+#include "spice/devices/diode.hpp"
+#include "spice/devices/inductor.hpp"
+#include "spice/devices/mosfet.hpp"
+#include "spice/devices/resistor.hpp"
+#include "spice/devices/sources.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace ypm::spice {
+
+namespace {
+
+struct ModelDef {
+    Mosfet::Type type = Mosfet::Type::nmos;
+    process::MosModelParams params;
+};
+
+struct SubcktDef {
+    std::vector<std::string> pins;
+    std::vector<std::vector<std::string>> cards; ///< tokenised body lines
+};
+
+struct ParserState {
+    ParsedNetlist out;
+    std::unordered_map<std::string, ModelDef> models;
+    std::unordered_map<std::string, SubcktDef> subckts;
+    const process::ProcessCard* card = nullptr;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+    throw InvalidInputError("netlist line " + std::to_string(line) + ": " + msg);
+}
+
+double value_of(const std::string& tok, std::size_t line) {
+    const auto v = units::try_parse_value(tok);
+    if (!v) fail(line, "bad number '" + tok + "'");
+    return *v;
+}
+
+/// Split "key=value" (returns false if no '=').
+bool split_kv(const std::string& tok, std::string& key, std::string& val) {
+    const auto pos = tok.find('=');
+    if (pos == std::string::npos) return false;
+    key = str::to_lower(str::trim(tok.substr(0, pos)));
+    val = str::trim(tok.substr(pos + 1));
+    return true;
+}
+
+void apply_model_param(process::MosModelParams& p, const std::string& key,
+                       double v, std::size_t line) {
+    if (key == "vth0") p.vth0 = v;
+    else if (key == "kp") p.kp = v;
+    else if (key == "lambda_l") p.lambda_l = v;
+    else if (key == "gamma") p.gamma = v;
+    else if (key == "phi") p.phi = v;
+    else if (key == "n" || key == "nfac") p.nfac = v;
+    else if (key == "tox") p.tox = v;
+    else if (key == "cgso") p.cgso = v;
+    else if (key == "cgdo") p.cgdo = v;
+    else if (key == "cj") p.cj = v;
+    else if (key == "cjsw") p.cjsw = v;
+    else if (key == "ldiff") p.ldiff = v;
+    else fail(line, "unknown .model parameter '" + key + "'");
+}
+
+/// Source card tail: [DC] value [AC mag [phase]].
+void parse_source_tail(const std::vector<std::string>& tok, std::size_t first,
+                       std::size_t line, double& dc, double& ac_mag,
+                       double& ac_phase) {
+    dc = 0.0;
+    ac_mag = 0.0;
+    ac_phase = 0.0;
+    std::size_t i = first;
+    if (i < tok.size() && str::iequals(tok[i], "dc")) ++i;
+    if (i < tok.size() && !str::iequals(tok[i], "ac")) {
+        dc = value_of(tok[i], line);
+        ++i;
+    }
+    if (i < tok.size() && str::iequals(tok[i], "ac")) {
+        ++i;
+        if (i >= tok.size()) fail(line, "AC keyword needs a magnitude");
+        ac_mag = value_of(tok[i], line);
+        ++i;
+        if (i < tok.size()) {
+            ac_phase = value_of(tok[i], line);
+            ++i;
+        }
+    }
+    if (i != tok.size()) fail(line, "unexpected trailing fields");
+}
+
+class Expander {
+public:
+    ParserState& st;
+    std::size_t depth = 0;
+
+    void element(const std::vector<std::string>& tok, std::size_t line,
+                 const std::string& prefix,
+                 const std::unordered_map<std::string, std::string>& node_map) {
+        Circuit& ckt = st.out.circuit;
+        const std::string raw_name = str::to_lower(tok[0]);
+        const std::string name = prefix + raw_name;
+        const char kind = raw_name[0];
+
+        auto node = [&](const std::string& n) {
+            const std::string key = str::to_lower(str::trim(n));
+            const auto it = node_map.find(key);
+            if (it != node_map.end()) return ckt.node(it->second);
+            // Ground is global; other unmapped names are subckt-local.
+            if (key == "0" || key == "gnd" || key == "gnd!" || key == "vss!")
+                return ckt.node(key);
+            return ckt.node(prefix + key);
+        };
+
+        switch (kind) {
+        case 'r': {
+            if (tok.size() != 4) fail(line, "R card: Rname n1 n2 value");
+            ckt.add<Resistor>(name, node(tok[1]), node(tok[2]),
+                              value_of(tok[3], line));
+            break;
+        }
+        case 'c': {
+            if (tok.size() != 4) fail(line, "C card: Cname n1 n2 value");
+            ckt.add<Capacitor>(name, node(tok[1]), node(tok[2]),
+                               value_of(tok[3], line));
+            break;
+        }
+        case 'l': {
+            if (tok.size() != 4) fail(line, "L card: Lname n1 n2 value");
+            ckt.add<Inductor>(name, node(tok[1]), node(tok[2]),
+                              value_of(tok[3], line));
+            break;
+        }
+        case 'v': {
+            if (tok.size() < 4) fail(line, "V card: Vname n+ n- [DC] value [AC mag]");
+            double dc, mag, ph;
+            parse_source_tail(tok, 3, line, dc, mag, ph);
+            ckt.add<VoltageSource>(name, node(tok[1]), node(tok[2]), dc, mag, ph);
+            break;
+        }
+        case 'i': {
+            if (tok.size() < 4) fail(line, "I card: Iname n+ n- [DC] value [AC mag]");
+            double dc, mag, ph;
+            parse_source_tail(tok, 3, line, dc, mag, ph);
+            ckt.add<CurrentSource>(name, node(tok[1]), node(tok[2]), dc, mag, ph);
+            break;
+        }
+        case 'd': {
+            if (tok.size() < 3) fail(line, "D card: Dname a k [is= n= rs= cj0=]");
+            DiodeParams dp;
+            for (std::size_t i = 3; i < tok.size(); ++i) {
+                std::string key, val;
+                if (!split_kv(tok[i], key, val))
+                    fail(line, "expected key=value, got '" + tok[i] + "'");
+                if (key == "is") dp.is = value_of(val, line);
+                else if (key == "n") dp.n = value_of(val, line);
+                else if (key == "rs") dp.rs = value_of(val, line);
+                else if (key == "cj0") dp.cj0 = value_of(val, line);
+                else if (key == "vj") dp.vj = value_of(val, line);
+                else if (key == "m") dp.m = value_of(val, line);
+                else fail(line, "unknown diode parameter '" + key + "'");
+            }
+            ckt.add<Diode>(name, node(tok[1]), node(tok[2]), dp);
+            break;
+        }
+        case 'e': {
+            if (tok.size() != 6) fail(line, "E card: Ename o+ o- c+ c- gain");
+            ckt.add<Vcvs>(name, node(tok[1]), node(tok[2]), node(tok[3]),
+                          node(tok[4]), value_of(tok[5], line));
+            break;
+        }
+        case 'g': {
+            if (tok.size() != 6) fail(line, "G card: Gname o+ o- c+ c- gm");
+            ckt.add<Vccs>(name, node(tok[1]), node(tok[2]), node(tok[3]),
+                          node(tok[4]), value_of(tok[5], line));
+            break;
+        }
+        case 'm': {
+            if (tok.size() < 6) fail(line, "M card: Mname d g s b model [W=] [L=]");
+            const std::string model_name = str::to_lower(tok[5]);
+            const auto it = st.models.find(model_name);
+            if (it == st.models.end())
+                fail(line, "unknown MOSFET model '" + model_name + "'");
+            double w = 10e-6, l = 1e-6;
+            for (std::size_t i = 6; i < tok.size(); ++i) {
+                std::string key, val;
+                if (!split_kv(tok[i], key, val))
+                    fail(line, "expected key=value, got '" + tok[i] + "'");
+                if (key == "w") w = value_of(val, line);
+                else if (key == "l") l = value_of(val, line);
+                else fail(line, "unknown MOSFET parameter '" + key + "'");
+            }
+            ckt.add<Mosfet>(name, node(tok[1]), node(tok[2]), node(tok[3]),
+                            node(tok[4]), it->second.type, it->second.params, w, l);
+            break;
+        }
+        case 'x': {
+            if (tok.size() < 2) fail(line, "X card: Xname nodes... subckt");
+            const std::string sub_name = str::to_lower(tok.back());
+            const auto it = st.subckts.find(sub_name);
+            if (it == st.subckts.end())
+                fail(line, "unknown subcircuit '" + sub_name + "'");
+            const SubcktDef& def = it->second;
+            if (tok.size() - 2 != def.pins.size())
+                fail(line, "subcircuit '" + sub_name + "' expects " +
+                               std::to_string(def.pins.size()) + " pins, got " +
+                               std::to_string(tok.size() - 2));
+            if (depth > 20) fail(line, "subcircuit nesting too deep");
+
+            // Map formal pins to actual (already-resolved) outer node names.
+            std::unordered_map<std::string, std::string> inner_map;
+            for (std::size_t p = 0; p < def.pins.size(); ++p) {
+                const NodeId outer = node(tok[1 + p]);
+                inner_map[def.pins[p]] = st.out.circuit.node_name(outer);
+            }
+            Expander inner{st, depth + 1};
+            const std::string inner_prefix = name + ".";
+            for (const auto& card : def.cards)
+                inner.element(card, line, inner_prefix, inner_map);
+            break;
+        }
+        default:
+            fail(line, "unsupported element '" + tok[0] + "'");
+        }
+    }
+};
+
+} // namespace
+
+ParsedNetlist parse_netlist(const std::string& text,
+                            const process::ProcessCard& default_card) {
+    ParserState st;
+    st.card = &default_card;
+    st.models["nmos"] = {Mosfet::Type::nmos, default_card.nmos};
+    st.models["pmos"] = {Mosfet::Type::pmos, default_card.pmos};
+
+    // Pass 1: join continuations, strip comments, tokenise.
+    struct Card {
+        std::vector<std::string> tok;
+        std::size_t line;
+    };
+    std::vector<Card> cards;
+    {
+        std::istringstream is(text);
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(is, line)) {
+            ++line_no;
+            std::string s = str::trim(line);
+            if (s.empty() || s[0] == '*' || s[0] == ';' || str::starts_with(s, "//"))
+                continue;
+            if (s[0] == '+') {
+                if (cards.empty()) fail(line_no, "continuation with no previous card");
+                auto extra = str::split_ws(s.substr(1));
+                for (auto& t : extra) cards.back().tok.push_back(std::move(t));
+                continue;
+            }
+            cards.push_back({str::split_ws(s), line_no});
+        }
+    }
+
+    // Pass 2: directives (.model/.subckt/.title) and element collection.
+    std::vector<Card> top_level;
+    for (std::size_t c = 0; c < cards.size(); ++c) {
+        auto& card = cards[c];
+        const std::string head = str::to_lower(card.tok[0]);
+        if (head == ".title") {
+            std::vector<std::string> rest(card.tok.begin() + 1, card.tok.end());
+            st.out.title = str::join(rest, " ");
+        } else if (head == ".end") {
+            break;
+        } else if (head == ".model") {
+            if (card.tok.size() < 3) fail(card.line, ".model name nmos|pmos [k=v...]");
+            ModelDef def;
+            const std::string type = str::to_lower(card.tok[2]);
+            if (type == "nmos") {
+                def.type = Mosfet::Type::nmos;
+                def.params = st.card->nmos;
+            } else if (type == "pmos") {
+                def.type = Mosfet::Type::pmos;
+                def.params = st.card->pmos;
+            } else {
+                fail(card.line, "model type must be nmos or pmos");
+            }
+            for (std::size_t i = 3; i < card.tok.size(); ++i) {
+                std::string key, val;
+                if (!split_kv(card.tok[i], key, val))
+                    fail(card.line, "expected key=value, got '" + card.tok[i] + "'");
+                apply_model_param(def.params, key, value_of(val, card.line),
+                                  card.line);
+            }
+            st.models[str::to_lower(card.tok[1])] = def;
+        } else if (head == ".subckt") {
+            if (card.tok.size() < 3) fail(card.line, ".subckt name pin1 [pin2...]");
+            SubcktDef def;
+            for (std::size_t i = 2; i < card.tok.size(); ++i)
+                def.pins.push_back(str::to_lower(card.tok[i]));
+            const std::string sub_name = str::to_lower(card.tok[1]);
+            ++c;
+            bool closed = false;
+            for (; c < cards.size(); ++c) {
+                const std::string inner_head = str::to_lower(cards[c].tok[0]);
+                if (inner_head == ".ends") {
+                    closed = true;
+                    break;
+                }
+                if (inner_head == ".subckt")
+                    fail(cards[c].line, "nested .subckt definitions not supported");
+                def.cards.push_back(cards[c].tok);
+            }
+            if (!closed) fail(card.line, ".subckt without matching .ends");
+            st.subckts[sub_name] = std::move(def);
+        } else if (head[0] == '.') {
+            fail(card.line, "unsupported directive '" + head + "'");
+        } else {
+            top_level.push_back(card);
+        }
+    }
+
+    // Pass 3: build the circuit.
+    Expander expander{st, 0};
+    const std::unordered_map<std::string, std::string> no_map;
+    for (const auto& card : top_level)
+        expander.element(card.tok, card.line, "", no_map);
+
+    return std::move(st.out);
+}
+
+ParsedNetlist read_netlist_file(const std::string& path,
+                                const process::ProcessCard& default_card) {
+    std::ifstream f(path);
+    if (!f) throw IoError("netlist: cannot open '" + path + "'");
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parse_netlist(ss.str(), default_card);
+}
+
+} // namespace ypm::spice

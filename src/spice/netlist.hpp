@@ -1,0 +1,51 @@
+#pragma once
+/// \file netlist.hpp
+/// \brief SPICE-format netlist parser (paper section 3.1 starts from "a
+///        transistor level netlist").
+///
+/// Supported grammar (case-insensitive, engineering suffixes everywhere):
+///   * comment            ; comment lines also start with ';' or '//'
+///   + continued fields   ; continuation of the previous card
+///   Rname n1 n2 value
+///   Cname n1 n2 value
+///   Lname n1 n2 value
+///   Vname n+ n- [DC] value [AC mag [phase]]
+///   Iname n+ n- [DC] value [AC mag [phase]]
+///   Dname a k [is=val] [n=val] [rs=val] [cj0=val] [vj=val] [m=val]
+///   Ename out+ out- ctrl+ ctrl- gain          ; VCVS
+///   Gname out+ out- ctrl+ ctrl- gm            ; VCCS
+///   Mname d g s b model [W=val] [L=val]
+///   Xname n1 n2 ... subcktname                ; flattened inline
+///   .model name nmos|pmos [param=value ...]
+///   .subckt name pin1 pin2 ...  /  .ends
+///   .title any text       /  .end
+///
+/// MOSFET .model parameters: vth0 kp lambda_l gamma phi n tox cgso cgdo cj
+/// cjsw ldiff (missing ones inherit the default process card).
+
+#include <string>
+
+#include "process/process_card.hpp"
+#include "spice/circuit.hpp"
+
+namespace ypm::spice {
+
+struct ParsedNetlist {
+    std::string title;
+    Circuit circuit;
+};
+
+/// Parse netlist text into a circuit.
+/// \param default_card supplies the built-in "nmos"/"pmos" model cards and
+///        the defaults for user .model statements.
+/// \throws ypm::InvalidInputError with a line-numbered message on errors.
+[[nodiscard]] ParsedNetlist
+parse_netlist(const std::string& text,
+              const process::ProcessCard& default_card = process::ProcessCard::c35());
+
+/// Read and parse a netlist file. \throws ypm::IoError if unreadable.
+[[nodiscard]] ParsedNetlist
+read_netlist_file(const std::string& path,
+                  const process::ProcessCard& default_card = process::ProcessCard::c35());
+
+} // namespace ypm::spice

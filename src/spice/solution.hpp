@@ -1,0 +1,64 @@
+#pragma once
+/// \file solution.hpp
+/// \brief MNA solution vector: node voltages followed by branch currents.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ypm::spice {
+
+/// Node identifier. 0 is always ground; real unknowns start at 1.
+using NodeId = int;
+inline constexpr NodeId ground = 0;
+
+/// Real-valued solution (DC operating point / one DC sweep step).
+class Solution {
+public:
+    Solution() = default;
+    Solution(std::size_t n_nodes, std::size_t n_branches)
+        : n_nodes_(n_nodes), x_(n_nodes + n_branches, 0.0) {}
+
+    /// Voltage at a node; ground reads 0 V.
+    [[nodiscard]] double voltage(NodeId n) const {
+        return n == ground ? 0.0 : x_[static_cast<std::size_t>(n) - 1];
+    }
+
+    /// Current through branch-equipped devices (V sources, inductors).
+    [[nodiscard]] double branch_current(std::size_t branch) const {
+        return x_[n_nodes_ + branch];
+    }
+
+    [[nodiscard]] std::size_t node_count() const { return n_nodes_; }
+    [[nodiscard]] std::size_t branch_count() const { return x_.size() - n_nodes_; }
+    [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+    [[nodiscard]] std::vector<double>& raw() { return x_; }
+    [[nodiscard]] const std::vector<double>& raw() const { return x_; }
+
+private:
+    std::size_t n_nodes_ = 0;
+    std::vector<double> x_;
+};
+
+/// Complex-valued solution (one AC frequency point).
+class AcSolution {
+public:
+    AcSolution() = default;
+    AcSolution(std::size_t n_nodes, std::vector<std::complex<double>> x)
+        : n_nodes_(n_nodes), x_(std::move(x)) {}
+
+    [[nodiscard]] std::complex<double> voltage(NodeId n) const {
+        return n == ground ? std::complex<double>{} : x_[static_cast<std::size_t>(n) - 1];
+    }
+    [[nodiscard]] std::complex<double> branch_current(std::size_t branch) const {
+        return x_[n_nodes_ + branch];
+    }
+    [[nodiscard]] std::size_t size() const { return x_.size(); }
+
+private:
+    std::size_t n_nodes_ = 0;
+    std::vector<std::complex<double>> x_;
+};
+
+} // namespace ypm::spice

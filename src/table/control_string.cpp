@@ -1,0 +1,86 @@
+#include "table/control_string.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ypm::table {
+
+namespace {
+
+Extrapolation parse_extrap(char c) {
+    switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'C': return Extrapolation::constant;
+    case 'L': return Extrapolation::linear;
+    case 'E': return Extrapolation::error;
+    default:
+        throw InvalidInputError(std::string("ControlString: unknown extrapolation '") +
+                                c + "' (expected C, L or E)");
+    }
+}
+
+char extrap_letter(Extrapolation e) {
+    switch (e) {
+    case Extrapolation::constant: return 'C';
+    case Extrapolation::linear: return 'L';
+    case Extrapolation::error: return 'E';
+    }
+    return '?';
+}
+
+DimensionControl parse_field(std::string_view field) {
+    DimensionControl dc;
+    const std::string f = ypm::str::trim(field);
+    std::size_t pos = 0;
+    if (pos < f.size() && std::isdigit(static_cast<unsigned char>(f[pos]))) {
+        dc.degree = f[pos] - '0';
+        if (dc.degree < 1 || dc.degree > 3)
+            throw InvalidInputError("ControlString: degree must be 1, 2 or 3, got '" +
+                                    std::string(1, f[pos]) + "'");
+        ++pos;
+    }
+    if (pos < f.size()) {
+        dc.below = dc.above = parse_extrap(f[pos]);
+        ++pos;
+    }
+    if (pos < f.size()) {
+        dc.above = parse_extrap(f[pos]);
+        ++pos;
+    }
+    if (pos < f.size())
+        throw InvalidInputError("ControlString: trailing characters in field '" +
+                                f + "'");
+    return dc;
+}
+
+} // namespace
+
+ControlString::ControlString(std::string_view text) {
+    for (const auto& field : str::split(text, ','))
+        dims_.push_back(parse_field(field));
+    if (dims_.empty()) dims_.push_back(DimensionControl{});
+}
+
+ControlString::ControlString(std::vector<DimensionControl> dims)
+    : dims_(std::move(dims)) {
+    if (dims_.empty()) dims_.push_back(DimensionControl{});
+}
+
+const DimensionControl& ControlString::dim(std::size_t d) const {
+    // Verilog-A semantics: missing trailing fields repeat the last one.
+    return d < dims_.size() ? dims_[d] : dims_.back();
+}
+
+std::string ControlString::to_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += static_cast<char>('0' + dims_[i].degree);
+        out += extrap_letter(dims_[i].below);
+        if (dims_[i].above != dims_[i].below) out += extrap_letter(dims_[i].above);
+    }
+    return out;
+}
+
+} // namespace ypm::table

@@ -1,0 +1,58 @@
+#pragma once
+/// \file control_string.hpp
+/// \brief Verilog-A $table_model control-string parsing.
+///
+/// A control string carries one comma-separated field per table dimension.
+/// Each field is an optional interpolation degree digit (1 = linear,
+/// 2 = quadratic, 3 = cubic; default 1) followed by zero, one or two
+/// extrapolation letters: 'C' clamp (constant), 'L' linear, 'E' error (no
+/// extrapolation allowed - the paper's choice, section 3.5: "3E").
+/// One letter applies to both ends; two letters give (below, above).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ypm::table {
+
+/// Behaviour when a lookup falls outside the sampled abscissa range.
+enum class Extrapolation {
+    error,    ///< 'E': raise ypm::RangeError (paper's "no extrapolation")
+    constant, ///< 'C': clamp to the end value
+    linear,   ///< 'L': extend using the end slope (Verilog-A default)
+};
+
+/// Parsed per-dimension control field.
+struct DimensionControl {
+    int degree = 1;
+    Extrapolation below = Extrapolation::linear;
+    Extrapolation above = Extrapolation::linear;
+
+    [[nodiscard]] bool operator==(const DimensionControl&) const = default;
+};
+
+/// Parsed control string for an N-dimensional table.
+class ControlString {
+public:
+    /// Parse e.g. "3E", "1CL", "3E,3E", "" (empty -> one default field).
+    /// \throws ypm::InvalidInputError on malformed text.
+    explicit ControlString(std::string_view text);
+
+    /// Build from already-parsed fields.
+    explicit ControlString(std::vector<DimensionControl> dims);
+
+    /// Number of dimension fields present in the string.
+    [[nodiscard]] std::size_t dimensions() const { return dims_.size(); }
+
+    /// Field for dimension d; if the string has fewer fields than the table
+    /// has dimensions, Verilog-A repeats the last field - so does this.
+    [[nodiscard]] const DimensionControl& dim(std::size_t d) const;
+
+    /// Canonical text form (e.g. "3E,1CL").
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<DimensionControl> dims_;
+};
+
+} // namespace ypm::table

@@ -1,0 +1,198 @@
+#include "table/pareto_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "table/spline.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::table {
+
+struct ParetoTable::Splines {
+    std::unique_ptr<Interpolant> obj0;
+    std::unique_ptr<Interpolant> obj1;
+    std::vector<std::unique_ptr<Interpolant>> payload;
+};
+
+ParetoTable::ParetoTable(std::vector<std::string> payload_names,
+                         std::vector<FrontPoint> points)
+    : names_(std::move(payload_names)) {
+    if (points.size() < 3)
+        throw InvalidInputError("ParetoTable: need >= 3 front points");
+    for (const auto& p : points)
+        if (p.payload.size() != names_.size())
+            throw InvalidInputError("ParetoTable: payload arity mismatch");
+
+    std::sort(points.begin(), points.end(),
+              [](const FrontPoint& a, const FrontPoint& b) { return a.obj0 < b.obj0; });
+
+    // Merge near-duplicate obj0 knots (spline abscissae must be strictly
+    // increasing). Tolerance is relative to the covered range.
+    const double span = points.back().obj0 - points.front().obj0;
+    const double eps = std::max(std::fabs(span) * 1e-9, 1e-300);
+    std::vector<FrontPoint> merged;
+    merged.reserve(points.size());
+    std::size_t i = 0;
+    while (i < points.size()) {
+        FrontPoint acc = points[i];
+        std::size_t count = 1;
+        while (i + count < points.size() &&
+               points[i + count].obj0 - points[i].obj0 <= eps) {
+            acc.obj1 += points[i + count].obj1;
+            for (std::size_t c = 0; c < acc.payload.size(); ++c)
+                acc.payload[c] += points[i + count].payload[c];
+            ++count;
+        }
+        acc.obj1 /= static_cast<double>(count);
+        for (auto& v : acc.payload) v /= static_cast<double>(count);
+        merged.push_back(std::move(acc));
+        i += count;
+    }
+    if (merged.size() < 3)
+        throw InvalidInputError("ParetoTable: fewer than 3 distinct front points "
+                                "after merging duplicates");
+
+    obj0_lo_ = merged.front().obj0;
+    obj0_hi_ = merged.back().obj0;
+    auto [mn, mx] = std::minmax_element(
+        merged.begin(), merged.end(),
+        [](const FrontPoint& a, const FrontPoint& b) { return a.obj1 < b.obj1; });
+    obj1_lo_ = mn->obj1;
+    obj1_hi_ = mx->obj1;
+
+    // Normalised arc length along the front.
+    const double d0 = std::max(obj0_hi_ - obj0_lo_, 1e-300);
+    const double d1 = std::max(obj1_hi_ - obj1_lo_, 1e-300);
+    s_.resize(merged.size());
+    s_[0] = 0.0;
+    for (std::size_t k = 1; k < merged.size(); ++k) {
+        const double dx = (merged[k].obj0 - merged[k - 1].obj0) / d0;
+        const double dy = (merged[k].obj1 - merged[k - 1].obj1) / d1;
+        s_[k] = s_[k - 1] + std::hypot(dx, dy);
+    }
+    const double total = s_.back();
+    if (total <= 0.0)
+        throw InvalidInputError("ParetoTable: degenerate front (zero arc length)");
+    for (auto& s : s_) s /= total;
+    // Guard against numerically-equal consecutive knots.
+    for (std::size_t k = 1; k < s_.size(); ++k)
+        if (s_[k] <= s_[k - 1]) s_[k] = std::nextafter(s_[k - 1], 2.0);
+
+    col_obj0_.resize(merged.size());
+    col_obj1_.resize(merged.size());
+    col_payload_.assign(names_.size(), std::vector<double>(merged.size()));
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+        col_obj0_[k] = merged[k].obj0;
+        col_obj1_[k] = merged[k].obj1;
+        for (std::size_t c = 0; c < names_.size(); ++c)
+            col_payload_[c][k] = merged[k].payload[c];
+    }
+
+    auto sp = std::make_shared<Splines>();
+    sp->obj0 = make_interpolant(3, s_, col_obj0_);
+    sp->obj1 = make_interpolant(3, s_, col_obj1_);
+    sp->payload.reserve(names_.size());
+    for (std::size_t c = 0; c < names_.size(); ++c)
+        sp->payload.push_back(make_interpolant(3, s_, col_payload_[c]));
+    splines_ = std::move(sp);
+}
+
+double ParetoTable::obj0_at(double s) const {
+    return splines_->obj0->eval(mathx::clamp(s, 0.0, 1.0));
+}
+
+double ParetoTable::obj1_at(double s) const {
+    return splines_->obj1->eval(mathx::clamp(s, 0.0, 1.0));
+}
+
+double ParetoTable::payload_at(std::size_t column, double s) const {
+    if (column >= names_.size())
+        throw InvalidInputError("ParetoTable: payload column out of range");
+    return splines_->payload[column]->eval(mathx::clamp(s, 0.0, 1.0));
+}
+
+double ParetoTable::s_at_obj0(double obj0) const {
+    // obj0 is monotone along the front (it is the sort key); invert by
+    // monotone bisection on the spline.
+    if (obj0 <= obj0_lo_) return 0.0;
+    if (obj0 >= obj0_hi_) return 1.0;
+    double lo = 0.0, hi = 1.0;
+    const bool increasing = col_obj0_.back() > col_obj0_.front();
+    for (int it = 0; it < 64; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double v = splines_->obj0->eval(mid);
+        if ((v < obj0) == increasing)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+namespace {
+double sqr(double v) { return v * v; }
+} // namespace
+
+double ParetoTable::project(double obj0, double obj1) const {
+    const double d0 = std::max(obj0_hi_ - obj0_lo_, 1e-300);
+    const double d1 = std::max(obj1_hi_ - obj1_lo_, 1e-300);
+    auto dist2 = [&](double s) {
+        return sqr((splines_->obj0->eval(s) - obj0) / d0) +
+               sqr((splines_->obj1->eval(s) - obj1) / d1);
+    };
+    // Coarse scan then golden-section refinement around the best cell.
+    constexpr std::size_t scan = 257;
+    double best_s = 0.0;
+    double best_d = dist2(0.0);
+    for (std::size_t k = 1; k < scan; ++k) {
+        const double s = static_cast<double>(k) / (scan - 1);
+        const double d = dist2(s);
+        if (d < best_d) {
+            best_d = d;
+            best_s = s;
+        }
+    }
+    const double cell = 1.0 / (scan - 1);
+    double lo = std::max(0.0, best_s - cell);
+    double hi = std::min(1.0, best_s + cell);
+    constexpr double phi = 0.6180339887498949;
+    double x1 = hi - phi * (hi - lo);
+    double x2 = lo + phi * (hi - lo);
+    double f1 = dist2(x1);
+    double f2 = dist2(x2);
+    for (int it = 0; it < 80 && (hi - lo) > 1e-12; ++it) {
+        if (f1 < f2) {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = dist2(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = dist2(x2);
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double ParetoTable::projection_residual(double obj0, double obj1) const {
+    const double s = project(obj0, obj1);
+    const double d0 = std::max(obj0_hi_ - obj0_lo_, 1e-300);
+    const double d1 = std::max(obj1_hi_ - obj1_lo_, 1e-300);
+    return std::hypot((splines_->obj0->eval(s) - obj0) / d0,
+                      (splines_->obj1->eval(s) - obj1) / d1);
+}
+
+std::vector<double> ParetoTable::lookup(double obj0, double obj1) const {
+    const double s = project(obj0, obj1);
+    std::vector<double> out(names_.size());
+    for (std::size_t c = 0; c < names_.size(); ++c) out[c] = payload_at(c, s);
+    return out;
+}
+
+} // namespace ypm::table

@@ -1,0 +1,96 @@
+#pragma once
+/// \file pareto_table.hpp
+/// \brief Scattered-data table over a 2-objective Pareto front.
+///
+/// The paper's lp*_data.tbl lookups interpolate designable parameters from a
+/// (gain, phase-margin) query, but Pareto points form a 1-D curve in the 2-D
+/// objective space rather than a rectilinear grid. ParetoTable makes that
+/// lookup well-defined: the front is parameterised by normalised arc length
+/// s in objective space, every column (both objectives and every payload
+/// parameter) is fitted as a cubic spline of s, and a 2-D query projects the
+/// requested point onto the front before reading the payload splines.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ypm::table {
+
+/// One front point: objective pair plus payload (designable parameters).
+struct FrontPoint {
+    double obj0 = 0.0;            ///< e.g. open-loop gain (dB)
+    double obj1 = 0.0;            ///< e.g. phase margin (deg)
+    std::vector<double> payload;  ///< e.g. W1..W4, L1..L4
+};
+
+class ParetoTable {
+public:
+    /// \param payload_names column names for the payload entries
+    /// \param points front points; sorted internally by obj0, near-duplicate
+    ///        obj0 values merged. Needs >= 3 distinct points.
+    ParetoTable(std::vector<std::string> payload_names,
+                std::vector<FrontPoint> points);
+
+    /// Number of payload columns.
+    [[nodiscard]] std::size_t payload_columns() const { return names_.size(); }
+
+    /// Payload column names.
+    [[nodiscard]] const std::vector<std::string>& payload_names() const {
+        return names_;
+    }
+
+    /// Number of (merged) front points.
+    [[nodiscard]] std::size_t points() const { return s_.size(); }
+
+    /// Project (obj0, obj1) onto the front; returns arc-length s in [0, 1].
+    [[nodiscard]] double project(double obj0, double obj1) const;
+
+    /// Distance (in normalised objective space) from the query to the front.
+    /// Useful to detect queries far from any achievable design.
+    [[nodiscard]] double projection_residual(double obj0, double obj1) const;
+
+    /// Objectives along the front at parameter s.
+    [[nodiscard]] double obj0_at(double s) const;
+    [[nodiscard]] double obj1_at(double s) const;
+
+    /// s such that obj0(s) == obj0 (obj0 is monotone along the front).
+    /// Clamps to the end points outside the covered range.
+    [[nodiscard]] double s_at_obj0(double obj0) const;
+
+    /// Payload column value at front parameter s.
+    [[nodiscard]] double payload_at(std::size_t column, double s) const;
+
+    /// Arc-length knots of the (merged) front points, ascending in [0, 1].
+    [[nodiscard]] const std::vector<double>& knots() const { return s_; }
+
+    /// Exact stored values at knot k (no interpolation).
+    [[nodiscard]] double obj0_knot(std::size_t k) const { return col_obj0_.at(k); }
+    [[nodiscard]] double obj1_knot(std::size_t k) const { return col_obj1_.at(k); }
+    [[nodiscard]] double payload_knot(std::size_t column, std::size_t k) const {
+        return col_payload_.at(column).at(k);
+    }
+
+    /// All payload values for a 2-D objective query (project + read).
+    [[nodiscard]] std::vector<double> lookup(double obj0, double obj1) const;
+
+    /// Covered objective ranges.
+    [[nodiscard]] double obj0_min() const { return obj0_lo_; }
+    [[nodiscard]] double obj0_max() const { return obj0_hi_; }
+    [[nodiscard]] double obj1_min() const { return obj1_lo_; }
+    [[nodiscard]] double obj1_max() const { return obj1_hi_; }
+
+private:
+    std::vector<std::string> names_;
+    std::vector<double> s_;                       ///< arc-length knots in [0,1]
+    std::vector<double> col_obj0_, col_obj1_;     ///< objective knots
+    std::vector<std::vector<double>> col_payload_; ///< [column][knot]
+    double obj0_lo_ = 0, obj0_hi_ = 0, obj1_lo_ = 0, obj1_hi_ = 0;
+
+    // Spline evaluation helpers over the knot arrays (built lazily per call
+    // would be wasteful; cached as TableModel-free raw splines).
+    struct Splines;
+    std::shared_ptr<const Splines> splines_;
+};
+
+} // namespace ypm::table

@@ -1,0 +1,230 @@
+#include "table/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::table {
+
+namespace {
+
+void check_data(const std::vector<double>& xs, const std::vector<double>& ys,
+                std::size_t min_points, const char* who) {
+    if (xs.size() != ys.size())
+        throw InvalidInputError(std::string(who) + ": xs/ys size mismatch");
+    if (xs.size() < min_points)
+        throw InvalidInputError(std::string(who) + ": need at least " +
+                                std::to_string(min_points) + " points, got " +
+                                std::to_string(xs.size()));
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i)
+        if (!(xs[i] < xs[i + 1]))
+            throw InvalidInputError(std::string(who) +
+                                    ": abscissae must be strictly increasing");
+    for (double v : xs)
+        if (!std::isfinite(v))
+            throw InvalidInputError(std::string(who) + ": non-finite abscissa");
+    for (double v : ys)
+        if (!std::isfinite(v))
+            throw InvalidInputError(std::string(who) + ": non-finite ordinate");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Linear
+
+LinearInterp::LinearInterp(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    check_data(xs_, ys_, 2, "LinearInterp");
+}
+
+double LinearInterp::eval(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    const double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    return mathx::lerp(ys_[i], ys_[i + 1], t);
+}
+
+double LinearInterp::derivative(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    return (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+}
+
+// ------------------------------------------------------------- Quadratic
+
+QuadraticSpline::QuadraticSpline(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    check_data(xs_, ys_, 3, "QuadraticSpline");
+    const std::size_t n = xs_.size();
+    b_.resize(n);
+    c_.resize(n - 1);
+    // Free end condition: initial slope equals the first secant, then C1
+    // continuity propagates: b_{i+1} = 2*secant_i - b_i.
+    b_[0] = (ys_[1] - ys_[0]) / (xs_[1] - xs_[0]);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double h = xs_[i + 1] - xs_[i];
+        const double secant = (ys_[i + 1] - ys_[i]) / h;
+        b_[i + 1] = 2.0 * secant - b_[i];
+        c_[i] = (b_[i + 1] - b_[i]) / (2.0 * h);
+    }
+}
+
+double QuadraticSpline::eval(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    const double dx = x - xs_[i];
+    return ys_[i] + b_[i] * dx + c_[i] * dx * dx;
+}
+
+double QuadraticSpline::derivative(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    const double dx = x - xs_[i];
+    return b_[i] + 2.0 * c_[i] * dx;
+}
+
+// ----------------------------------------------------------------- Cubic
+
+CubicSpline::CubicSpline(std::vector<double> xs, std::vector<double> ys, CubicBc bc)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    check_data(xs_, ys_, 3, "CubicSpline");
+    const std::size_t n = xs_.size();
+
+    // Solve the tridiagonal system for knot second derivatives m_i.
+    std::vector<double> a(n, 0.0), b(n, 0.0), c(n, 0.0), d(n, 0.0);
+    auto h = [&](std::size_t i) { return xs_[i + 1] - xs_[i]; };
+
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        a[i] = h(i - 1);
+        b[i] = 2.0 * (h(i - 1) + h(i));
+        c[i] = h(i);
+        d[i] = 6.0 * ((ys_[i + 1] - ys_[i]) / h(i) - (ys_[i] - ys_[i - 1]) / h(i - 1));
+    }
+
+    if (bc == CubicBc::natural) {
+        b[0] = 1.0;
+        b[n - 1] = 1.0; // m_0 = m_{n-1} = 0
+    } else {
+        // Not-a-knot: S''' continuous across x_1 and x_{n-2}:
+        // h1*m0 - (h0+h1)*m1 + h0*m2 = 0 (and mirrored at the other end).
+        b[0] = h(1);
+        c[0] = -(h(0) + h(1));
+        d[0] = 0.0;
+        // The extra m2 coefficient is folded in by a pre-elimination step.
+        // Row 0: h1*m0 - (h0+h1)*m1 + h0*m2 = 0. Eliminate m2 using row 1.
+        // For simplicity (n >= 4 required for true not-a-knot) fall back to
+        // natural when too few points.
+        if (n < 4) {
+            b[0] = 1.0;
+            c[0] = 0.0;
+        }
+        b[n - 1] = 1.0; // handled below
+    }
+
+    m_.assign(n, 0.0);
+    if (bc == CubicBc::natural || n < 4) {
+        // Thomas algorithm on the interior unknowns.
+        std::vector<double> cp(n, 0.0), dp(n, 0.0);
+        cp[0] = c[0] / b[0];
+        dp[0] = d[0] / b[0];
+        for (std::size_t i = 1; i < n; ++i) {
+            const double denom = b[i] - a[i] * cp[i - 1];
+            cp[i] = c[i] / denom;
+            dp[i] = (d[i] - a[i] * dp[i - 1]) / denom;
+        }
+        m_[n - 1] = dp[n - 1];
+        for (std::size_t i = n - 1; i-- > 0;) m_[i] = dp[i] - cp[i] * m_[i + 1];
+    } else {
+        // Not-a-knot via a small dense solve (n is tiny for table models).
+        // Equations: interior C2 rows plus the two not-a-knot rows.
+        std::vector<std::vector<double>> mat(n, std::vector<double>(n, 0.0));
+        std::vector<double> rhs(n, 0.0);
+        mat[0][0] = h(1);
+        mat[0][1] = -(h(0) + h(1));
+        mat[0][2] = h(0);
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            mat[i][i - 1] = a[i];
+            mat[i][i] = b[i];
+            mat[i][i + 1] = c[i];
+            rhs[i] = d[i];
+        }
+        mat[n - 1][n - 3] = h(n - 2);
+        mat[n - 1][n - 2] = -(h(n - 3) + h(n - 2));
+        mat[n - 1][n - 1] = h(n - 3);
+
+        // Gaussian elimination with partial pivoting.
+        for (std::size_t k = 0; k < n; ++k) {
+            std::size_t piv = k;
+            for (std::size_t i = k + 1; i < n; ++i)
+                if (std::fabs(mat[i][k]) > std::fabs(mat[piv][k])) piv = i;
+            std::swap(mat[k], mat[piv]);
+            std::swap(rhs[k], rhs[piv]);
+            if (mat[k][k] == 0.0)
+                throw NumericalError("CubicSpline: degenerate not-a-knot system");
+            for (std::size_t i = k + 1; i < n; ++i) {
+                const double f = mat[i][k] / mat[k][k];
+                if (f == 0.0) continue;
+                for (std::size_t j = k; j < n; ++j) mat[i][j] -= f * mat[k][j];
+                rhs[i] -= f * rhs[k];
+            }
+        }
+        for (std::size_t ii = n; ii-- > 0;) {
+            double acc = rhs[ii];
+            for (std::size_t j = ii + 1; j < n; ++j) acc -= mat[ii][j] * m_[j];
+            m_[ii] = acc / mat[ii][ii];
+        }
+    }
+}
+
+CubicSpline::Coeffs CubicSpline::coeffs(std::size_t i) const {
+    if (i + 1 >= xs_.size())
+        throw InvalidInputError("CubicSpline::coeffs: interval out of range");
+    const double h = xs_[i + 1] - xs_[i];
+    Coeffs k{};
+    k.a = (m_[i + 1] - m_[i]) / (6.0 * h);
+    k.b = m_[i] / 2.0;
+    k.c = (ys_[i + 1] - ys_[i]) / h - h * (2.0 * m_[i] + m_[i + 1]) / 6.0;
+    k.d = ys_[i];
+    return k;
+}
+
+double CubicSpline::eval(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    const Coeffs k = coeffs(i);
+    const double dx = x - xs_[i];
+    return ((k.a * dx + k.b) * dx + k.c) * dx + k.d;
+}
+
+double CubicSpline::derivative(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    const Coeffs k = coeffs(i);
+    const double dx = x - xs_[i];
+    return (3.0 * k.a * dx + 2.0 * k.b) * dx + k.c;
+}
+
+double CubicSpline::second_derivative(double x) const {
+    const std::size_t i = mathx::bracket(xs_, x);
+    const Coeffs k = coeffs(i);
+    const double dx = x - xs_[i];
+    return 6.0 * k.a * dx + 2.0 * k.b;
+}
+
+// --------------------------------------------------------------- Factory
+
+std::unique_ptr<Interpolant> make_interpolant(int degree, std::vector<double> xs,
+                                              std::vector<double> ys) {
+    if (degree < 1 || degree > 3)
+        throw InvalidInputError("make_interpolant: degree must be 1, 2 or 3");
+    const std::size_t n = xs.size();
+    // Graceful degradation mirrors $table_model: fewer points than the
+    // degree needs drops to the highest degree the data supports.
+    int effective = degree;
+    if (n == 2) effective = 1;
+    else if (n == 3 && degree == 3) effective = 2;
+
+    switch (effective) {
+    case 1: return std::make_unique<LinearInterp>(std::move(xs), std::move(ys));
+    case 2: return std::make_unique<QuadraticSpline>(std::move(xs), std::move(ys));
+    default: return std::make_unique<CubicSpline>(std::move(xs), std::move(ys));
+    }
+}
+
+} // namespace ypm::table

@@ -1,0 +1,109 @@
+#pragma once
+/// \file spline.hpp
+/// \brief Piecewise-polynomial interpolants of degree 1, 2 and 3 - the three
+///        spline types Verilog-A's $table_model supports (paper section 2.2).
+///
+/// The cubic spline realises paper eq. (3):
+///   S_i(x) = a_i (x-x_i)^3 + b_i (x-x_i)^2 + c_i (x-x_i) + d_i
+/// with coefficients chosen for C2 continuity (natural or not-a-knot ends).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ypm::table {
+
+/// Common interface for the three interpolant degrees.
+class Interpolant {
+public:
+    virtual ~Interpolant() = default;
+
+    /// Value at x. x may lie outside [x_front, x_back]; concrete classes
+    /// evaluate their end polynomial there (extrapolation *policy* - clamp /
+    /// linear / error - is applied by TableModel1d, not here).
+    [[nodiscard]] virtual double eval(double x) const = 0;
+
+    /// First derivative at x.
+    [[nodiscard]] virtual double derivative(double x) const = 0;
+
+    /// Abscissa range covered by the data.
+    [[nodiscard]] virtual double x_min() const = 0;
+    [[nodiscard]] virtual double x_max() const = 0;
+
+    /// Polynomial degree (1, 2 or 3).
+    [[nodiscard]] virtual int degree() const = 0;
+};
+
+/// Degree-1: piecewise linear.
+class LinearInterp final : public Interpolant {
+public:
+    /// \param xs strictly increasing abscissae (>= 2 points)
+    /// \param ys matching ordinates
+    LinearInterp(std::vector<double> xs, std::vector<double> ys);
+
+    [[nodiscard]] double eval(double x) const override;
+    [[nodiscard]] double derivative(double x) const override;
+    [[nodiscard]] double x_min() const override { return xs_.front(); }
+    [[nodiscard]] double x_max() const override { return xs_.back(); }
+    [[nodiscard]] int degree() const override { return 1; }
+
+private:
+    std::vector<double> xs_, ys_;
+};
+
+/// Degree-2: C1 piecewise quadratic; the free end condition sets the initial
+/// slope to the first-interval secant.
+class QuadraticSpline final : public Interpolant {
+public:
+    QuadraticSpline(std::vector<double> xs, std::vector<double> ys);
+
+    [[nodiscard]] double eval(double x) const override;
+    [[nodiscard]] double derivative(double x) const override;
+    [[nodiscard]] double x_min() const override { return xs_.front(); }
+    [[nodiscard]] double x_max() const override { return xs_.back(); }
+    [[nodiscard]] int degree() const override { return 2; }
+
+private:
+    std::vector<double> xs_, ys_;
+    std::vector<double> b_; ///< slope at each knot
+    std::vector<double> c_; ///< quadratic coefficient per interval
+};
+
+/// End condition for the cubic spline.
+enum class CubicBc {
+    natural,    ///< second derivative zero at both ends
+    not_a_knot, ///< third derivative continuous across first/last interior knot
+};
+
+/// Degree-3: C2 cubic spline (paper eq. 3).
+class CubicSpline final : public Interpolant {
+public:
+    CubicSpline(std::vector<double> xs, std::vector<double> ys,
+                CubicBc bc = CubicBc::natural);
+
+    [[nodiscard]] double eval(double x) const override;
+    [[nodiscard]] double derivative(double x) const override;
+    [[nodiscard]] double second_derivative(double x) const;
+    [[nodiscard]] double x_min() const override { return xs_.front(); }
+    [[nodiscard]] double x_max() const override { return xs_.back(); }
+    [[nodiscard]] int degree() const override { return 3; }
+
+    /// Per-interval coefficients of eq. (3): S_i(x) = a(x-xi)^3 + b(x-xi)^2
+    /// + c(x-xi) + d. Exposed for coefficient-level unit tests.
+    struct Coeffs { double a, b, c, d; };
+    [[nodiscard]] Coeffs coeffs(std::size_t interval) const;
+
+    [[nodiscard]] std::size_t intervals() const { return xs_.size() - 1; }
+
+private:
+    std::vector<double> xs_, ys_;
+    std::vector<double> m_; ///< second derivative at each knot
+};
+
+/// Factory: build the interpolant of the requested degree (1, 2 or 3).
+/// Degrades gracefully: with 2 points any request yields linear; with 3
+/// points a cubic request yields quadratic.
+[[nodiscard]] std::unique_ptr<Interpolant>
+make_interpolant(int degree, std::vector<double> xs, std::vector<double> ys);
+
+} // namespace ypm::table

@@ -1,0 +1,165 @@
+#include "table/table_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ypm::table {
+
+namespace {
+
+/// Sort samples by x and merge duplicates (average of equal-x values).
+void sort_and_merge(std::vector<double>& xs, std::vector<double>& ys) {
+    if (xs.size() != ys.size())
+        throw InvalidInputError("TableModel1d: xs/ys size mismatch");
+    std::vector<std::size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+    const double span = xs.empty() ? 0.0
+                                   : (xs[order.back()] - xs[order.front()]);
+    const double eps = std::max(std::fabs(span) * 1e-12, 1e-300);
+
+    std::vector<double> out_x, out_y;
+    out_x.reserve(xs.size());
+    out_y.reserve(ys.size());
+    std::size_t i = 0;
+    while (i < order.size()) {
+        double x0 = xs[order[i]];
+        double sum = ys[order[i]];
+        std::size_t count = 1;
+        while (i + count < order.size() && xs[order[i + count]] - x0 <= eps) {
+            sum += ys[order[i + count]];
+            ++count;
+        }
+        out_x.push_back(x0);
+        out_y.push_back(sum / static_cast<double>(count));
+        i += count;
+    }
+    xs = std::move(out_x);
+    ys = std::move(out_y);
+}
+
+/// Apply an extrapolation policy on one side. Returns the x actually fed to
+/// the interpolant plus a flag for constant clamping.
+double apply_policy(double x, double lo, double hi, const DimensionControl& dc,
+                    const char* what) {
+    if (x < lo) {
+        switch (dc.below) {
+        case Extrapolation::error:
+            throw RangeError(std::string(what) + ": lookup " + str::fmt_double(x) +
+                             " below table range [" + str::fmt_double(lo) + ", " +
+                             str::fmt_double(hi) + "] and control forbids extrapolation");
+        case Extrapolation::constant: return lo;
+        case Extrapolation::linear: return x; // end polynomial extends naturally
+        }
+    }
+    if (x > hi) {
+        switch (dc.above) {
+        case Extrapolation::error:
+            throw RangeError(std::string(what) + ": lookup " + str::fmt_double(x) +
+                             " above table range [" + str::fmt_double(lo) + ", " +
+                             str::fmt_double(hi) + "] and control forbids extrapolation");
+        case Extrapolation::constant: return hi;
+        case Extrapolation::linear: return x;
+        }
+    }
+    return x;
+}
+
+/// For linear extrapolation, evaluate using the end slope rather than the
+/// end polynomial (matches Verilog-A 'L': first-order continuation).
+double eval_with_policy(const Interpolant& f, double x, const DimensionControl& dc,
+                        const char* what) {
+    const double lo = f.x_min();
+    const double hi = f.x_max();
+    const double xa = apply_policy(x, lo, hi, dc, what);
+    if (xa < lo) {
+        // only reachable with linear policy
+        return f.eval(lo) + f.derivative(lo) * (xa - lo);
+    }
+    if (xa > hi) {
+        return f.eval(hi) + f.derivative(hi) * (xa - hi);
+    }
+    return f.eval(xa);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- 1-D
+
+TableModel1d::TableModel1d(std::vector<double> xs, std::vector<double> ys,
+                           const ControlString& control)
+    : control_(control) {
+    sort_and_merge(xs, ys);
+    n_samples_ = xs.size();
+    if (n_samples_ < 2)
+        throw InvalidInputError("TableModel1d: need >= 2 distinct samples");
+    interp_ = make_interpolant(control_.dim(0).degree, std::move(xs), std::move(ys));
+}
+
+double TableModel1d::eval(double x) const {
+    return eval_with_policy(*interp_, x, control_.dim(0), "TableModel1d");
+}
+
+double TableModel1d::derivative(double x) const {
+    const auto& dc = control_.dim(0);
+    const double lo = interp_->x_min();
+    const double hi = interp_->x_max();
+    if (x < lo) {
+        if (dc.below == Extrapolation::error)
+            throw RangeError("TableModel1d: derivative below range");
+        if (dc.below == Extrapolation::constant) return 0.0;
+        return interp_->derivative(lo);
+    }
+    if (x > hi) {
+        if (dc.above == Extrapolation::error)
+            throw RangeError("TableModel1d: derivative above range");
+        if (dc.above == Extrapolation::constant) return 0.0;
+        return interp_->derivative(hi);
+    }
+    return interp_->derivative(x);
+}
+
+// ---------------------------------------------------------------- 2-D
+
+TableModel2d::TableModel2d(std::vector<double> xs, std::vector<double> ys,
+                           std::vector<double> values, const ControlString& control)
+    : xs_(std::move(xs)), ys_(std::move(ys)), values_(std::move(values)),
+      control_(control) {
+    if (xs_.size() < 2 || ys_.size() < 2)
+        throw InvalidInputError("TableModel2d: each axis needs >= 2 points");
+    if (values_.size() != xs_.size() * ys_.size())
+        throw InvalidInputError("TableModel2d: values size must be nx*ny");
+    for (std::size_t i = 0; i + 1 < xs_.size(); ++i)
+        if (!(xs_[i] < xs_[i + 1]))
+            throw InvalidInputError("TableModel2d: x grid must be strictly increasing");
+    for (std::size_t j = 0; j + 1 < ys_.size(); ++j)
+        if (!(ys_[j] < ys_[j + 1]))
+            throw InvalidInputError("TableModel2d: y grid must be strictly increasing");
+
+    const int ydeg = control_.dim(1).degree;
+    row_interp_.reserve(xs_.size());
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+        std::vector<double> row(values_.begin() + static_cast<std::ptrdiff_t>(i * ys_.size()),
+                                values_.begin() + static_cast<std::ptrdiff_t>((i + 1) * ys_.size()));
+        row_interp_.push_back(make_interpolant(ydeg, ys_, std::move(row)));
+    }
+}
+
+double TableModel2d::eval(double x, double y) const {
+    // Evaluate each row spline at y (with the y-axis policy), then spline
+    // the results across x (with the x-axis policy).
+    std::vector<double> column(xs_.size());
+    for (std::size_t i = 0; i < xs_.size(); ++i)
+        column[i] = eval_with_policy(*row_interp_[i], y, control_.dim(1),
+                                     "TableModel2d(y)");
+    const auto xinterp = make_interpolant(control_.dim(0).degree, xs_, std::move(column));
+    return eval_with_policy(*xinterp, x, control_.dim(0), "TableModel2d(x)");
+}
+
+} // namespace ypm::table

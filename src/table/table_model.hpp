@@ -1,0 +1,83 @@
+#pragma once
+/// \file table_model.hpp
+/// \brief 1-D and 2-D table models - the library's $table_model() equivalent
+///        (paper section 3.5).
+///
+/// TableModel1d maps scattered (x, value) samples through a spline of the
+/// control string's degree with its extrapolation policy. TableModel2d works
+/// on a rectilinear grid via tensor-product splines. Both can be constructed
+/// directly from sample vectors or loaded from a `.tbl` file (tbl_io.hpp).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/control_string.hpp"
+#include "table/spline.hpp"
+
+namespace ypm::table {
+
+/// One-dimensional table model: value = f(x).
+class TableModel1d {
+public:
+    /// Build from samples. Samples are sorted by x; duplicate abscissae
+    /// (within 1e-12 relative) are merged by averaging their values.
+    /// \throws ypm::InvalidInputError with fewer than 2 distinct samples.
+    TableModel1d(std::vector<double> xs, std::vector<double> ys,
+                 const ControlString& control = ControlString("3E"));
+
+    /// Lookup with the control string's extrapolation policy applied.
+    /// \throws ypm::RangeError outside the data when policy is error.
+    [[nodiscard]] double eval(double x) const;
+
+    /// Derivative df/dx with the same policy (constant extrapolation has
+    /// zero slope outside the range).
+    [[nodiscard]] double derivative(double x) const;
+
+    [[nodiscard]] double x_min() const { return interp_->x_min(); }
+    [[nodiscard]] double x_max() const { return interp_->x_max(); }
+    [[nodiscard]] const ControlString& control() const { return control_; }
+    [[nodiscard]] std::size_t samples() const { return n_samples_; }
+
+private:
+    ControlString control_;
+    std::unique_ptr<Interpolant> interp_;
+    std::size_t n_samples_ = 0;
+};
+
+/// Two-dimensional grid table model: value = f(x, y).
+///
+/// Evaluation uses tensor-product interpolation: a spline along y for each
+/// grid row x_i gives intermediate values v_i(y), then a spline across the
+/// v_i completes the lookup. Each axis honours its own control field
+/// (e.g. "3E,3E" as the paper's lp*_data tables use).
+class TableModel2d {
+public:
+    /// \param xs grid abscissae, strictly increasing (size nx >= 2)
+    /// \param ys grid ordinates, strictly increasing (size ny >= 2)
+    /// \param values row-major nx * ny values: values[i*ny + j] = f(xs[i], ys[j])
+    TableModel2d(std::vector<double> xs, std::vector<double> ys,
+                 std::vector<double> values,
+                 const ControlString& control = ControlString("3E,3E"));
+
+    /// Lookup with per-axis extrapolation policies.
+    [[nodiscard]] double eval(double x, double y) const;
+
+    [[nodiscard]] double x_min() const { return xs_.front(); }
+    [[nodiscard]] double x_max() const { return xs_.back(); }
+    [[nodiscard]] double y_min() const { return ys_.front(); }
+    [[nodiscard]] double y_max() const { return ys_.back(); }
+    [[nodiscard]] const ControlString& control() const { return control_; }
+
+private:
+    [[nodiscard]] double clamp_axis(double v, double lo, double hi,
+                                    const DimensionControl& dc, const char* axis) const;
+
+    std::vector<double> xs_, ys_;
+    std::vector<double> values_; // row-major
+    ControlString control_;
+    // Pre-built splines along y, one per x row (reused across evals).
+    std::vector<std::unique_ptr<Interpolant>> row_interp_;
+};
+
+} // namespace ypm::table

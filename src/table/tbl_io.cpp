@@ -1,0 +1,107 @@
+#include "table/tbl_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace ypm::table {
+
+TblData parse_tbl(const std::string& text) {
+    TblData data;
+    std::istringstream is(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string stripped = str::trim(line);
+        if (stripped.empty() || stripped[0] == '#' || stripped[0] == '*') continue;
+        const auto fields = str::split_ws(stripped);
+        if (fields.size() < 2)
+            throw InvalidInputError("tbl line " + std::to_string(line_no) +
+                                    ": need at least one coordinate and a value");
+        if (data.coord_columns == 0) {
+            data.coord_columns = fields.size() - 1;
+        } else if (fields.size() - 1 != data.coord_columns) {
+            throw InvalidInputError("tbl line " + std::to_string(line_no) +
+                                    ": ragged row (expected " +
+                                    std::to_string(data.coord_columns + 1) +
+                                    " columns)");
+        }
+        std::vector<double> coord(data.coord_columns);
+        for (std::size_t c = 0; c < data.coord_columns; ++c) {
+            const auto v = units::try_parse_value(fields[c]);
+            if (!v)
+                throw InvalidInputError("tbl line " + std::to_string(line_no) +
+                                        ": bad number '" + fields[c] + "'");
+            coord[c] = *v;
+        }
+        const auto val = units::try_parse_value(fields.back());
+        if (!val)
+            throw InvalidInputError("tbl line " + std::to_string(line_no) +
+                                    ": bad value '" + fields.back() + "'");
+        data.coords.push_back(std::move(coord));
+        data.values.push_back(*val);
+    }
+    if (data.samples() == 0)
+        throw InvalidInputError("tbl: no data rows found");
+    return data;
+}
+
+TblData read_tbl(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw IoError("tbl: cannot open '" + path + "' for reading");
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    try {
+        return parse_tbl(ss.str());
+    } catch (const InvalidInputError& e) {
+        throw InvalidInputError(path + ": " + e.what());
+    }
+}
+
+std::string format_tbl(const TblData& data, const std::vector<std::string>& header) {
+    std::ostringstream os;
+    for (const auto& h : header) os << "# " << h << '\n';
+    for (std::size_t i = 0; i < data.samples(); ++i) {
+        for (std::size_t c = 0; c < data.coord_columns; ++c)
+            os << str::fmt_double(data.coords[i][c]) << ' ';
+        os << str::fmt_double(data.values[i]) << '\n';
+    }
+    return os.str();
+}
+
+void write_tbl(const std::string& path, const TblData& data,
+               const std::vector<std::string>& header) {
+    std::ofstream f(path);
+    if (!f) throw IoError("tbl: cannot open '" + path + "' for writing");
+    f << format_tbl(data, header);
+    if (!f) throw IoError("tbl: write failed for '" + path + "'");
+}
+
+TblData make_tbl_1d(const std::vector<double>& xs, const std::vector<double>& values) {
+    if (xs.size() != values.size())
+        throw InvalidInputError("make_tbl_1d: size mismatch");
+    TblData d;
+    d.coord_columns = 1;
+    d.coords.reserve(xs.size());
+    for (double x : xs) d.coords.push_back({x});
+    d.values = values;
+    return d;
+}
+
+TblData make_tbl_2d(const std::vector<double>& xs, const std::vector<double>& ys,
+                    const std::vector<double>& values) {
+    if (xs.size() != ys.size() || xs.size() != values.size())
+        throw InvalidInputError("make_tbl_2d: size mismatch");
+    TblData d;
+    d.coord_columns = 2;
+    d.coords.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) d.coords.push_back({xs[i], ys[i]});
+    d.values = values;
+    return d;
+}
+
+} // namespace ypm::table

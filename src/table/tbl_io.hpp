@@ -1,0 +1,51 @@
+#pragma once
+/// \file tbl_io.hpp
+/// \brief Reader/writer for Verilog-A style `.tbl` data files.
+///
+/// Format (one sample per line, matching what $table_model consumes):
+///     # comment
+///     <x> [<y> ...] <value>
+/// All lines must share the same column count. Columns 1..N-1 are
+/// coordinates, the last column is the value. Engineering suffixes are
+/// accepted on read; writes use full-precision %.17g.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ypm::table {
+
+/// In-memory representation of a .tbl file.
+struct TblData {
+    std::size_t coord_columns = 0;            ///< N-1 coordinate columns
+    std::vector<std::vector<double>> coords;  ///< per-sample coordinates
+    std::vector<double> values;               ///< per-sample value
+
+    [[nodiscard]] std::size_t samples() const { return values.size(); }
+};
+
+/// Parse .tbl text. \throws ypm::InvalidInputError on ragged rows or
+/// unparsable numbers.
+[[nodiscard]] TblData parse_tbl(const std::string& text);
+
+/// Read a .tbl file from disk. \throws ypm::IoError if unreadable.
+[[nodiscard]] TblData read_tbl(const std::string& path);
+
+/// Serialise to .tbl text. \param header optional comment lines (without #).
+[[nodiscard]] std::string format_tbl(const TblData& data,
+                                     const std::vector<std::string>& header = {});
+
+/// Write a .tbl file to disk. \throws ypm::IoError if unwritable.
+void write_tbl(const std::string& path, const TblData& data,
+               const std::vector<std::string>& header = {});
+
+/// Convenience: build 1-D tbl data from matched vectors.
+[[nodiscard]] TblData make_tbl_1d(const std::vector<double>& xs,
+                                  const std::vector<double>& values);
+
+/// Convenience: build 2-D tbl data from matched vectors.
+[[nodiscard]] TblData make_tbl_2d(const std::vector<double>& xs,
+                                  const std::vector<double>& ys,
+                                  const std::vector<double>& values);
+
+} // namespace ypm::table

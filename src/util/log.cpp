@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ypm::log {
+
+namespace {
+std::atomic<Level> g_level{Level::warn};
+std::mutex g_mutex;
+
+const char* level_name(Level l) {
+    switch (l) {
+    case Level::debug: return "debug";
+    case Level::info: return "info ";
+    case Level::warn: return "warn ";
+    case Level::error: return "error";
+    case Level::off: return "off  ";
+    }
+    return "?";
+}
+} // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+    if (lvl < level()) return;
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[ypm %s] %s\n", level_name(lvl), message.c_str());
+}
+
+} // namespace ypm::log

@@ -1,0 +1,64 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger. Long-running flows (GA generations, MC
+///        batches) report progress through this; tests silence it.
+
+#include <sstream>
+#include <string>
+
+namespace ypm::log {
+
+enum class Level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_level(Level level);
+
+/// Current global threshold.
+[[nodiscard]] Level level();
+
+/// Emit one line at the given level (thread safe).
+void write(Level level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+    os << v;
+    append(os, rest...);
+}
+} // namespace detail
+
+/// Variadic convenience: log::info("gen ", g, " best ", f);
+template <typename... Args>
+void debug(const Args&... args) {
+    if (level() > Level::debug) return;
+    std::ostringstream os;
+    detail::append(os, args...);
+    write(Level::debug, os.str());
+}
+
+template <typename... Args>
+void info(const Args&... args) {
+    if (level() > Level::info) return;
+    std::ostringstream os;
+    detail::append(os, args...);
+    write(Level::info, os.str());
+}
+
+template <typename... Args>
+void warn(const Args&... args) {
+    if (level() > Level::warn) return;
+    std::ostringstream os;
+    detail::append(os, args...);
+    write(Level::warn, os.str());
+}
+
+template <typename... Args>
+void error(const Args&... args) {
+    if (level() > Level::error) return;
+    std::ostringstream os;
+    detail::append(os, args...);
+    write(Level::error, os.str());
+}
+
+} // namespace ypm::log

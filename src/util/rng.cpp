@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ypm {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+    // Run the seed through SplitMix64 so that nearby user seeds (0, 1, 2...)
+    // do not produce correlated mt19937_64 states.
+    std::uint64_t s = seed;
+    const std::uint64_t mixed = splitmix64(s);
+    engine_.seed(mixed);
+}
+
+Rng Rng::child(std::uint64_t stream) const {
+    std::uint64_t s = seed_ ^ (0xD1B54A32D192ED03ull * (stream + 1));
+    const std::uint64_t derived = splitmix64(s);
+    return Rng(derived);
+}
+
+double Rng::uniform01() {
+    // 53-bit mantissa construction: uniform in [0, 1).
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+double Rng::gauss() {
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+double Rng::gauss(double mean, double sigma) { return mean + sigma * gauss(); }
+
+std::size_t Rng::index(std::size_t n) {
+    assert(n > 0);
+    std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+    return dist(engine_);
+}
+
+long long Rng::integer(long long lo, long long hi) {
+    std::uniform_int_distribution<long long> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = index(i);
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+} // namespace ypm

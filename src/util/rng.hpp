@@ -1,0 +1,65 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic random number generation.
+///
+/// Every stochastic component (GA operators, Monte Carlo sampling, process
+/// realisations) takes an explicit `Rng`. Reproducibility contract: the same
+/// master seed always produces the same optimisation trajectory and the same
+/// MC population, regardless of thread count, because parallel work items
+/// derive independent child streams via `child(index)`.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ypm {
+
+/// Wrapper around std::mt19937_64 with SplitMix64-based stream derivation.
+class Rng {
+public:
+    /// Construct from a 64-bit seed.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Derive an independent child stream. Deterministic in (parent seed,
+    /// stream index); children of distinct indices are decorrelated.
+    [[nodiscard]] Rng child(std::uint64_t stream) const;
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double uniform01();
+
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi);
+
+    /// Standard normal draw.
+    [[nodiscard]] double gauss();
+
+    /// Normal draw with given mean and standard deviation.
+    [[nodiscard]] double gauss(double mean, double sigma);
+
+    /// Uniform integer in [0, n) ; n must be > 0.
+    [[nodiscard]] std::size_t index(std::size_t n);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    [[nodiscard]] long long integer(long long lo, long long hi);
+
+    /// Bernoulli trial with probability p of true.
+    [[nodiscard]] bool bernoulli(double p);
+
+    /// Fisher-Yates shuffle of an index vector 0..n-1.
+    [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+    /// Seed this generator was created with.
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+    /// Access the underlying engine (for std distributions in tests).
+    [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::uint64_t seed_;
+    std::mt19937_64 engine_;
+};
+
+/// SplitMix64 step - public because seeding logic is unit-tested.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+} // namespace ypm

@@ -1,0 +1,71 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ypm {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw InvalidInputError("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size())
+        throw InvalidInputError("TextTable: row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::string TextTable::to_csv() const {
+    auto field = [](const std::string& s) {
+        if (s.find(',') == std::string::npos && s.find('"') == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"') out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << field(header_[c]) << (c + 1 < header_.size() ? "," : "\n");
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << field(row[c]) << (c + 1 < row.size() ? "," : "\n");
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+    return os << t.to_string();
+}
+
+} // namespace ypm

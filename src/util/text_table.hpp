@@ -1,0 +1,38 @@
+#pragma once
+/// \file text_table.hpp
+/// \brief Aligned plain-text tables for experiment reports - every bench
+///        binary prints paper-style rows through this, and CSV export feeds
+///        external plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ypm {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Append a data row; must match the header arity.
+    void add_row(std::vector<std::string> row);
+
+    /// Number of data rows.
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+    /// Render with column padding and a separator rule under the header.
+    [[nodiscard]] std::string to_string() const;
+
+    /// Comma-separated export (minimal quoting: fields with commas quoted).
+    [[nodiscard]] std::string to_csv() const;
+
+    /// Write the rendered table to a stream.
+    friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ypm

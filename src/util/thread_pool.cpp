@@ -1,0 +1,116 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace ypm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? hw : 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+namespace {
+
+/// Shared control block for one parallel_for call. Heap-allocated and
+/// co-owned by the caller and every queued job: a worker that drains the
+/// index counter may still touch the block *after* the caller's wait has
+/// been satisfied, so stack storage would be a use-after-scope race.
+struct ParallelState {
+    explicit ParallelState(std::size_t total) : n(total) {}
+
+    const std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+};
+
+} // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (n == 1 || workers_.size() <= 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    auto state = std::make_shared<ParallelState>(n);
+
+    // One chunked job per worker; each pulls indices until exhausted.
+    // `fn` is captured by reference: every invocation completes before
+    // `done` reaches n, and the caller cannot return before that.
+    const std::size_t jobs = std::min(workers_.size(), n);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t j = 0; j < jobs; ++j) {
+            tasks_.emplace([state, &fn] {
+                for (;;) {
+                    const std::size_t i =
+                        state->next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= state->n) break;
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        const std::lock_guard<std::mutex> elock(state->error_mutex);
+                        if (!state->first_error)
+                            state->first_error = std::current_exception();
+                    }
+                    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                        state->n) {
+                        const std::lock_guard<std::mutex> dlock(state->done_mutex);
+                        state->done_cv.notify_all();
+                    }
+                }
+            });
+        }
+    }
+    cv_.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(state->done_mutex);
+        state->done_cv.wait(lock, [&] {
+            return state->done.load(std::memory_order_acquire) == state->n;
+        });
+    }
+    if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace ypm

@@ -1,0 +1,49 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool with a deterministic parallel_for.
+///
+/// Monte Carlo sampling and GA population evaluation are embarrassingly
+/// parallel: work item i only depends on index i (each derives its own RNG
+/// child stream), so results are bitwise identical for any thread count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ypm {
+
+class ThreadPool {
+public:
+    /// \param threads worker count; 0 means hardware_concurrency (min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of workers.
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Run fn(i) for i in [0, n); blocks until all items complete.
+    /// fn must not throw across the boundary - exceptions are captured and
+    /// the first one is rethrown on the calling thread after the barrier.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Process-wide shared pool (created on first use).
+    static ThreadPool& global();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace ypm

@@ -1,0 +1,66 @@
+#include "va/behav_ota_device.hpp"
+
+#include <complex>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::va {
+
+BehaviouralOta::BehaviouralOta(std::string name, spice::NodeId inp,
+                               spice::NodeId inn, spice::NodeId out,
+                               BehaviouralOtaSpec spec)
+    : Device(std::move(name)), inp_(inp), inn_(inn), out_(out) {
+    set_spec(spec);
+}
+
+void BehaviouralOta::set_spec(const BehaviouralOtaSpec& spec) {
+    if (!(spec.rout > 0.0))
+        throw InvalidInputError("BehaviouralOta " + name() + ": rout must be > 0");
+    if (!(spec.f3db > 0.0))
+        throw InvalidInputError("BehaviouralOta " + name() + ": f3db must be > 0");
+    spec_ = spec;
+    a0_ = mathx::undb20(spec.gain_db);
+}
+
+void BehaviouralOta::stamp_dc(spice::RealStamper& s, const spice::Solution&) const {
+    const spice::NodeId u = internal_node();
+    // Controlled source: V(u) = A0 * (V(inp) - V(inn)); branch current into u.
+    s.mat_branch_col(u, branch(), 1.0);
+    s.mat_branch_row(branch(), u, 1.0);
+    s.mat_branch_row(branch(), inp_, -a0_);
+    s.mat_branch_row(branch(), inn_, a0_);
+    // Series output resistance u -> out.
+    s.conductance(u, out_, 1.0 / spec_.rout);
+}
+
+void BehaviouralOta::stamp_tran(spice::RealStamper& s, const spice::Solution&,
+                                const spice::TranContext& ctx) const {
+    const spice::NodeId u = internal_node();
+    // du/dt = wp (A0 vd - u), backward Euler:
+    // u_n (1 + wp dt) - wp dt A0 vd_n = u_{n-1}.
+    const double wp = 2.0 * mathx::pi * spec_.f3db;
+    const double k = wp * ctx.dt;
+    const double u_prev = ctx.prev->voltage(u);
+    s.mat_branch_col(u, branch(), 1.0);
+    s.mat_branch_row(branch(), u, 1.0 + k);
+    s.mat_branch_row(branch(), inp_, -k * a0_);
+    s.mat_branch_row(branch(), inn_, k * a0_);
+    s.rhs_branch(branch(), u_prev);
+    s.conductance(u, out_, 1.0 / spec_.rout);
+}
+
+void BehaviouralOta::stamp_ac(spice::ComplexStamper& s, double omega,
+                              const spice::Solution&) const {
+    const spice::NodeId u = internal_node();
+    // Single dominant pole: A(jw) = A0 / (1 + j w/wp).
+    const double wp = 2.0 * mathx::pi * spec_.f3db;
+    const std::complex<double> a = a0_ / std::complex<double>(1.0, omega / wp);
+    s.mat_branch_col(u, branch(), {1.0, 0.0});
+    s.mat_branch_row(branch(), u, {1.0, 0.0});
+    s.mat_branch_row(branch(), inp_, -a);
+    s.mat_branch_row(branch(), inn_, a);
+    s.conductance(u, out_, {1.0 / spec_.rout, 0.0});
+}
+
+} // namespace ypm::va

@@ -1,0 +1,157 @@
+// Junction diode tests: Shockley law, Newton convergence with exponential
+// limiting, series resistance, rectifier behaviour and AC junction cap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/analysis/dc_sweep.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices/diode.hpp"
+#include "spice/devices/resistor.hpp"
+#include "spice/devices/sources.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::spice;
+
+TEST(Diode, ValidatesParameters) {
+    Circuit c;
+    DiodeParams bad;
+    bad.is = 0.0;
+    EXPECT_THROW(c.add<Diode>("d", c.node("a"), ground, bad), InvalidInputError);
+    bad = DiodeParams{};
+    bad.rs = -1.0;
+    EXPECT_THROW(c.add<Diode>("d2", c.node("a"), ground, bad), InvalidInputError);
+}
+
+TEST(Diode, ForwardDropNearIdealLaw) {
+    // 1 mA through a silicon-ish diode: vd = n*Vt*ln(1 + I/Is).
+    Circuit c;
+    const NodeId a = c.node("a");
+    c.add<CurrentSource>("ib", ground, a, 1e-3);
+    DiodeParams p;
+    p.is = 1e-14;
+    c.add<Diode>("d1", a, ground, p);
+    const Solution op = solve_op(c);
+    const double expected = 0.02585 * std::log(1.0 + 1e-3 / 1e-14);
+    EXPECT_NEAR(op.voltage(a), expected, 1e-4);
+}
+
+TEST(Diode, EmissionCoefficientScalesDrop) {
+    auto drop = [](double n) {
+        Circuit c;
+        const NodeId a = c.node("a");
+        c.add<CurrentSource>("ib", ground, a, 1e-3);
+        DiodeParams p;
+        p.n = n;
+        c.add<Diode>("d1", a, ground, p);
+        return solve_op(c).voltage(a);
+    };
+    EXPECT_NEAR(drop(2.0) / drop(1.0), 2.0, 0.01);
+}
+
+TEST(Diode, ReverseLeakageIsTiny) {
+    // Reverse biased through a resistor: the diode itself contributes -Is,
+    // and the solver's gmin floor adds ~|V|*gmin per node (10 pA here) -
+    // the measured leakage must sit at that scale, far below any signal.
+    Circuit c;
+    const NodeId top = c.node("top");
+    const NodeId mid = c.node("mid");
+    auto& vs = c.add<VoltageSource>("v1", top, ground, -5.0);
+    c.add<Resistor>("r1", top, mid, 1e3);
+    c.add<Diode>("d1", mid, ground, DiodeParams{});
+    const Solution op = solve_op(c);
+    const double i = -op.branch_current(vs.current_branch());
+    EXPECT_LT(i, 0.0);            // flows in the reverse direction
+    EXPECT_GT(i, -2e-11);         // bounded by the gmin floor
+    // And the node sits at the full reverse voltage (diode is off).
+    EXPECT_NEAR(op.voltage(mid), -5.0, 1e-3);
+}
+
+TEST(Diode, RectifierTransferCurve) {
+    // Half-wave rectifier: output follows input minus ~0.6-0.8 V when
+    // forward, stays near zero when reverse.
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("vin", in, ground, 0.0);
+    c.add<Diode>("d1", in, out, DiodeParams{});
+    c.add<Resistor>("rl", out, ground, 1e4);
+    const auto sweep = run_dc_sweep(c, "vin", {-2.0, -1.0, 0.0, 1.0, 2.0, 3.0});
+    const auto v = sweep.node_voltage(out);
+    EXPECT_NEAR(v[0], 0.0, 1e-3);
+    EXPECT_NEAR(v[1], 0.0, 1e-3);
+    EXPECT_GT(v[4], 1.1); // 2 V in -> ~1.3 V out
+    EXPECT_GT(v[5], v[4]); // monotone
+    EXPECT_NEAR(v[5] - v[4], 1.0, 0.1); // incremental gain ~ 1 when on
+}
+
+TEST(Diode, SeriesResistanceAddsOhmicDrop) {
+    auto drop_at_10ma = [](double rs) {
+        Circuit c;
+        const NodeId a = c.node("a");
+        c.add<CurrentSource>("ib", ground, a, 10e-3);
+        DiodeParams p;
+        p.rs = rs;
+        c.add<Diode>("d1", a, ground, p);
+        return solve_op(c).voltage(a);
+    };
+    const double delta = drop_at_10ma(10.0) - drop_at_10ma(0.0);
+    EXPECT_NEAR(delta, 0.1, 1e-3); // 10 mA * 10 ohm
+}
+
+TEST(Diode, ConvergesFromColdStartAtHighBias) {
+    // 5 V straight across a diode + small resistor: brutal exponential;
+    // the limiting must keep Newton finite.
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId mid = c.node("mid");
+    c.add<VoltageSource>("v1", in, ground, 5.0);
+    c.add<Resistor>("r1", in, mid, 10.0);
+    c.add<Diode>("d1", mid, ground, DiodeParams{});
+    const Solution op = solve_op(c);
+    EXPECT_GT(op.voltage(mid), 0.5);
+    EXPECT_LT(op.voltage(mid), 1.3);
+}
+
+TEST(Diode, JunctionCapAppearsInAc) {
+    // Reverse-biased diode behind a resistor forms an RC lowpass whose
+    // corner is set by the junction capacitance.
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("v1", in, ground, 0.0, 1.0);
+    c.add<Resistor>("r1", in, out, 1e6);
+    DiodeParams p;
+    p.cj0 = 10e-12;
+    c.add<Diode>("d1", ground, out, p); // cathode at out: reverse biased
+    const Solution op = solve_op(c);
+    // At cj ~ cj0 (zero bias), fc ~ 1/(2 pi R cj0) ~ 15.9 kHz.
+    const AcResult ac = run_ac(c, op, {15.9e3});
+    const auto h = ac.transfer(out, in);
+    EXPECT_NEAR(std::abs(h[0]), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Diode, GdMatchesFiniteDifference) {
+    Circuit c;
+    const NodeId a = c.node("a");
+    auto& d = c.add<Diode>("d1", a, ground, DiodeParams{});
+    for (double vd : {-1.0, 0.0, 0.3, 0.55, 0.7, 0.9}) {
+        Solution x(1, 0);
+        x.raw()[0] = vd;
+        const auto op = d.op_info(x);
+        Solution xp = x, xm = x;
+        const double h = 1e-7;
+        xp.raw()[0] += h;
+        xm.raw()[0] -= h;
+        const double fd = (d.op_info(xp).id - d.op_info(xm).id) / (2.0 * h);
+        EXPECT_NEAR(op.gd, fd, std::max(std::fabs(fd) * 1e-4, 1e-16)) << "vd=" << vd;
+    }
+}
+
+} // namespace

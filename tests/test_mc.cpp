@@ -1,0 +1,268 @@
+// Unit tests for src/mc: statistics, the paper's Δ(%) metric, yield with
+// Wilson intervals, the MC runner and Latin hypercube sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "mc/lhs.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mc/stats.hpp"
+#include "mc/yield.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::mc;
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, SummaryKnownValues) {
+    const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SummaryRejectsEmptyAndNan) {
+    EXPECT_THROW((void)summarize({}), NumericalError);
+    EXPECT_THROW((void)summarize({1.0, nan_v}), NumericalError);
+}
+
+TEST(Stats, SingleElementSummary) {
+    const Summary s = summarize({3.0});
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> d = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(d, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(d, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(d, 50.0), 2.5);
+    EXPECT_THROW((void)percentile(d, 101.0), InvalidInputError);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+    const auto h = histogram({0.1, 0.9, 1.5, 2.5, -5.0, 99.0}, 3, 0.0, 3.0);
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h[0], 3u); // 0.1, 0.9, -5 (clamped)
+    EXPECT_EQ(h[1], 1u); // 1.5
+    EXPECT_EQ(h[2], 2u); // 2.5, 99 (clamped)
+}
+
+TEST(Stats, VariationMetricsMatchPaperDefinition) {
+    // Population with mean 50, sd ~0.0833 -> Δ3σ = 3*sd/50*100 = 0.5 %.
+    std::vector<double> d;
+    for (int i = -10; i <= 10; ++i) d.push_back(50.0 + 0.08333 * i / 3.873);
+    const VariationMetrics m = variation_metrics(d);
+    EXPECT_NEAR(m.summary.mean, 50.0, 1e-6);
+    EXPECT_NEAR(m.delta_3sigma_pct, 3.0 * m.summary.stddev / 50.0 * 100.0, 1e-12);
+    EXPECT_NEAR(m.delta_halfrange_pct,
+                0.5 * (m.summary.max - m.summary.min) / 50.0 * 100.0, 1e-12);
+}
+
+TEST(Stats, CorrelationKnownCases) {
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+    const std::vector<double> z = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ yield
+
+TEST(Yield, SpecKindsPassCorrectly) {
+    EXPECT_TRUE(Spec::at_least("g", 50.0).pass(50.0));
+    EXPECT_TRUE(Spec::at_least("g", 50.0).pass(51.0));
+    EXPECT_FALSE(Spec::at_least("g", 50.0).pass(49.9));
+    EXPECT_TRUE(Spec::at_most("p", 1.0).pass(0.5));
+    EXPECT_FALSE(Spec::at_most("p", 1.0).pass(1.5));
+    EXPECT_TRUE(Spec::range("r", 1.0, 2.0).pass(1.5));
+    EXPECT_FALSE(Spec::range("r", 1.0, 2.0).pass(2.5));
+    EXPECT_FALSE(Spec::at_least("g", 0.0).pass(nan_v));
+    EXPECT_THROW((void)Spec::range("bad", 2.0, 1.0), InvalidInputError);
+}
+
+TEST(Yield, FromFlagsCountsAndCi) {
+    const YieldEstimate y =
+        yield_from_flags({true, true, true, false, true, true, true, true, true, true});
+    EXPECT_EQ(y.samples, 10u);
+    EXPECT_EQ(y.passes, 9u);
+    EXPECT_DOUBLE_EQ(y.yield, 0.9);
+    EXPECT_LT(y.ci_low, 0.9);
+    EXPECT_GT(y.ci_high, 0.9);
+    EXPECT_LE(y.ci_high, 1.0);
+}
+
+TEST(Yield, PerfectYieldCiBelowOne) {
+    // 500/500 passes: the Wilson interval still cannot claim exactly 100 %.
+    std::vector<bool> flags(500, true);
+    const YieldEstimate y = yield_from_flags(flags);
+    EXPECT_DOUBLE_EQ(y.yield, 1.0);
+    EXPECT_GT(y.ci_low, 0.99);
+    EXPECT_LT(y.ci_low, 1.0);
+}
+
+TEST(Yield, MatrixYieldRequiresAllSpecs) {
+    const std::vector<Spec> specs = {Spec::at_least("gain", 50.0),
+                                     Spec::at_least("pm", 60.0)};
+    const std::vector<std::vector<double>> rows = {
+        {51.0, 65.0}, // pass
+        {49.0, 65.0}, // gain fails
+        {51.0, 55.0}, // pm fails
+        {nan_v, 65.0} // failed sim
+    };
+    const YieldEstimate y = estimate_yield(rows, specs);
+    EXPECT_EQ(y.passes, 1u);
+    EXPECT_EQ(y.samples, 4u);
+}
+
+TEST(Yield, WilsonIntervalKnownValue) {
+    // p=0.5, n=100: Wilson 95% ~ [0.404, 0.596].
+    const auto [lo, hi] = wilson_interval(50, 100);
+    EXPECT_NEAR(lo, 0.404, 0.005);
+    EXPECT_NEAR(hi, 0.596, 0.005);
+}
+
+// -------------------------------------------------------------- MC runner
+
+TEST(McRunner, DeterministicAcrossThreadCounts) {
+    auto fn = [](std::size_t, Rng& rng) -> std::vector<double> {
+        return {rng.gauss(10.0, 1.0), rng.uniform(0.0, 1.0)};
+    };
+    McConfig serial;
+    serial.samples = 64;
+    serial.parallel = false;
+    McConfig parallel = serial;
+    parallel.parallel = true;
+    Rng r1(5), r2(5);
+    const McResult a = run_monte_carlo(serial, r1, fn);
+    const McResult b = run_monte_carlo(parallel, r2, fn);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.rows[i][0], b.rows[i][0]);
+        EXPECT_DOUBLE_EQ(a.rows[i][1], b.rows[i][1]);
+    }
+}
+
+TEST(McRunner, SuccessiveRunsDiffer) {
+    auto fn = [](std::size_t, Rng& rng) -> std::vector<double> {
+        return {rng.uniform01()};
+    };
+    McConfig cfg;
+    cfg.samples = 8;
+    Rng rng(9);
+    const McResult a = run_monte_carlo(cfg, rng, fn);
+    const McResult b = run_monte_carlo(cfg, rng, fn);
+    EXPECT_NE(a.rows[0][0], b.rows[0][0]);
+}
+
+TEST(McRunner, TracksFailures) {
+    auto fn = [](std::size_t i, Rng&) -> std::vector<double> {
+        if (i % 4 == 0) return {nan_v};
+        return {1.0};
+    };
+    McConfig cfg;
+    cfg.samples = 16;
+    Rng rng(1);
+    const McResult r = run_monte_carlo(cfg, rng, fn);
+    EXPECT_EQ(r.failed, 4u);
+    EXPECT_EQ(r.column(0).size(), 12u); // failed rows excluded
+}
+
+TEST(McRunner, ColumnSummaryGaussian) {
+    auto fn = [](std::size_t, Rng& rng) -> std::vector<double> {
+        return {rng.gauss(50.0, 0.1)};
+    };
+    McConfig cfg;
+    cfg.samples = 4000;
+    Rng rng(21);
+    const McResult r = run_monte_carlo(cfg, rng, fn);
+    const Summary s = r.column_summary(0);
+    EXPECT_NEAR(s.mean, 50.0, 0.02);
+    EXPECT_NEAR(s.stddev, 0.1, 0.01);
+    const VariationMetrics v = r.column_variation(0);
+    EXPECT_NEAR(v.delta_3sigma_pct, 3.0 * 0.1 / 50.0 * 100.0, 0.08);
+}
+
+TEST(McRunner, RejectsZeroSamples) {
+    McConfig cfg;
+    cfg.samples = 0;
+    Rng rng(1);
+    EXPECT_THROW(
+        (void)run_monte_carlo(cfg, rng,
+                              [](std::size_t, Rng&) -> std::vector<double> {
+                                  return {0.0};
+                              }),
+        InvalidInputError);
+}
+
+// -------------------------------------------------------------------- LHS
+
+TEST(Lhs, EveryStratumHitOncePerDimension) {
+    Rng rng(3);
+    const std::size_t n = 32;
+    const auto s = latin_hypercube(n, 3, rng);
+    ASSERT_EQ(s.size(), n);
+    for (std::size_t d = 0; d < 3; ++d) {
+        std::set<std::size_t> strata;
+        for (const auto& row : s) {
+            EXPECT_GE(row[d], 0.0);
+            EXPECT_LT(row[d], 1.0);
+            strata.insert(static_cast<std::size_t>(row[d] * n));
+        }
+        EXPECT_EQ(strata.size(), n); // one sample per stratum
+    }
+}
+
+TEST(Lhs, GaussianVariantHasStandardMoments) {
+    Rng rng(5);
+    const auto s = latin_hypercube_gaussian(2000, 1, rng);
+    double sum = 0.0, sum2 = 0.0;
+    for (const auto& row : s) {
+        sum += row[0];
+        sum2 += row[0] * row[0];
+    }
+    EXPECT_NEAR(sum / 2000.0, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / 2000.0, 1.0, 0.08);
+}
+
+TEST(Lhs, InverseNormalCdfKnownValues) {
+    EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-4);
+    EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-4);
+    EXPECT_THROW((void)inverse_normal_cdf(0.0), InvalidInputError);
+    EXPECT_THROW((void)inverse_normal_cdf(1.0), InvalidInputError);
+}
+
+TEST(Lhs, VarianceReductionOnSmoothIntegrand) {
+    // Estimating E[x] over [0,1): LHS variance should beat plain MC.
+    const std::size_t n = 64;
+    const int trials = 200;
+    double var_mc = 0.0, var_lhs = 0.0;
+    Rng rng(77);
+    for (int t = 0; t < trials; ++t) {
+        double mean_mc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) mean_mc += rng.uniform01();
+        mean_mc /= n;
+        var_mc += (mean_mc - 0.5) * (mean_mc - 0.5);
+
+        const auto s = latin_hypercube(n, 1, rng);
+        double mean_lhs = 0.0;
+        for (const auto& row : s) mean_lhs += row[0];
+        mean_lhs /= n;
+        var_lhs += (mean_lhs - 0.5) * (mean_lhs - 0.5);
+    }
+    EXPECT_LT(var_lhs, var_mc / 10.0);
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+// Unit tests for the SPICE netlist parser: element cards, sources with AC
+// specs, .model statements, continuation lines, subcircuit flattening and
+// error reporting.
+
+#include <gtest/gtest.h>
+
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/devices/capacitor.hpp"
+#include "spice/devices/diode.hpp"
+#include "spice/devices/mosfet.hpp"
+#include "spice/devices/resistor.hpp"
+#include "spice/devices/sources.hpp"
+#include "spice/netlist.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::spice;
+
+TEST(Netlist, ParsesBasicElements) {
+    auto parsed = parse_netlist("* divider\n"
+                                "V1 in 0 10\n"
+                                "R1 in mid 1k\n"
+                                "R2 mid 0 1k\n"
+                                "C1 mid 0 1p\n"
+                                "L1 in top 1m\n");
+    EXPECT_EQ(parsed.circuit.devices().size(), 5u);
+    EXPECT_NE(parsed.circuit.find_device("r1"), nullptr);
+    const auto* r = dynamic_cast<const Resistor*>(parsed.circuit.find_device("r1"));
+    EXPECT_DOUBLE_EQ(r->resistance(), 1000.0);
+}
+
+TEST(Netlist, ParsedDividerSolves) {
+    auto parsed = parse_netlist("V1 in 0 10\nR1 in mid 1k\nR2 mid 0 1k\n");
+    const Solution op = solve_op(parsed.circuit);
+    EXPECT_NEAR(op.voltage(*parsed.circuit.find_node("mid")), 5.0, 1e-6);
+}
+
+TEST(Netlist, SourceWithDcAndAc) {
+    auto parsed = parse_netlist("V1 in 0 DC 1.65 AC 1 45\nR1 in 0 1k\n");
+    const auto* v = dynamic_cast<const VoltageSource*>(parsed.circuit.find_device("v1"));
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(v->dc(), 1.65);
+    EXPECT_DOUBLE_EQ(v->ac_magnitude(), 1.0);
+}
+
+TEST(Netlist, CurrentSourceAndControlled) {
+    auto parsed = parse_netlist("I1 0 a 1m\n"
+                                "R1 a 0 1k\n"
+                                "E1 b 0 a 0 2\n"
+                                "Rb b 0 1k\n"
+                                "G1 c 0 a 0 1m\n"
+                                "Rc c 0 2k\n");
+    const Solution op = solve_op(parsed.circuit);
+    const double va = op.voltage(*parsed.circuit.find_node("a"));
+    EXPECT_NEAR(va, 1.0, 1e-6);
+    EXPECT_NEAR(op.voltage(*parsed.circuit.find_node("b")), 2.0, 1e-6);
+    EXPECT_NEAR(op.voltage(*parsed.circuit.find_node("c")), -2.0, 1e-6);
+}
+
+TEST(Netlist, DiodeCardWithParameters) {
+    auto parsed = parse_netlist("Vin in 0 2\n"
+                                "D1 in out is=1e-12 n=1.5 rs=5\n"
+                                "Rl out 0 1k\n");
+    const auto* d = dynamic_cast<const Diode*>(parsed.circuit.find_device("d1"));
+    ASSERT_NE(d, nullptr);
+    EXPECT_DOUBLE_EQ(d->params().is, 1e-12);
+    EXPECT_DOUBLE_EQ(d->params().n, 1.5);
+    EXPECT_DOUBLE_EQ(d->params().rs, 5.0);
+    const Solution op = solve_op(parsed.circuit);
+    // Forward-biased rectifier: out = in - drop, clearly above 1 V.
+    EXPECT_GT(op.voltage(*parsed.circuit.find_node("out")), 1.0);
+    EXPECT_THROW((void)parse_netlist("D1 a k bogus=1\n"), InvalidInputError);
+}
+
+TEST(Netlist, MosfetWithGeometryAndDefaultModels) {
+    auto parsed = parse_netlist("Vd d 0 2\nVg g 0 1.2\n"
+                                "M1 d g 0 0 nmos W=20u L=1u\n");
+    const auto* m = dynamic_cast<const Mosfet*>(parsed.circuit.find_device("m1"));
+    ASSERT_NE(m, nullptr);
+    EXPECT_FALSE(m->is_pmos());
+    EXPECT_DOUBLE_EQ(m->width(), 20e-6);
+    EXPECT_DOUBLE_EQ(m->length(), 1e-6);
+    const Solution op = solve_op(parsed.circuit);
+    EXPECT_GT(m->op_info(op).id, 1e-5); // clearly on
+}
+
+TEST(Netlist, ModelStatementOverridesParams) {
+    auto parsed = parse_netlist(".model hv pmos vth0=0.9 kp=50u\n"
+                                "M1 d g s s hv W=10u L=2u\n"
+                                "Vd d 0 0\nVg g 0 0\nVs s 0 3.3\n");
+    const auto* m = dynamic_cast<const Mosfet*>(parsed.circuit.find_device("m1"));
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(m->is_pmos());
+    EXPECT_DOUBLE_EQ(m->model().vth0, 0.9);
+    EXPECT_DOUBLE_EQ(m->model().kp, 50e-6);
+}
+
+TEST(Netlist, ContinuationLines) {
+    auto parsed = parse_netlist("V1 in 0\n+ DC 5\nR1 in 0 1k\n");
+    const auto* v =
+        dynamic_cast<const VoltageSource*>(parsed.circuit.find_device("v1"));
+    EXPECT_DOUBLE_EQ(v->dc(), 5.0);
+}
+
+TEST(Netlist, TitleAndEnd) {
+    auto parsed = parse_netlist(".title my test bench\n"
+                                "R1 a 0 1k\n"
+                                ".end\n"
+                                "R2 b 0 1k\n"); // ignored after .end
+    EXPECT_EQ(parsed.title, "my test bench");
+    EXPECT_EQ(parsed.circuit.devices().size(), 1u);
+}
+
+TEST(Netlist, SubcircuitFlattening) {
+    const char* text = ".subckt divider top bottom mid\n"
+                       "R1 top mid 1k\n"
+                       "R2 mid bottom 1k\n"
+                       ".ends\n"
+                       "V1 in 0 8\n"
+                       "X1 in 0 half divider\n";
+    auto parsed = parse_netlist(text);
+    // Flattened devices get the instance prefix.
+    EXPECT_NE(parsed.circuit.find_device("x1.r1"), nullptr);
+    EXPECT_NE(parsed.circuit.find_device("x1.r2"), nullptr);
+    const Solution op = solve_op(parsed.circuit);
+    EXPECT_NEAR(op.voltage(*parsed.circuit.find_node("half")), 4.0, 1e-6);
+}
+
+TEST(Netlist, SubcircuitLocalNodesAreNamespaced) {
+    const char* text = ".subckt cell a b\n"
+                       "R1 a internal 1k\n"
+                       "R2 internal b 1k\n"
+                       ".ends\n"
+                       "V1 in 0 2\n"
+                       "X1 in 0 cell\n"
+                       "X2 in 0 cell\n";
+    auto parsed = parse_netlist(text);
+    // Each instance has a private "internal" node.
+    EXPECT_TRUE(parsed.circuit.find_node("x1.internal").has_value());
+    EXPECT_TRUE(parsed.circuit.find_node("x2.internal").has_value());
+    const Solution op = solve_op(parsed.circuit);
+    EXPECT_NEAR(op.voltage(*parsed.circuit.find_node("x1.internal")), 1.0, 1e-6);
+}
+
+TEST(Netlist, GroundIsGlobalInsideSubckt) {
+    const char* text = ".subckt load a\n"
+                       "R1 a 0 2k\n"
+                       ".ends\n"
+                       "I1 0 n 1m\n"
+                       "X1 n load\n";
+    auto parsed = parse_netlist(text);
+    const Solution op = solve_op(parsed.circuit);
+    EXPECT_NEAR(op.voltage(*parsed.circuit.find_node("n")), 2.0, 1e-6);
+}
+
+TEST(Netlist, ParsedRcMatchesAnalyticPole) {
+    auto parsed = parse_netlist("V1 in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1u\n");
+    const Solution op = solve_op(parsed.circuit);
+    const double fc = 1.0 / (2.0 * mathx::pi * 1e3 * 1e-6);
+    const AcResult ac = run_ac(parsed.circuit, op, {fc});
+    const auto h = ac.transfer(*parsed.circuit.find_node("out"),
+                               *parsed.circuit.find_node("in"));
+    EXPECT_NEAR(std::abs(h[0]), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+    try {
+        (void)parse_netlist("R1 a 0 1k\nR2 b 0\n");
+        FAIL() << "expected InvalidInputError";
+    } catch (const InvalidInputError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(Netlist, RejectsUnknownThings) {
+    EXPECT_THROW((void)parse_netlist("Q1 a b c bjt\n"), InvalidInputError);
+    EXPECT_THROW((void)parse_netlist("M1 d g s b nomodel W=1u L=1u\n"),
+                 InvalidInputError);
+    EXPECT_THROW((void)parse_netlist("X1 a b missing_sub\n"), InvalidInputError);
+    EXPECT_THROW((void)parse_netlist(".directive foo\n"), InvalidInputError);
+    EXPECT_THROW((void)parse_netlist("R1 a 0 abc\n"), InvalidInputError);
+    EXPECT_THROW((void)parse_netlist("+ orphan continuation\n"), InvalidInputError);
+}
+
+TEST(Netlist, SubcktPinArityChecked) {
+    const char* text = ".subckt cell a b\nR1 a b 1k\n.ends\nX1 n cell\n";
+    EXPECT_THROW((void)parse_netlist(text), InvalidInputError);
+}
+
+TEST(Netlist, UnclosedSubcktRejected) {
+    EXPECT_THROW((void)parse_netlist(".subckt cell a\nR1 a 0 1k\n"),
+                 InvalidInputError);
+}
+
+} // namespace

@@ -1,0 +1,385 @@
+// Unit tests for the simulator substrate: MNA stamps via known linear
+// circuits, the Newton DC solver, AC analysis against closed-form transfer
+// functions, DC sweeps and the Bode/lowpass measurement helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/analysis/dc_sweep.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices/capacitor.hpp"
+#include "spice/devices/controlled.hpp"
+#include "spice/devices/inductor.hpp"
+#include "spice/devices/mosfet.hpp"
+#include "spice/devices/resistor.hpp"
+#include "spice/devices/sources.hpp"
+#include "spice/measure.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::spice;
+
+// ---------------------------------------------------------------- circuit
+
+TEST(Circuit, NodeNamingAndGroundAliases) {
+    Circuit c;
+    EXPECT_EQ(c.node("0"), ground);
+    EXPECT_EQ(c.node("gnd"), ground);
+    EXPECT_EQ(c.node("GND"), ground);
+    const NodeId a = c.node("n1");
+    EXPECT_EQ(c.node("N1"), a); // case-insensitive
+    EXPECT_NE(c.node("n2"), a);
+    EXPECT_EQ(c.node_count(), 2u);
+    EXPECT_EQ(c.node_name(a), "n1");
+}
+
+TEST(Circuit, FindNodeAndDevice) {
+    Circuit c;
+    const NodeId a = c.node("a");
+    c.add<Resistor>("r1", a, ground, 1e3);
+    EXPECT_TRUE(c.find_node("a").has_value());
+    EXPECT_FALSE(c.find_node("zz").has_value());
+    EXPECT_NE(c.find_device("R1"), nullptr); // case-insensitive
+    EXPECT_EQ(c.find_device("r2"), nullptr);
+}
+
+TEST(Circuit, DuplicateDeviceNameRejected) {
+    Circuit c;
+    c.add<Resistor>("r1", c.node("a"), ground, 1e3);
+    EXPECT_THROW(c.add<Resistor>("R1", c.node("b"), ground, 2e3),
+                 InvalidInputError);
+}
+
+TEST(Circuit, FinalizeAllocatesBranches) {
+    Circuit c;
+    c.add<VoltageSource>("v1", c.node("a"), ground, 1.0);
+    c.add<Inductor>("l1", c.node("a"), c.node("b"), 1e-3);
+    c.add<Resistor>("r1", c.node("b"), ground, 1e3);
+    c.finalize();
+    EXPECT_EQ(c.branch_count(), 2u);
+    EXPECT_EQ(c.unknowns(), 2u + 2u);
+}
+
+TEST(Circuit, DeviceValidationErrors) {
+    Circuit c;
+    EXPECT_THROW(c.add<Resistor>("r", c.node("a"), ground, 0.0), InvalidInputError);
+    EXPECT_THROW(c.add<Resistor>("r", c.node("a"), ground, -5.0), InvalidInputError);
+    EXPECT_THROW(c.add<Capacitor>("c", c.node("a"), ground, -1e-12),
+                 InvalidInputError);
+    EXPECT_THROW(c.add<Inductor>("l", c.node("a"), ground, 0.0), InvalidInputError);
+}
+
+// --------------------------------------------------------------- DC basics
+
+TEST(Dc, ResistorDivider) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId mid = c.node("mid");
+    c.add<VoltageSource>("v1", in, ground, 10.0);
+    c.add<Resistor>("r1", in, mid, 1e3);
+    c.add<Resistor>("r2", mid, ground, 3e3);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.voltage(mid), 7.5, 1e-6);
+    EXPECT_NEAR(op.voltage(in), 10.0, 1e-6);
+}
+
+TEST(Dc, VoltageSourceBranchCurrentConvention) {
+    // 10 V across 1 kOhm: 10 mA flows out of the + terminal through the
+    // circuit, so the branch current (into the + terminal through the
+    // source) is -10 mA.
+    Circuit c;
+    const NodeId in = c.node("in");
+    auto& v1 = c.add<VoltageSource>("v1", in, ground, 10.0);
+    c.add<Resistor>("r1", in, ground, 1e3);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.branch_current(v1.current_branch()), -10e-3, 1e-9);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+    // 1 mA pulled from ground, pushed into node a loaded by 2 kOhm: +2 V.
+    Circuit c;
+    const NodeId a = c.node("a");
+    c.add<CurrentSource>("i1", ground, a, 1e-3);
+    c.add<Resistor>("r1", a, ground, 2e3);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.voltage(a), 2.0, 1e-6);
+}
+
+TEST(Dc, InductorIsShort) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId mid = c.node("mid");
+    c.add<VoltageSource>("v1", in, ground, 5.0);
+    c.add<Inductor>("l1", in, mid, 1e-3);
+    c.add<Resistor>("r1", mid, ground, 1e3);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.voltage(mid), 5.0, 1e-9);
+    // Inductor branch carries the full 5 mA.
+    const auto* l = dynamic_cast<const Inductor*>(c.find_device("l1"));
+    EXPECT_NEAR(op.branch_current(l->current_branch()), 5e-3, 1e-9);
+}
+
+TEST(Dc, CapacitorIsOpen) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId mid = c.node("mid");
+    c.add<VoltageSource>("v1", in, ground, 5.0);
+    c.add<Resistor>("r1", in, mid, 1e3);
+    c.add<Capacitor>("c1", mid, ground, 1e-9);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.voltage(mid), 5.0, 1e-6); // no DC current -> no drop
+}
+
+TEST(Dc, VcvsGain) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("v1", in, ground, 0.5);
+    c.add<Vcvs>("e1", out, ground, in, ground, 20.0);
+    c.add<Resistor>("rl", out, ground, 1e3);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.voltage(out), 10.0, 1e-9);
+}
+
+TEST(Dc, VccsTransconductance) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("v1", in, ground, 2.0);
+    // gm = 1 mS, current flows out -> ground through the source: the output
+    // node sees -gm*vin * R = -2 V over 1 kOhm.
+    c.add<Vccs>("g1", out, ground, in, ground, 1e-3);
+    c.add<Resistor>("rl", out, ground, 1e3);
+    const Solution op = solve_op(c);
+    EXPECT_NEAR(op.voltage(out), -2.0, 1e-6);
+}
+
+TEST(Dc, WarmStartConverges) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    c.add<VoltageSource>("v1", in, ground, 3.0);
+    c.add<Resistor>("r1", in, ground, 1e3);
+    const DcSolver solver;
+    const DcResult cold = solver.solve(c);
+    ASSERT_TRUE(cold.converged);
+    const DcResult warm = solver.solve(c, cold.solution);
+    EXPECT_TRUE(warm.converged);
+    EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(Dc, EmptyishCircuitStillSolves) {
+    Circuit c;
+    c.add<Resistor>("r1", c.node("a"), ground, 1e3);
+    const Solution op = solve_op(c); // floating-ish node held by gmin
+    EXPECT_NEAR(op.voltage(*c.find_node("a")), 0.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------- AC
+
+TEST(Ac, RcLowpassPole) {
+    // R = 1k, C = 1u -> fc = 1/(2 pi RC) ~ 159.15 Hz.
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("v1", in, ground, 0.0, 1.0);
+    c.add<Resistor>("r1", in, out, 1e3);
+    c.add<Capacitor>("c1", out, ground, 1e-6);
+    const Solution op = solve_op(c);
+
+    const double fc = 1.0 / (2.0 * mathx::pi * 1e3 * 1e-6);
+    const AcResult ac = run_ac(c, op, {fc / 100.0, fc, fc * 100.0});
+    const auto h = ac.transfer(out, in);
+    EXPECT_NEAR(std::abs(h[0]), 1.0, 1e-3);
+    EXPECT_NEAR(std::abs(h[1]), 1.0 / std::sqrt(2.0), 1e-3);
+    EXPECT_NEAR(mathx::deg_from_rad(std::arg(h[1])), -45.0, 0.5);
+    EXPECT_NEAR(std::abs(h[2]), 0.01, 2e-4);
+}
+
+TEST(Ac, RlHighpass) {
+    // L = 1 mH, R = 100 -> fc = R/(2 pi L) ~ 15.9 kHz; out across L.
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("v1", in, ground, 0.0, 1.0);
+    c.add<Resistor>("r1", in, out, 100.0);
+    c.add<Inductor>("l1", out, ground, 1e-3);
+    const Solution op = solve_op(c);
+
+    const double fc = 100.0 / (2.0 * mathx::pi * 1e-3);
+    const AcResult ac = run_ac(c, op, {fc / 100.0, fc, fc * 100.0});
+    const auto h = ac.transfer(out, in);
+    EXPECT_NEAR(std::abs(h[0]), 0.01, 2e-4);
+    EXPECT_NEAR(std::abs(h[1]), 1.0 / std::sqrt(2.0), 1e-3);
+    EXPECT_NEAR(std::abs(h[2]), 1.0, 1e-3);
+}
+
+TEST(Ac, SeriesRlcResonance) {
+    // R = 10, L = 1 mH, C = 1 uF: f0 = 1/(2 pi sqrt(LC)) ~ 5.03 kHz,
+    // at resonance the full source voltage appears across R.
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId m = c.node("m");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("v1", in, ground, 0.0, 1.0);
+    c.add<Inductor>("l1", in, m, 1e-3);
+    c.add<Capacitor>("c1", m, out, 1e-6);
+    c.add<Resistor>("r1", out, ground, 10.0);
+    const Solution op = solve_op(c);
+    const double f0 = 1.0 / (2.0 * mathx::pi * std::sqrt(1e-3 * 1e-6));
+    const AcResult ac = run_ac(c, op, {f0});
+    const auto h = ac.transfer(out, in);
+    EXPECT_NEAR(std::abs(h[0]), 1.0, 1e-3);
+}
+
+TEST(Ac, AcMagnitudeAndPhaseOfSource) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    c.add<VoltageSource>("v1", in, ground, 1.0, 2.0, 90.0);
+    c.add<Resistor>("r1", in, ground, 1e3);
+    const Solution op = solve_op(c);
+    const AcResult ac = run_ac(c, op, {1e3});
+    const auto v = ac.points[0].voltage(in);
+    EXPECT_NEAR(v.real(), 0.0, 1e-9);
+    EXPECT_NEAR(v.imag(), 2.0, 1e-9);
+}
+
+TEST(Ac, RejectsNonPositiveFrequency) {
+    Circuit c;
+    c.add<Resistor>("r1", c.node("a"), ground, 1.0);
+    const Solution op = solve_op(c);
+    EXPECT_THROW((void)run_ac(c, op, {0.0}), InvalidInputError);
+}
+
+TEST(Ac, LogSweepCoverage) {
+    const auto f = log_sweep(10.0, 1e6, 10);
+    EXPECT_DOUBLE_EQ(f.front(), 10.0);
+    EXPECT_DOUBLE_EQ(f.back(), 1e6);
+    EXPECT_GE(f.size(), 51u); // 5 decades * 10 + 1
+    for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+}
+
+// ----------------------------------------------------------------- sweeps
+
+TEST(DcSweep, LinearCircuitTracksSource) {
+    Circuit c;
+    const NodeId in = c.node("in");
+    const NodeId mid = c.node("mid");
+    c.add<VoltageSource>("vs", in, ground, 0.0);
+    c.add<Resistor>("r1", in, mid, 1e3);
+    c.add<Resistor>("r2", mid, ground, 1e3);
+    const auto sweep = run_dc_sweep(c, "vs", {0.0, 1.0, 2.0, 3.0});
+    const auto v = sweep.node_voltage(mid);
+    ASSERT_EQ(v.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(v[i], 0.5 * static_cast<double>(i), 1e-9);
+    // Source restored afterwards.
+    const auto* vs = dynamic_cast<const VoltageSource*>(c.find_device("vs"));
+    EXPECT_DOUBLE_EQ(vs->dc(), 0.0);
+}
+
+TEST(DcSweep, UnknownSourceThrows) {
+    Circuit c;
+    c.add<Resistor>("r1", c.node("a"), ground, 1.0);
+    EXPECT_THROW((void)run_dc_sweep(c, "vx", {0.0}), InvalidInputError);
+}
+
+// --------------------------------------------------------------- measure
+
+std::vector<std::complex<double>> single_pole(const std::vector<double>& freqs,
+                                              double a0, double fp) {
+    std::vector<std::complex<double>> h;
+    for (double f : freqs) h.push_back(a0 / std::complex<double>(1.0, f / fp));
+    return h;
+}
+
+TEST(Measure, SinglePoleMetrics) {
+    const auto freqs = log_sweep(1.0, 1e9, 20);
+    const double a0 = 1000.0, fp = 1e3; // 60 dB, GBW = 1 MHz
+    const auto h = single_pole(freqs, a0, fp);
+    const BodeMetrics m = bode_metrics(freqs, h);
+    EXPECT_NEAR(m.dc_gain_db, 60.0, 0.01);
+    EXPECT_NEAR(m.f3db, fp, fp * 0.03);
+    EXPECT_NEAR(m.unity_freq, 1e6, 1e4);
+    // Single pole: phase at crossover ~ -89.94 deg -> PM ~ 90 deg.
+    EXPECT_NEAR(m.phase_margin_deg, 90.0, 0.5);
+    EXPECT_NEAR(m.gbw, 1e6, 3e4);
+}
+
+TEST(Measure, TwoPolePhaseMargin) {
+    // Second pole at a0*fp1: the true crossover sits below it. Solving
+    // |H| = 1 gives f/f2 = sqrt((sqrt(5)-1)/2) ~ 0.786, so
+    // PM ~ 90 - atan(0.786)*180/pi ~ 51.8 deg.
+    const auto freqs = log_sweep(1.0, 1e9, 30);
+    const double a0 = 100.0, fp1 = 1e3;
+    const double f2 = a0 * fp1;
+    std::vector<std::complex<double>> h;
+    for (double f : freqs)
+        h.push_back(a0 / (std::complex<double>(1.0, f / fp1) *
+                          std::complex<double>(1.0, f / f2)));
+    const BodeMetrics m = bode_metrics(freqs, h);
+    EXPECT_NEAR(m.phase_margin_deg, 51.8, 2.0);
+}
+
+TEST(Measure, NoUnityCrossingGivesNan) {
+    const auto freqs = log_sweep(1.0, 1e6, 10);
+    const auto h = single_pole(freqs, 0.5, 1e3); // always below unity
+    const BodeMetrics m = bode_metrics(freqs, h);
+    EXPECT_TRUE(std::isnan(m.unity_freq));
+    EXPECT_TRUE(std::isnan(m.phase_margin_deg));
+}
+
+TEST(Measure, PhaseUnwrappingIsContinuous) {
+    // Three coincident poles wrap the raw atan2 phase past -180.
+    const auto freqs = log_sweep(1.0, 1e8, 20);
+    std::vector<std::complex<double>> h;
+    for (double f : freqs) {
+        const std::complex<double> pole(1.0, f / 1e3);
+        h.push_back(1000.0 / (pole * pole * pole));
+    }
+    const auto phase = phase_deg_unwrapped(h);
+    for (std::size_t i = 1; i < phase.size(); ++i)
+        EXPECT_LT(std::fabs(phase[i] - phase[i - 1]), 90.0);
+    EXPECT_LT(phase.back(), -250.0); // approaches -270
+}
+
+TEST(Measure, GainMarginOfThreePoleSystem) {
+    const auto freqs = log_sweep(1.0, 1e8, 40);
+    std::vector<std::complex<double>> h;
+    for (double f : freqs) {
+        const std::complex<double> pole(1.0, f / 1e3);
+        h.push_back(8.0 / (pole * pole * pole)); // |H| at -180: 8/8 = 1 -> GM 0 dB
+    }
+    const BodeMetrics m = bode_metrics(freqs, h);
+    // Phase hits -180 deg at f = sqrt(3)*fp where |H| = 8/8 = 1.
+    EXPECT_NEAR(m.gain_margin_db, 0.0, 0.5);
+}
+
+TEST(Measure, LowpassMetricsButterworth) {
+    const auto freqs = log_sweep(1e3, 1e8, 30);
+    const double f0 = 1e6;
+    std::vector<std::complex<double>> h;
+    for (double f : freqs) {
+        const double w = f / f0;
+        // 2nd-order Butterworth: H = 1 / (1 + j sqrt(2) w - w^2)
+        h.push_back(1.0 / std::complex<double>(1.0 - w * w, std::sqrt(2.0) * w));
+    }
+    const LowpassMetrics m = lowpass_metrics(freqs, h, 1e7);
+    EXPECT_NEAR(m.passband_gain_db, 0.0, 0.01);
+    EXPECT_NEAR(m.fc, f0, f0 * 0.03);
+    EXPECT_NEAR(m.stopband_atten_db, 40.0, 1.0); // one decade out, 2nd order
+}
+
+TEST(Measure, RejectsBadSweep) {
+    EXPECT_THROW((void)bode_metrics({1.0}, {{1.0, 0.0}}), InvalidInputError);
+    EXPECT_THROW((void)bode_metrics({2.0, 1.0}, {{1.0, 0.0}, {1.0, 0.0}}),
+                 InvalidInputError);
+}
+
+} // namespace

@@ -1,0 +1,402 @@
+// Unit tests for src/table: splines (the paper's eq. 3 machinery), control
+// strings ("3E"), table models, .tbl I/O and the Pareto-front table.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "table/control_string.hpp"
+#include "table/pareto_table.hpp"
+#include "table/spline.hpp"
+#include "table/table_model.hpp"
+#include "table/tbl_io.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::table;
+
+std::vector<double> grid(double a, double b, std::size_t n) {
+    return mathx::linspace(a, b, n);
+}
+
+// ---------------------------------------------------------------- splines
+
+TEST(LinearInterp, ExactOnLines) {
+    LinearInterp f({0.0, 1.0, 3.0}, {1.0, 3.0, 7.0}); // y = 2x + 1
+    EXPECT_DOUBLE_EQ(f.eval(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(f.eval(2.0), 5.0);
+    EXPECT_DOUBLE_EQ(f.derivative(2.5), 2.0);
+}
+
+TEST(LinearInterp, RejectsBadData) {
+    EXPECT_THROW(LinearInterp({0.0}, {1.0}), InvalidInputError);
+    EXPECT_THROW(LinearInterp({0.0, 0.0}, {1.0, 2.0}), InvalidInputError);
+    EXPECT_THROW(LinearInterp({1.0, 0.0}, {1.0, 2.0}), InvalidInputError);
+    EXPECT_THROW(LinearInterp({0.0, 1.0}, {1.0}), InvalidInputError);
+}
+
+TEST(QuadraticSpline, ExactOnQuadratics) {
+    // y = x^2 over a fine grid: a C1 quadratic spline reproduces it exactly
+    // once the initial slope matches - use a dense grid and check interior.
+    const auto xs = grid(0.0, 4.0, 33);
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(x * x);
+    QuadraticSpline f(xs, ys);
+    for (double x : {0.6, 1.7, 2.9, 3.6})
+        EXPECT_NEAR(f.eval(x), x * x, 2e-2);
+}
+
+TEST(QuadraticSpline, InterpolatesKnots) {
+    QuadraticSpline f({0.0, 1.0, 2.0, 3.0}, {1.0, -1.0, 4.0, 2.0});
+    EXPECT_DOUBLE_EQ(f.eval(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(f.eval(1.0), -1.0);
+    EXPECT_DOUBLE_EQ(f.eval(2.0), 4.0);
+    EXPECT_DOUBLE_EQ(f.eval(3.0), 2.0);
+}
+
+TEST(CubicSpline, InterpolatesKnots) {
+    CubicSpline f({0.0, 1.0, 2.5, 4.0}, {0.0, 2.0, -1.0, 3.0});
+    EXPECT_NEAR(f.eval(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(f.eval(1.0), 2.0, 1e-12);
+    EXPECT_NEAR(f.eval(2.5), -1.0, 1e-12);
+    EXPECT_NEAR(f.eval(4.0), 3.0, 1e-12);
+}
+
+TEST(CubicSpline, NaturalEndsHaveZeroCurvature) {
+    CubicSpline f(grid(0.0, 5.0, 9), {1, 4, 2, 6, 3, 7, 2, 8, 5},
+                  CubicBc::natural);
+    EXPECT_NEAR(f.second_derivative(0.0), 0.0, 1e-9);
+    EXPECT_NEAR(f.second_derivative(5.0), 0.0, 1e-9);
+}
+
+TEST(CubicSpline, NotAKnotReproducesCubicExactly) {
+    // S(x) = x^3 - 2x^2 + x - 5 must be reproduced exactly by a not-a-knot
+    // cubic spline (it is a single cubic).
+    auto poly = [](double x) { return x * x * x - 2.0 * x * x + x - 5.0; };
+    const auto xs = grid(-2.0, 3.0, 11);
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(poly(x));
+    CubicSpline f(xs, ys, CubicBc::not_a_knot);
+    for (double x : {-1.7, -0.3, 0.9, 1.4, 2.8})
+        EXPECT_NEAR(f.eval(x), poly(x), 1e-9);
+}
+
+TEST(CubicSpline, ConvergesOnSmoothFunction) {
+    // Interpolation error for sin(x) should drop roughly like h^4.
+    auto err = [](std::size_t n) {
+        const auto xs = grid(0.0, mathx::pi, n);
+        std::vector<double> ys;
+        for (double x : xs) ys.push_back(std::sin(x));
+        CubicSpline f(xs, ys);
+        double worst = 0.0;
+        for (double x = 0.05; x < mathx::pi; x += 0.013)
+            worst = std::max(worst, std::fabs(f.eval(x) - std::sin(x)));
+        return worst;
+    };
+    const double e1 = err(9);
+    const double e2 = err(17);
+    // Halving h should reduce error by ~16x; allow generous slack (the
+    // natural end condition costs accuracy near the boundary).
+    EXPECT_LT(e2, e1 / 4.0);
+}
+
+TEST(CubicSpline, CoefficientsMatchEquation3) {
+    // coeffs() must satisfy S_i(x) = a(x-xi)^3 + b(x-xi)^2 + c(x-xi) + d.
+    CubicSpline f({0.0, 1.0, 2.0, 3.0}, {1.0, 2.0, 0.0, 1.0});
+    for (std::size_t i = 0; i < f.intervals(); ++i) {
+        const auto k = f.coeffs(i);
+        const double xi = static_cast<double>(i);
+        for (double t : {0.1, 0.5, 0.9}) {
+            const double x = xi + t;
+            const double manual = ((k.a * t + k.b) * t + k.c) * t + k.d;
+            EXPECT_NEAR(f.eval(x), manual, 1e-12);
+        }
+    }
+}
+
+TEST(CubicSpline, DerivativeMatchesFiniteDifference) {
+    CubicSpline f(grid(0.0, 2.0, 9), {0, 1, 0.5, 2, 1.5, 3, 2.5, 4, 3});
+    const double h = 1e-6;
+    for (double x : {0.3, 0.9, 1.6}) {
+        const double fd = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+        EXPECT_NEAR(f.derivative(x), fd, 1e-5);
+    }
+}
+
+TEST(MakeInterpolant, DegradesGracefully) {
+    // 2 points: always linear; 3 points: cubic request becomes quadratic.
+    auto two = make_interpolant(3, {0.0, 1.0}, {0.0, 1.0});
+    EXPECT_EQ(two->degree(), 1);
+    auto three = make_interpolant(3, {0.0, 1.0, 2.0}, {0.0, 1.0, 4.0});
+    EXPECT_EQ(three->degree(), 2);
+    auto four = make_interpolant(3, {0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 4.0, 9.0});
+    EXPECT_EQ(four->degree(), 3);
+    EXPECT_THROW((void)make_interpolant(4, {0.0, 1.0}, {0.0, 1.0}),
+                 InvalidInputError);
+}
+
+// --------------------------------------------------------- control string
+
+TEST(ControlString, ParsesPaperForm) {
+    const ControlString cs("3E");
+    EXPECT_EQ(cs.dimensions(), 1u);
+    EXPECT_EQ(cs.dim(0).degree, 3);
+    EXPECT_EQ(cs.dim(0).below, Extrapolation::error);
+    EXPECT_EQ(cs.dim(0).above, Extrapolation::error);
+}
+
+TEST(ControlString, ParsesTwoDimensional) {
+    const ControlString cs("3E,3E");
+    EXPECT_EQ(cs.dimensions(), 2u);
+    EXPECT_EQ(cs.dim(1).degree, 3);
+    EXPECT_EQ(cs.dim(1).below, Extrapolation::error);
+}
+
+TEST(ControlString, AsymmetricExtrapolation) {
+    const ControlString cs("2CL");
+    EXPECT_EQ(cs.dim(0).degree, 2);
+    EXPECT_EQ(cs.dim(0).below, Extrapolation::constant);
+    EXPECT_EQ(cs.dim(0).above, Extrapolation::linear);
+}
+
+TEST(ControlString, DefaultsAreLinearDegree1) {
+    const ControlString cs("");
+    EXPECT_EQ(cs.dim(0).degree, 1);
+    EXPECT_EQ(cs.dim(0).below, Extrapolation::linear);
+}
+
+TEST(ControlString, MissingFieldsRepeatLast) {
+    const ControlString cs("3E");
+    EXPECT_EQ(cs.dim(5).degree, 3);
+    EXPECT_EQ(cs.dim(5).above, Extrapolation::error);
+}
+
+TEST(ControlString, RoundTripsToString) {
+    for (const char* s : {"3E", "1C", "2CL", "3E,1L", "3EC"})
+        EXPECT_EQ(ControlString(s).to_string(), s);
+}
+
+TEST(ControlString, RejectsBadInput) {
+    EXPECT_THROW(ControlString("4E"), InvalidInputError);
+    EXPECT_THROW(ControlString("3X"), InvalidInputError);
+    EXPECT_THROW(ControlString("3CLE"), InvalidInputError);
+    EXPECT_THROW(ControlString("0E"), InvalidInputError);
+}
+
+// ------------------------------------------------------------ TableModel1d
+
+TEST(TableModel1d, SortsAndMergesDuplicates) {
+    // Unsorted input with a duplicated abscissa (values averaged).
+    TableModel1d t({2.0, 0.0, 1.0, 1.0}, {4.0, 0.0, 1.0, 3.0},
+                   ControlString("1E"));
+    EXPECT_EQ(t.samples(), 3u);
+    EXPECT_DOUBLE_EQ(t.eval(1.0), 2.0); // (1+3)/2
+    EXPECT_DOUBLE_EQ(t.eval(0.0), 0.0);
+}
+
+TEST(TableModel1d, ErrorExtrapolationThrows) {
+    TableModel1d t({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 4.0, 9.0}, ControlString("3E"));
+    EXPECT_NO_THROW((void)t.eval(0.0));
+    EXPECT_NO_THROW((void)t.eval(3.0));
+    EXPECT_THROW((void)t.eval(-0.1), RangeError);
+    EXPECT_THROW((void)t.eval(3.1), RangeError);
+}
+
+TEST(TableModel1d, ConstantExtrapolationClamps) {
+    TableModel1d t({0.0, 1.0, 2.0}, {5.0, 6.0, 9.0}, ControlString("1C"));
+    EXPECT_DOUBLE_EQ(t.eval(-10.0), 5.0);
+    EXPECT_DOUBLE_EQ(t.eval(10.0), 9.0);
+    EXPECT_DOUBLE_EQ(t.derivative(-10.0), 0.0);
+}
+
+TEST(TableModel1d, LinearExtrapolationUsesEndSlope) {
+    TableModel1d t({0.0, 1.0, 2.0}, {0.0, 1.0, 2.0}, ControlString("1L"));
+    EXPECT_NEAR(t.eval(3.0), 3.0, 1e-12);
+    EXPECT_NEAR(t.eval(-1.0), -1.0, 1e-12);
+}
+
+TEST(TableModel1d, CubicMatchesUnderlyingFunction) {
+    const auto xs = grid(0.0, 2.0, 21);
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(std::exp(x));
+    TableModel1d t(xs, ys, ControlString("3E"));
+    // Natural-spline end conditions dominate the error near the boundary.
+    for (double x : {0.15, 0.77, 1.33, 1.91})
+        EXPECT_NEAR(t.eval(x), std::exp(x), 1e-3);
+}
+
+TEST(TableModel1d, NeedsTwoDistinctSamples) {
+    EXPECT_THROW(TableModel1d({1.0, 1.0}, {2.0, 3.0}), InvalidInputError);
+}
+
+// ------------------------------------------------------------ TableModel2d
+
+TEST(TableModel2d, ExactOnBilinearWithLinearControl) {
+    // f(x, y) = 2x + 3y + 1.
+    const auto xs = grid(0.0, 2.0, 3);
+    const auto ys = grid(0.0, 3.0, 4);
+    std::vector<double> v;
+    for (double x : xs)
+        for (double y : ys) v.push_back(2.0 * x + 3.0 * y + 1.0);
+    TableModel2d t(xs, ys, v, ControlString("1E,1E"));
+    EXPECT_NEAR(t.eval(0.5, 1.5), 2.0 * 0.5 + 3.0 * 1.5 + 1.0, 1e-12);
+    EXPECT_NEAR(t.eval(1.9, 0.1), 2.0 * 1.9 + 3.0 * 0.1 + 1.0, 1e-12);
+}
+
+TEST(TableModel2d, CubicApproximatesSmoothSurface) {
+    const auto xs = grid(0.0, 1.0, 9);
+    const auto ys = grid(0.0, 1.0, 9);
+    std::vector<double> v;
+    for (double x : xs)
+        for (double y : ys) v.push_back(std::sin(3.0 * x) * std::cos(2.0 * y));
+    TableModel2d t(xs, ys, v, ControlString("3E,3E"));
+    for (double x : {0.21, 0.55, 0.83})
+        for (double y : {0.13, 0.49, 0.91})
+            EXPECT_NEAR(t.eval(x, y), std::sin(3.0 * x) * std::cos(2.0 * y), 5e-3);
+}
+
+TEST(TableModel2d, PerAxisExtrapolationPolicies) {
+    const auto xs = grid(0.0, 1.0, 3);
+    const auto ys = grid(0.0, 1.0, 3);
+    std::vector<double> v(9, 1.0);
+    TableModel2d t(xs, ys, v, ControlString("1E,1C"));
+    EXPECT_NO_THROW((void)t.eval(0.5, 5.0)); // y clamps
+    EXPECT_THROW((void)t.eval(5.0, 0.5), RangeError); // x errors
+}
+
+TEST(TableModel2d, RejectsRaggedData) {
+    EXPECT_THROW(TableModel2d({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0}),
+                 InvalidInputError);
+    EXPECT_THROW(TableModel2d({1.0, 0.0}, {0.0, 1.0}, {1, 2, 3, 4}),
+                 InvalidInputError);
+}
+
+// ----------------------------------------------------------------- tbl io
+
+TEST(TblIo, ParsesCommentsAndValues) {
+    const auto d = parse_tbl("# header\n0 1\n1 2.5\n* spice comment\n2 4\n");
+    EXPECT_EQ(d.coord_columns, 1u);
+    ASSERT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.coords[1][0], 1.0);
+    EXPECT_DOUBLE_EQ(d.values[2], 4.0);
+}
+
+TEST(TblIo, ParsesEngineeringSuffixes) {
+    const auto d = parse_tbl("10u 1k\n20u 2k\n");
+    EXPECT_DOUBLE_EQ(d.coords[0][0], 10e-6);
+    EXPECT_DOUBLE_EQ(d.values[1], 2000.0);
+}
+
+TEST(TblIo, RejectsRaggedRows) {
+    EXPECT_THROW((void)parse_tbl("0 1\n1 2 3\n"), InvalidInputError);
+    EXPECT_THROW((void)parse_tbl("justone\n"), InvalidInputError);
+    EXPECT_THROW((void)parse_tbl("# only comments\n"), InvalidInputError);
+}
+
+TEST(TblIo, WriteReadRoundTrip) {
+    const auto path = std::filesystem::temp_directory_path() / "ypm_test_rt.tbl";
+    TblData d = make_tbl_2d({50.0, 50.5, 51.0}, {76.0, 75.5, 75.0},
+                            {1e-6, 2e-6, 3e-6});
+    write_tbl(path.string(), d, {"roundtrip test"});
+    const auto back = read_tbl(path.string());
+    ASSERT_EQ(back.samples(), 3u);
+    EXPECT_EQ(back.coord_columns, 2u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(back.coords[i][0], d.coords[i][0]);
+        EXPECT_DOUBLE_EQ(back.coords[i][1], d.coords[i][1]);
+        EXPECT_DOUBLE_EQ(back.values[i], d.values[i]);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(TblIo, ReadMissingFileThrows) {
+    EXPECT_THROW((void)read_tbl("/nonexistent/nowhere.tbl"), IoError);
+}
+
+TEST(TblIo, Make1dValidatesSizes) {
+    EXPECT_THROW((void)make_tbl_1d({1.0, 2.0}, {1.0}), InvalidInputError);
+}
+
+// ------------------------------------------------------------ ParetoTable
+
+std::vector<FrontPoint> synthetic_front(std::size_t n) {
+    // gain rises 50 -> 60, pm falls 85 -> 55; payload = two smooth params.
+    std::vector<FrontPoint> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / (n - 1);
+        FrontPoint p;
+        p.obj0 = 50.0 + 10.0 * t;
+        p.obj1 = 85.0 - 30.0 * t * t;
+        p.payload = {10e-6 + 50e-6 * t, 4e-6 - 3e-6 * t};
+        pts.push_back(std::move(p));
+    }
+    return pts;
+}
+
+TEST(ParetoTable, InterpolatesObjectivesAlongFront) {
+    ParetoTable t({"w", "l"}, synthetic_front(21));
+    EXPECT_NEAR(t.obj0_at(0.0), 50.0, 1e-9);
+    EXPECT_NEAR(t.obj0_at(1.0), 60.0, 1e-9);
+    EXPECT_NEAR(t.obj1_at(0.0), 85.0, 1e-9);
+    EXPECT_NEAR(t.obj1_at(1.0), 55.0, 1e-9);
+}
+
+TEST(ParetoTable, SAtObj0InvertsMonotonically) {
+    ParetoTable t({"w", "l"}, synthetic_front(21));
+    for (double g : {51.0, 54.0, 58.5}) {
+        const double s = t.s_at_obj0(g);
+        EXPECT_NEAR(t.obj0_at(s), g, 1e-6);
+    }
+    EXPECT_DOUBLE_EQ(t.s_at_obj0(40.0), 0.0); // clamp below
+    EXPECT_DOUBLE_EQ(t.s_at_obj0(70.0), 1.0); // clamp above
+}
+
+TEST(ParetoTable, ProjectionOfFrontPointIsItself) {
+    ParetoTable t({"w", "l"}, synthetic_front(41));
+    const double s = 0.37;
+    const double g = t.obj0_at(s);
+    const double p = t.obj1_at(s);
+    EXPECT_NEAR(t.project(g, p), s, 1e-3);
+    EXPECT_NEAR(t.projection_residual(g, p), 0.0, 1e-6);
+}
+
+TEST(ParetoTable, LookupRecoversPayload) {
+    ParetoTable t({"w", "l"}, synthetic_front(41));
+    // Query exactly on the front at t = 0.5: w = 35u, l = 2.5u (by
+    // construction of synthetic_front with s proportional to t only
+    // approximately; use the front's own coordinates).
+    const double s = 0.5;
+    const auto vals = t.lookup(t.obj0_at(s), t.obj1_at(s));
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_NEAR(vals[0], t.payload_at(0, s), 1e-7);
+    EXPECT_NEAR(vals[1], t.payload_at(1, s), 1e-7);
+}
+
+TEST(ParetoTable, OffFrontQueryHasResidual) {
+    ParetoTable t({"w", "l"}, synthetic_front(21));
+    EXPECT_GT(t.projection_residual(55.0, 95.0), 0.1); // far above the front
+}
+
+TEST(ParetoTable, MergesDuplicateGains) {
+    auto pts = synthetic_front(10);
+    pts.push_back(pts[4]); // exact duplicate
+    ParetoTable t({"w", "l"}, pts);
+    EXPECT_EQ(t.points(), 10u);
+}
+
+TEST(ParetoTable, RejectsDegenerateInput) {
+    EXPECT_THROW(ParetoTable({"w"}, {}), InvalidInputError);
+    auto two = synthetic_front(2);
+    EXPECT_THROW(ParetoTable({"w", "l"}, two), InvalidInputError);
+    auto bad = synthetic_front(5);
+    bad[2].payload.pop_back();
+    EXPECT_THROW(ParetoTable({"w", "l"}, bad), InvalidInputError);
+}
+
+} // namespace

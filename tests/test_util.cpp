@@ -1,0 +1,307 @@
+// Unit tests for src/util: strings, units, mathx, rng, thread pool, tables.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/text_table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace ypm;
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+    EXPECT_EQ(str::trim("  hello \t\r\n"), "hello");
+    EXPECT_EQ(str::trim(""), "");
+    EXPECT_EQ(str::trim("   "), "");
+    EXPECT_EQ(str::trim("a b"), "a b");
+}
+
+TEST(Strings, CaseConversion) {
+    EXPECT_EQ(str::to_lower("MiXeD 123"), "mixed 123");
+    EXPECT_EQ(str::to_upper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    const auto parts = str::split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+    const auto parts = str::split_ws("  a \t b\n c  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTrip) {
+    EXPECT_EQ(str::join({"x", "y", "z"}, ", "), "x, y, z");
+    EXPECT_EQ(str::join({}, ","), "");
+}
+
+TEST(Strings, IequalsIsCaseInsensitive) {
+    EXPECT_TRUE(str::iequals("NMOS", "nmos"));
+    EXPECT_FALSE(str::iequals("nmos", "pmos"));
+    EXPECT_FALSE(str::iequals("ab", "abc"));
+}
+
+TEST(Strings, FmtDoubleRoundTrips) {
+    const double v = 1.2345678901234567e-11;
+    EXPECT_DOUBLE_EQ(std::stod(str::fmt_double(v)), v);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, ParsesSpiceSuffixes) {
+    EXPECT_DOUBLE_EQ(units::parse_value("10u"), 10e-6);
+    EXPECT_DOUBLE_EQ(units::parse_value("0.35u"), 0.35e-6);
+    EXPECT_DOUBLE_EQ(units::parse_value("4meg"), 4e6);
+    EXPECT_DOUBLE_EQ(units::parse_value("2.2k"), 2.2e3);
+    EXPECT_DOUBLE_EQ(units::parse_value("5p"), 5e-12);
+    EXPECT_DOUBLE_EQ(units::parse_value("3n"), 3e-9);
+    EXPECT_DOUBLE_EQ(units::parse_value("1m"), 1e-3);
+    EXPECT_DOUBLE_EQ(units::parse_value("7f"), 7e-15);
+    EXPECT_DOUBLE_EQ(units::parse_value("2g"), 2e9);
+    EXPECT_DOUBLE_EQ(units::parse_value("1t"), 1e12);
+}
+
+TEST(Units, MegIsNotMilli) {
+    EXPECT_DOUBLE_EQ(units::parse_value("1meg"), 1e6);
+    EXPECT_DOUBLE_EQ(units::parse_value("1m"), 1e-3);
+    EXPECT_DOUBLE_EQ(units::parse_value("1MEG"), 1e6);
+}
+
+TEST(Units, ToleratesTrailingUnitNames) {
+    EXPECT_DOUBLE_EQ(units::parse_value("10uF"), 10e-6);
+    EXPECT_DOUBLE_EQ(units::parse_value("50ohm"), 50.0);
+    EXPECT_DOUBLE_EQ(units::parse_value("3.3v"), 3.3);
+}
+
+TEST(Units, ParsesPlainScientific) {
+    EXPECT_DOUBLE_EQ(units::parse_value("1e-6"), 1e-6);
+    EXPECT_DOUBLE_EQ(units::parse_value("-2.5e3"), -2500.0);
+}
+
+TEST(Units, RejectsGarbage) {
+    EXPECT_THROW((void)units::parse_value("abc"), InvalidInputError);
+    EXPECT_THROW((void)units::parse_value(""), InvalidInputError);
+    EXPECT_FALSE(units::try_parse_value("x1").has_value());
+}
+
+TEST(Units, FormatEngineering) {
+    EXPECT_EQ(units::format_eng(10e-6), "10u");
+    EXPECT_EQ(units::format_eng(2.2e3), "2.2k");
+    EXPECT_EQ(units::format_eng(0.0), "0");
+    EXPECT_EQ(units::format_eng(1e6), "1meg");
+}
+
+TEST(Units, FormatParseRoundTrip) {
+    for (double v : {1e-12, 3.3, 47e-9, 2.7e3, 1.5e7, -42.0}) {
+        const double back = units::parse_value(units::format_eng(v, 9));
+        EXPECT_NEAR(back, v, std::fabs(v) * 1e-6);
+    }
+}
+
+// ------------------------------------------------------------------ mathx
+
+TEST(Mathx, LinspaceEndpointsExact) {
+    const auto v = mathx::linspace(-1.0, 2.0, 7);
+    ASSERT_EQ(v.size(), 7u);
+    EXPECT_DOUBLE_EQ(v.front(), -1.0);
+    EXPECT_DOUBLE_EQ(v.back(), 2.0);
+    for (std::size_t i = 1; i < v.size(); ++i)
+        EXPECT_NEAR(v[i] - v[i - 1], 0.5, 1e-12);
+}
+
+TEST(Mathx, LogspaceEndpointsExact) {
+    const auto v = mathx::logspace(10.0, 1e6, 6);
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_DOUBLE_EQ(v.front(), 10.0);
+    EXPECT_DOUBLE_EQ(v.back(), 1e6);
+    EXPECT_THROW((void)mathx::logspace(-1.0, 10.0, 3), InvalidInputError);
+}
+
+TEST(Mathx, DbConversionInverse) {
+    for (double db : {-40.0, 0.0, 17.3, 50.0})
+        EXPECT_NEAR(mathx::db20(mathx::undb20(db)), db, 1e-9);
+}
+
+TEST(Mathx, InterpLinearClampsAndInterpolates) {
+    const std::vector<double> xs = {0.0, 1.0, 2.0};
+    const std::vector<double> ys = {0.0, 10.0, 40.0};
+    EXPECT_DOUBLE_EQ(mathx::interp_linear(xs, ys, -5.0), 0.0);
+    EXPECT_DOUBLE_EQ(mathx::interp_linear(xs, ys, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(mathx::interp_linear(xs, ys, 1.5), 25.0);
+    EXPECT_DOUBLE_EQ(mathx::interp_linear(xs, ys, 99.0), 40.0);
+}
+
+TEST(Mathx, BracketFindsInterval) {
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+    EXPECT_EQ(mathx::bracket(xs, 0.5), 0u);
+    EXPECT_EQ(mathx::bracket(xs, 3.0), 1u);
+    EXPECT_EQ(mathx::bracket(xs, 8.0), 2u);
+    EXPECT_EQ(mathx::bracket(xs, 100.0), 2u);
+}
+
+TEST(Mathx, NormalizeDenormalizeInverse) {
+    EXPECT_DOUBLE_EQ(mathx::normalize(15.0, 10.0, 20.0), 0.5);
+    EXPECT_DOUBLE_EQ(mathx::denormalize(0.5, 10.0, 20.0), 15.0);
+    EXPECT_DOUBLE_EQ(mathx::normalize(1.0, 5.0, 5.0), 0.0); // degenerate
+}
+
+TEST(Mathx, ApproxEqual) {
+    EXPECT_TRUE(mathx::approx_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(mathx::approx_equal(1.0, 1.001));
+    EXPECT_TRUE(mathx::approx_equal(0.0, 1e-15));
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform01() == b.uniform01()) ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndDeterministic) {
+    const Rng parent(99);
+    Rng c1 = parent.child(1);
+    Rng c1_again = parent.child(1);
+    Rng c2 = parent.child(2);
+    EXPECT_DOUBLE_EQ(c1.uniform01(), c1_again.uniform01());
+    // Streams 1 and 2 should decorrelate immediately.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (c1.uniform01() == c2.uniform01()) ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, GaussMomentsRoughlyCorrect) {
+    Rng rng(17);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gauss();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+    Rng rng(3);
+    const auto p = rng.permutation(50);
+    std::set<std::size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, IndexStaysInRange) {
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t i) {
+                                       if (i == 57) throw Error("boom");
+                                   }),
+                 Error);
+}
+
+TEST(ThreadPool, ZeroAndOneItems) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL(); });
+    int count = 0;
+    pool.parallel_for(1, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, ManyShortCallsStress) {
+    // Regression test for a use-after-scope race: a worker draining the
+    // index counter could touch the per-call control state after the
+    // caller had already returned. Thousands of short calls make that
+    // window hit reliably.
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 4000; ++round)
+        pool.parallel_for(5, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 20000);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 500);
+}
+
+// ------------------------------------------------------------- text table
+
+TEST(TextTable, AlignsColumnsAndCountsRows) {
+    TextTable t({"Design", "Gain (dB)"});
+    t.add_row({"21", "49.78"});
+    t.add_row({"22", "49.90"});
+    EXPECT_EQ(t.rows(), 2u);
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("Design"), std::string::npos);
+    EXPECT_NE(s.find("49.90"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), InvalidInputError);
+    EXPECT_THROW(TextTable({}), InvalidInputError);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+    TextTable t({"name", "value"});
+    t.add_row({"a,b", "1"});
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+} // namespace
