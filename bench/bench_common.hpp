@@ -19,6 +19,7 @@
 
 #include "core/behav_model.hpp"
 #include "core/flow.hpp"
+#include "eval/engine.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -83,5 +84,13 @@ inline std::vector<core::FrontPointData> load_or_build_front() {
 
 inline std::string fmt2(double v) { return str::fmt_fixed(v, 2); }
 inline std::string fmt3(double v) { return str::fmt_fixed(v, 3); }
+
+/// One-line summary of an engine ledger for the CPU-time tables:
+/// "requests (kernel evaluations, cache hits, failures)".
+inline std::string fmt_counters(const eval::EngineCounters& c) {
+    return std::to_string(c.requests) + " (" + std::to_string(c.evaluations) +
+           " evaluated, " + std::to_string(c.cache_hits) + " cached, " +
+           std::to_string(c.failures) + " failed)";
+}
 
 } // namespace ypm::benchx

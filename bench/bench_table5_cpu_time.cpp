@@ -78,6 +78,13 @@ void experiment() {
                benchx::fmt2(result.timings.mc_seconds)});
     t.add_row({"total flow time (s)", "n/a",
                benchx::fmt2(result.timings.total_seconds)});
+    // The unified engine's ledger: every testbench evaluation of the flow
+    // (GA + nominal re-measures + MC) goes through one instance, so this is
+    // the authoritative evaluation count behind the wall-clock numbers.
+    t.add_row({"engine evaluations", "n/a",
+               benchx::fmt_counters(result.timings.engine)});
+    t.add_row({"engine eval wall time (s)", "n/a",
+               benchx::fmt2(result.timings.engine.wall_seconds)});
     std::printf("%s", t.to_string().c_str());
 
     // Hierarchical reuse: the paper's claim is that *after* the one-off

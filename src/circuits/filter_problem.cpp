@@ -1,7 +1,6 @@
 #include "circuits/filter_problem.hpp"
 
 #include <cmath>
-#include <limits>
 
 namespace ypm::circuits {
 
@@ -21,10 +20,9 @@ const std::vector<moo::ObjectiveSpec>& FilterProblem::objectives() const {
 }
 
 std::vector<double> FilterProblem::evaluate(const std::vector<double>& p) const {
-    constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
     const FilterSizing sizing = FilterSizing::from_vector(p);
     const FilterPerformance perf = evaluator_.measure(sizing, kind_);
-    if (!perf.valid || std::isnan(perf.fc)) return {nan_v, nan_v};
+    if (!perf.valid || std::isnan(perf.fc)) return moo::failed_evaluation(2);
     const auto& mask = evaluator_.mask();
     const double fc_err = std::fabs(perf.fc - mask.fc_target) / mask.fc_target;
     return {fc_err, perf.worst_passband_dev_db};

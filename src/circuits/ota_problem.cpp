@@ -1,8 +1,15 @@
 #include "circuits/ota_problem.hpp"
 
-#include <limits>
-
 namespace ypm::circuits {
+
+eval::KernelFn ota_objectives_kernel(const OtaEvaluator& evaluator) {
+    return [&evaluator](const eval::EvalRequest& request) {
+        const OtaPerformance perf =
+            evaluator.measure(OtaSizing::from_vector(request.params));
+        if (!perf.valid) return moo::failed_evaluation(2);
+        return std::vector<double>{perf.gain_db, perf.pm_deg};
+    };
+}
 
 OtaProblem::OtaProblem(OtaConfig config)
     : evaluator_(config), params_(OtaSizing::parameter_specs()),
@@ -18,11 +25,7 @@ const std::vector<moo::ObjectiveSpec>& OtaProblem::objectives() const {
 }
 
 std::vector<double> OtaProblem::evaluate(const std::vector<double>& params) const {
-    constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
-    const OtaSizing sizing = OtaSizing::from_vector(params);
-    const OtaPerformance perf = evaluator_.measure(sizing);
-    if (!perf.valid) return {nan_v, nan_v};
-    return {perf.gain_db, perf.pm_deg};
+    return ota_objectives_kernel(evaluator_)({params});
 }
 
 } // namespace ypm::circuits

@@ -5,9 +5,18 @@
 ///        the 8 designable parameters of Table 1).
 
 #include "circuits/ota.hpp"
+#include "eval/engine.hpp"
 #include "moo/problem.hpp"
 
 namespace ypm::circuits {
+
+/// The canonical nominal-process objectives kernel: {gain_db, pm_deg} at a
+/// parameter point, NaNs on simulation failure. Every consumer that shares
+/// an engine's default cache tag (OtaProblem::evaluate, sensitivity probes,
+/// transistor-level verification) MUST measure through this one function so
+/// cached rows stay interchangeable. \param evaluator must outlive the
+/// returned kernel.
+[[nodiscard]] eval::KernelFn ota_objectives_kernel(const OtaEvaluator& evaluator);
 
 class OtaProblem final : public moo::Problem {
 public:

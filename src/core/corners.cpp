@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "moo/problem.hpp"
 #include "util/error.hpp"
 
 namespace ypm::core {
+
+namespace {
+
+/// Cache-key convention: 0 is reserved for the nominal process, so corner
+/// c maps to 1 + its enum value.
+std::uint64_t corner_key(process::Corner c) {
+    return 1 + static_cast<std::uint64_t>(c);
+}
+
+process::Corner corner_from_key(std::uint64_t key) {
+    return static_cast<process::Corner>(key - 1);
+}
+
+} // namespace
 
 const CornerPoint& CornerSweep::at(process::Corner c) const {
     for (const auto& p : points)
@@ -13,22 +28,37 @@ const CornerPoint& CornerSweep::at(process::Corner c) const {
     throw InvalidInputError("CornerSweep: corner not present");
 }
 
-CornerSweep run_corner_sweep(const circuits::OtaEvaluator& evaluator,
+CornerSweep run_corner_sweep(eval::Engine& engine,
+                             const circuits::OtaEvaluator& evaluator,
                              const circuits::OtaSizing& sizing,
                              const process::ProcessSampler& sampler) {
     using process::Corner;
-    CornerSweep sweep;
-    sweep.points.reserve(5);
+    constexpr Corner kCorners[] = {Corner::tt, Corner::ff, Corner::ss, Corner::fs,
+                                   Corner::sf};
 
-    for (Corner c : {Corner::tt, Corner::ff, Corner::ss, Corner::fs, Corner::sf}) {
+    eval::EvalBatch batch;
+    for (Corner c : kCorners) batch.add(sizing.to_vector(), corner_key(c));
+
+    const auto evals = engine.evaluate(
+        batch, eval::KernelFn([&](const eval::EvalRequest& request) {
+            const process::Realization real =
+                sampler.corner(corner_from_key(request.process_key));
+            const circuits::OtaPerformance perf =
+                evaluator.measure(circuits::OtaSizing::from_vector(request.params),
+                                  real);
+            if (!perf.valid) return moo::failed_evaluation(2);
+            return std::vector<double>{perf.gain_db, perf.pm_deg};
+        }));
+
+    CornerSweep sweep;
+    sweep.points.reserve(std::size(kCorners));
+    for (std::size_t i = 0; i < std::size(kCorners); ++i) {
         CornerPoint point;
-        point.corner = c;
-        const process::Realization real = sampler.corner(c);
-        const circuits::OtaPerformance perf = evaluator.measure(sizing, real);
-        if (perf.valid) {
+        point.corner = kCorners[i];
+        if (!evals[i].failed()) {
             point.valid = true;
-            point.gain_db = perf.gain_db;
-            point.pm_deg = perf.pm_deg;
+            point.gain_db = evals[i].values[0];
+            point.pm_deg = evals[i].values[1];
         }
         sweep.points.push_back(point);
     }
@@ -59,6 +89,13 @@ CornerSweep run_corner_sweep(const circuits::OtaEvaluator& evaluator,
         sweep.dpm_halfspread_pct =
             0.5 * (sweep.pm_max - sweep.pm_min) / std::fabs(tt.pm_deg) * 100.0;
     return sweep;
+}
+
+CornerSweep run_corner_sweep(const circuits::OtaEvaluator& evaluator,
+                             const circuits::OtaSizing& sizing,
+                             const process::ProcessSampler& sampler) {
+    eval::Engine engine;
+    return run_corner_sweep(engine, evaluator, sizing, sampler);
 }
 
 } // namespace ypm::core

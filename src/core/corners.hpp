@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "circuits/ota.hpp"
+#include "eval/engine.hpp"
 #include "process/sampler.hpp"
 
 namespace ypm::core {
@@ -37,9 +38,17 @@ struct CornerSweep {
     [[nodiscard]] const CornerPoint& at(process::Corner c) const;
 };
 
-/// Sweep all five corners for a sizing. \throws ypm::NumericalError when
-/// the typical (TT) corner fails to simulate; other corner failures are
-/// reported via CornerPoint::valid.
+/// Sweep all five corners for a sizing as one engine batch (the corners
+/// simulate in parallel and repeated sweeps of the same sizing are served
+/// from the engine's cache). \throws ypm::NumericalError when the typical
+/// (TT) corner fails to simulate; other corner failures are reported via
+/// CornerPoint::valid.
+[[nodiscard]] CornerSweep run_corner_sweep(eval::Engine& engine,
+                                           const circuits::OtaEvaluator& evaluator,
+                                           const circuits::OtaSizing& sizing,
+                                           const process::ProcessSampler& sampler);
+
+/// Legacy entry point: private engine, parallel dispatch.
 [[nodiscard]] CornerSweep run_corner_sweep(const circuits::OtaEvaluator& evaluator,
                                            const circuits::OtaSizing& sizing,
                                            const process::ProcessSampler& sampler);

@@ -6,15 +6,23 @@
 #include "circuits/ota_problem.hpp"
 #include "core/ota_mc.hpp"
 #include "moo/pareto.hpp"
+#include "moo/problem.hpp"
 #include "util/log.hpp"
 
 namespace ypm::core {
 
 namespace {
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
     const auto now = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(now - t0).count();
 }
+
+/// Cache-key tag for the nominal Bode kernel: it returns
+/// {gain, pm, f3db, gbw} for the same parameter points the objectives
+/// kernel maps to {gain, pm}, so it needs its own key space.
+constexpr std::uint64_t kBodeTag = 0x626f6465; // "bode"
+
 } // namespace
 
 YieldFlow::YieldFlow(circuits::OtaConfig ota, FlowConfig config)
@@ -46,10 +54,19 @@ FlowResult YieldFlow::run() const {
     FlowResult result;
     Rng rng(config_.seed);
 
+    // One evaluation engine for the whole Fig. 3 pipeline: the GA, the
+    // per-point nominal re-measures and the Monte Carlo stage share its
+    // scheduler, cache and ledger.
+    eval::EngineConfig engine_config;
+    engine_config.parallel = config_.parallel;
+    engine_config.cache_capacity = config_.eval_cache;
+    eval::Engine engine(engine_config);
+
     // Steps 1-2: problem definition + WBGA optimisation.
     circuits::OtaProblem problem(ota_);
     moo::WbgaConfig ga = config_.ga;
     ga.parallel = config_.parallel;
+    ga.engine = &engine;
     const moo::Wbga optimiser(problem, ga);
     {
         const auto t0 = std::chrono::steady_clock::now();
@@ -88,6 +105,14 @@ FlowResult YieldFlow::run() const {
         const circuits::OtaEvaluator& evaluator = problem.evaluator();
         Rng mc_rng = rng.child(2);
 
+        const eval::KernelFn bode_kernel = [&](const eval::EvalRequest& request) {
+            const auto perf =
+                evaluator.measure(circuits::OtaSizing::from_vector(request.params));
+            if (!perf.valid) return moo::failed_evaluation(4);
+            return std::vector<double>{perf.gain_db, perf.pm_deg, perf.bode.f3db,
+                                       perf.bode.gbw};
+        };
+
         result.front.reserve(mc_points.size());
         std::size_t design_id = 1;
         for (std::size_t archive_idx : mc_points) {
@@ -102,10 +127,12 @@ FlowResult YieldFlow::run() const {
             point.pm_deg = e.objectives[1];
 
             // Nominal Bode data for the macromodel.
-            const circuits::OtaPerformance nominal = evaluator.measure(sizing);
-            if (nominal.valid) {
-                point.f3db = nominal.bode.f3db;
-                point.gbw = nominal.bode.gbw;
+            eval::EvalBatch bode_batch(kBodeTag);
+            bode_batch.add(e.params);
+            const auto nominal = engine.evaluate(bode_batch, bode_kernel);
+            if (!nominal.front().failed()) {
+                point.f3db = nominal.front().values[2];
+                point.gbw = nominal.front().values[3];
             }
 
             // Front hygiene: skip endpoints no model query should land on.
@@ -119,8 +146,7 @@ FlowResult YieldFlow::run() const {
 
             Rng point_rng = mc_rng.child(point.design_id);
             const mc::McResult mc_result = run_ota_monte_carlo(
-                evaluator, sizing, sampler, config_.mc_samples, point_rng,
-                config_.parallel);
+                engine, evaluator, sizing, sampler, config_.mc_samples, point_rng);
             result.timings.mc_evaluations += config_.mc_samples;
             point.mc_failures = mc_result.failed;
             if (static_cast<double>(point.mc_failures) >
@@ -155,6 +181,7 @@ FlowResult YieldFlow::run() const {
         result.timings.table_seconds = seconds_since(t0);
     }
 
+    result.timings.engine = engine.counters();
     result.timings.total_seconds = seconds_since(t_start);
     return result;
 }

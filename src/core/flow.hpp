@@ -13,6 +13,7 @@
 
 #include "circuits/ota.hpp"
 #include "core/artifacts.hpp"
+#include "eval/engine.hpp"
 #include "moo/wbga.hpp"
 #include "process/variation.hpp"
 
@@ -27,6 +28,7 @@ struct FlowConfig {
     std::string artifact_dir;       ///< empty = skip file output
     process::VariationSpec variation = process::VariationSpec::c35();
     bool parallel = true;
+    std::size_t eval_cache = 4096;  ///< engine memoisation entries; 0 disables
 
     /// Front hygiene: extreme Pareto endpoints (near-zero phase margin,
     /// exploding relative variation, frequent MC failures) are useless in a
@@ -43,8 +45,14 @@ struct FlowTimings {
     double mc_seconds = 0.0;
     double table_seconds = 0.0;
     double total_seconds = 0.0;
-    std::size_t moo_evaluations = 0;
-    std::size_t mc_evaluations = 0;
+    std::size_t moo_evaluations = 0; ///< points submitted by the optimiser
+    std::size_t mc_evaluations = 0;  ///< points submitted by the MC stage
+
+    /// The engine's ledger for the whole run: every testbench evaluation of
+    /// the Fig. 3 pipeline (GA, nominal re-measures, MC) flows through one
+    /// engine instance, so requests/evaluations/cache_hits/failures add up
+    /// here and nowhere else.
+    eval::EngineCounters engine;
 };
 
 struct FlowResult {

@@ -4,25 +4,37 @@
 
 namespace ypm::core {
 
-mc::McResult run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
+mc::McResult run_ota_monte_carlo(eval::Engine& engine,
+                                 const circuits::OtaEvaluator& evaluator,
                                  const circuits::OtaSizing& sizing,
                                  const process::ProcessSampler& sampler,
-                                 std::size_t samples, Rng& rng, bool parallel) {
+                                 std::size_t samples, Rng& rng) {
     // Geometry inventory once (identical for every sample of this sizing).
     spice::Circuit proto = circuits::build_ota_testbench(sizing, evaluator.config());
     const auto geometries = proto.mos_geometries();
 
     mc::McConfig cfg;
     cfg.samples = samples;
-    cfg.parallel = parallel;
     return mc::run_monte_carlo(
-        cfg, rng, [&](std::size_t, Rng& sample_rng) -> std::vector<double> {
+        engine, cfg, rng,
+        [&](std::size_t, Rng& sample_rng) -> std::vector<double> {
             constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
             const process::Realization real = sampler.sample(sample_rng, geometries);
             const circuits::OtaPerformance perf = evaluator.measure(sizing, real);
             if (!perf.valid) return {nan_v, nan_v};
             return {perf.gain_db, perf.pm_deg};
         });
+}
+
+mc::McResult run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
+                                 const circuits::OtaSizing& sizing,
+                                 const process::ProcessSampler& sampler,
+                                 std::size_t samples, Rng& rng, bool parallel) {
+    eval::EngineConfig engine_config;
+    engine_config.parallel = parallel;
+    engine_config.cache_capacity = 0;
+    eval::Engine engine(engine_config);
+    return run_ota_monte_carlo(engine, evaluator, sizing, sampler, samples, rng);
 }
 
 } // namespace ypm::core

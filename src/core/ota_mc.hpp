@@ -4,14 +4,23 @@
 ///        N process realisations, each measured through the full testbench.
 
 #include "circuits/ota.hpp"
+#include "eval/engine.hpp"
 #include "mc/monte_carlo.hpp"
 #include "process/sampler.hpp"
 #include "util/rng.hpp"
 
 namespace ypm::core {
 
-/// Run `samples` process realisations of the given sizing. Result columns:
-/// 0 = gain_db, 1 = pm_deg (NaN rows mark convergence failures).
+/// Run `samples` process realisations of the given sizing through a shared
+/// evaluation engine. Result columns: 0 = gain_db, 1 = pm_deg (NaN rows
+/// mark convergence failures).
+[[nodiscard]] mc::McResult
+run_ota_monte_carlo(eval::Engine& engine, const circuits::OtaEvaluator& evaluator,
+                    const circuits::OtaSizing& sizing,
+                    const process::ProcessSampler& sampler, std::size_t samples,
+                    Rng& rng);
+
+/// Legacy entry point: private engine honouring `parallel`.
 [[nodiscard]] mc::McResult
 run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
                     const circuits::OtaSizing& sizing,

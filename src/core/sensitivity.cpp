@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuits/ota_problem.hpp"
 #include "util/error.hpp"
 #include "util/mathx.hpp"
 
@@ -34,23 +35,49 @@ const ParameterSensitivity& SensitivityReport::dominant_for_pm() const {
     return dominant(parameters, false);
 }
 
-SensitivityReport compute_sensitivities(const circuits::OtaEvaluator& evaluator,
+SensitivityReport compute_sensitivities(eval::Engine& engine,
+                                        const circuits::OtaEvaluator& evaluator,
                                         const circuits::OtaSizing& sizing,
                                         double rel_step) {
     if (!(rel_step > 0.0) || rel_step > 0.2)
         throw InvalidInputError("compute_sensitivities: rel_step must be in (0, 0.2]");
 
-    const circuits::OtaPerformance nominal = evaluator.measure(sizing);
-    if (!nominal.valid)
-        throw NumericalError("compute_sensitivities: nominal point failed: " +
-                             nominal.failure);
-
-    SensitivityReport report;
-    report.gain_db = nominal.gain_db;
-    report.pm_deg = nominal.pm_deg;
-
     const auto specs = circuits::OtaSizing::parameter_specs();
     const auto base = sizing.to_vector();
+
+    // One batch: the nominal point plus lo/hi probes for every parameter
+    // whose clipped central-difference span is non-degenerate.
+    eval::EvalBatch batch;
+    batch.add(base);
+    std::vector<double> spans(base.size(), 0.0);
+    std::vector<std::size_t> probe_index(base.size(), 0); ///< into batch
+    for (std::size_t k = 0; k < base.size(); ++k) {
+        const double h = base[k] * rel_step;
+        auto lo = base;
+        auto hi = base;
+        lo[k] = mathx::clamp(base[k] - h, specs[k].lo, specs[k].hi);
+        hi[k] = mathx::clamp(base[k] + h, specs[k].lo, specs[k].hi);
+        spans[k] = hi[k] - lo[k];
+        if (spans[k] <= 0.0) continue;
+        probe_index[k] = batch.size();
+        batch.add(std::move(lo));
+        batch.add(std::move(hi));
+    }
+
+    const auto evals =
+        engine.evaluate(batch, circuits::ota_objectives_kernel(evaluator));
+
+    if (evals.front().failed()) {
+        // Re-measure outside the engine to recover the failure diagnostic
+        // (EvalResult only carries the NaN sentinel).
+        const auto nominal = evaluator.measure(sizing);
+        throw NumericalError("compute_sensitivities: nominal point failed: " +
+                             nominal.failure);
+    }
+
+    SensitivityReport report;
+    report.gain_db = evals.front().values[0];
+    report.pm_deg = evals.front().values[1];
     report.parameters.reserve(base.size());
 
     for (std::size_t k = 0; k < base.size(); ++k) {
@@ -58,33 +85,29 @@ SensitivityReport compute_sensitivities(const circuits::OtaEvaluator& evaluator,
         ps.name = specs[k].name;
         ps.value = base[k];
 
-        const double h = base[k] * rel_step;
-        auto lo = base;
-        auto hi = base;
-        lo[k] = mathx::clamp(base[k] - h, specs[k].lo, specs[k].hi);
-        hi[k] = mathx::clamp(base[k] + h, specs[k].lo, specs[k].hi);
-        const double span = hi[k] - lo[k];
-        if (span <= 0.0) {
-            report.parameters.push_back(ps);
-            continue;
-        }
-
-        const auto p_lo =
-            evaluator.measure(circuits::OtaSizing::from_vector(lo));
-        const auto p_hi =
-            evaluator.measure(circuits::OtaSizing::from_vector(hi));
-        if (p_lo.valid && p_hi.valid) {
-            // Elasticity: (relative change in objective)/(relative change
-            // in parameter), from the central difference over [lo, hi].
-            const double rel_dp = span / base[k];
-            ps.gain_elasticity =
-                (p_hi.gain_db - p_lo.gain_db) / std::fabs(report.gain_db) / rel_dp;
-            ps.pm_elasticity =
-                (p_hi.pm_deg - p_lo.pm_deg) / std::fabs(report.pm_deg) / rel_dp;
+        if (spans[k] > 0.0) {
+            const auto& p_lo = evals[probe_index[k]];
+            const auto& p_hi = evals[probe_index[k] + 1];
+            if (!p_lo.failed() && !p_hi.failed()) {
+                // Elasticity: (relative change in objective)/(relative change
+                // in parameter), from the central difference over [lo, hi].
+                const double rel_dp = spans[k] / base[k];
+                ps.gain_elasticity = (p_hi.values[0] - p_lo.values[0]) /
+                                     std::fabs(report.gain_db) / rel_dp;
+                ps.pm_elasticity = (p_hi.values[1] - p_lo.values[1]) /
+                                   std::fabs(report.pm_deg) / rel_dp;
+            }
         }
         report.parameters.push_back(ps);
     }
     return report;
+}
+
+SensitivityReport compute_sensitivities(const circuits::OtaEvaluator& evaluator,
+                                        const circuits::OtaSizing& sizing,
+                                        double rel_step) {
+    eval::Engine engine;
+    return compute_sensitivities(engine, evaluator, sizing, rel_step);
 }
 
 } // namespace ypm::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "circuits/ota.hpp"
+#include "eval/engine.hpp"
 
 namespace ypm::core {
 
@@ -34,9 +35,18 @@ struct SensitivityReport {
     [[nodiscard]] const ParameterSensitivity& dominant_for_pm() const;
 };
 
-/// Compute the report at a sizing. \param rel_step central-difference step
-/// as a fraction of each parameter value (clipped to the Table 1 box).
+/// Compute the report at a sizing, submitting the nominal point and all
+/// 2x8 central-difference probes as one engine batch (they simulate in
+/// parallel; probes landing on already-evaluated points hit the cache).
+/// \param rel_step central-difference step as a fraction of each parameter
+/// value (clipped to the Table 1 box).
 /// \throws ypm::NumericalError when the nominal point fails to simulate.
+[[nodiscard]] SensitivityReport
+compute_sensitivities(eval::Engine& engine,
+                      const circuits::OtaEvaluator& evaluator,
+                      const circuits::OtaSizing& sizing, double rel_step = 0.02);
+
+/// Legacy entry point: private engine, parallel dispatch.
 [[nodiscard]] SensitivityReport
 compute_sensitivities(const circuits::OtaEvaluator& evaluator,
                       const circuits::OtaSizing& sizing, double rel_step = 0.02);

@@ -2,22 +2,33 @@
 
 #include <cmath>
 
+#include "circuits/ota_problem.hpp"
 #include "core/ota_mc.hpp"
 #include "util/error.hpp"
 
 namespace ypm::core {
 
 ModelVsTransistor
-compare_model_vs_transistor(const circuits::OtaEvaluator& evaluator,
+compare_model_vs_transistor(eval::Engine& engine,
+                            const circuits::OtaEvaluator& evaluator,
                             const SizingResult& sizing) {
-    const circuits::OtaPerformance perf = evaluator.measure(sizing.sizing);
-    if (!perf.valid)
+    // Default tag: measures through the canonical objectives kernel, so it
+    // shares the engine's nominal {gain, pm} cache key space.
+    eval::EvalBatch batch;
+    batch.add(sizing.sizing.to_vector());
+    const auto evals =
+        engine.evaluate(batch, circuits::ota_objectives_kernel(evaluator));
+    if (evals.front().failed()) {
+        // Re-measure outside the engine to recover the failure diagnostic.
+        const auto perf = evaluator.measure(sizing.sizing);
         throw NumericalError("compare_model_vs_transistor: transistor simulation "
                              "failed: " +
                              perf.failure);
+    }
+
     ModelVsTransistor cmp;
-    cmp.transistor_gain_db = perf.gain_db;
-    cmp.transistor_pm_deg = perf.pm_deg;
+    cmp.transistor_gain_db = evals.front().values[0];
+    cmp.transistor_pm_deg = evals.front().values[1];
     cmp.model_gain_db = sizing.predicted_gain_db;
     cmp.model_pm_deg = sizing.predicted_pm_deg;
     cmp.gain_error_pct =
@@ -28,13 +39,21 @@ compare_model_vs_transistor(const circuits::OtaEvaluator& evaluator,
     return cmp;
 }
 
-YieldVerification verify_ota_yield(const circuits::OtaEvaluator& evaluator,
+ModelVsTransistor
+compare_model_vs_transistor(const circuits::OtaEvaluator& evaluator,
+                            const SizingResult& sizing) {
+    eval::Engine engine;
+    return compare_model_vs_transistor(engine, evaluator, sizing);
+}
+
+YieldVerification verify_ota_yield(eval::Engine& engine,
+                                   const circuits::OtaEvaluator& evaluator,
                                    const circuits::OtaSizing& sizing,
                                    const process::ProcessSampler& sampler,
                                    double min_gain_db, double min_pm_deg,
                                    std::size_t samples, Rng& rng) {
     const mc::McResult result =
-        run_ota_monte_carlo(evaluator, sizing, sampler, samples, rng);
+        run_ota_monte_carlo(engine, evaluator, sizing, sampler, samples, rng);
 
     YieldVerification v;
     v.gain_variation = result.column_variation(0);
@@ -45,6 +64,16 @@ YieldVerification verify_ota_yield(const circuits::OtaEvaluator& evaluator,
     };
     v.yield = mc::estimate_yield(result.rows, specs);
     return v;
+}
+
+YieldVerification verify_ota_yield(const circuits::OtaEvaluator& evaluator,
+                                   const circuits::OtaSizing& sizing,
+                                   const process::ProcessSampler& sampler,
+                                   double min_gain_db, double min_pm_deg,
+                                   std::size_t samples, Rng& rng) {
+    eval::Engine engine;
+    return verify_ota_yield(engine, evaluator, sizing, sampler, min_gain_db,
+                            min_pm_deg, samples, rng);
 }
 
 } // namespace ypm::core

@@ -6,6 +6,7 @@
 
 #include "circuits/ota.hpp"
 #include "core/behav_model.hpp"
+#include "eval/engine.hpp"
 #include "mc/stats.hpp"
 #include "mc/yield.hpp"
 #include "process/sampler.hpp"
@@ -24,6 +25,12 @@ struct ModelVsTransistor {
 };
 
 [[nodiscard]] ModelVsTransistor
+compare_model_vs_transistor(eval::Engine& engine,
+                            const circuits::OtaEvaluator& evaluator,
+                            const SizingResult& sizing);
+
+/// Legacy entry point: private engine.
+[[nodiscard]] ModelVsTransistor
 compare_model_vs_transistor(const circuits::OtaEvaluator& evaluator,
                             const SizingResult& sizing);
 
@@ -36,6 +43,13 @@ struct YieldVerification {
 };
 
 /// MC the sized design against the *original* (un-inflated) requirement.
+[[nodiscard]] YieldVerification
+verify_ota_yield(eval::Engine& engine, const circuits::OtaEvaluator& evaluator,
+                 const circuits::OtaSizing& sizing,
+                 const process::ProcessSampler& sampler, double min_gain_db,
+                 double min_pm_deg, std::size_t samples, Rng& rng);
+
+/// Legacy entry point: private engine, parallel dispatch.
 [[nodiscard]] YieldVerification
 verify_ota_yield(const circuits::OtaEvaluator& evaluator,
                  const circuits::OtaSizing& sizing,

@@ -1,0 +1,62 @@
+#pragma once
+/// \file cache.hpp
+/// \brief LRU memoisation cache for point evaluations.
+///
+/// Keys are bit-exact: the parameter vector's double bit patterns, the
+/// process key and a salt (batch tag, or the derived stream seed for
+/// stochastic kernels) are hashed together, so a hit can only occur for a
+/// request that is guaranteed to reproduce the cached values. Typical wins:
+/// GA elites re-entering the population every generation, sensitivity
+/// probes landing on already-optimised points, repeated corner sweeps.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ypm::eval {
+
+/// Composite cache key, compared bit-exactly.
+struct CacheKey {
+    std::vector<double> params;
+    std::uint64_t process_key = 0;
+    std::uint64_t salt = 0;
+
+    [[nodiscard]] bool operator==(const CacheKey& other) const;
+};
+
+/// FNV-1a over the double bit patterns plus the integer components.
+struct CacheKeyHash {
+    [[nodiscard]] std::size_t operator()(const CacheKey& key) const;
+};
+
+/// Fixed-capacity least-recently-used map from CacheKey to a value vector.
+/// Not thread-safe: the engine only touches it from the submitting thread.
+class LruCache {
+public:
+    /// \param capacity maximum entry count; 0 disables the cache entirely.
+    explicit LruCache(std::size_t capacity);
+
+    /// Returns the cached values and marks the entry most-recently-used,
+    /// or nullptr on a miss. The pointer is invalidated by insert().
+    [[nodiscard]] const std::vector<double>* find(const CacheKey& key);
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used one
+    /// when full. No-op when capacity is 0.
+    void insert(CacheKey key, std::vector<double> values);
+
+    [[nodiscard]] std::size_t size() const { return map_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    void clear();
+
+private:
+    using Entry = std::pair<CacheKey, std::vector<double>>;
+
+    std::size_t capacity_;
+    std::list<Entry> order_; ///< most-recently-used at the front
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+};
+
+} // namespace ypm::eval

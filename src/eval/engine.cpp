@@ -1,0 +1,167 @@
+#include "eval/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace ypm::eval {
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      pool_(config.threads > 0 ? std::make_unique<ThreadPool>(config.threads)
+                               : nullptr),
+      cache_(config.cache_capacity) {}
+
+ThreadPool& Engine::pool() { return pool_ ? *pool_ : ThreadPool::global(); }
+
+void Engine::for_each_miss(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+    if (!config_.parallel || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    pool().parallel_for(count, fn);
+}
+
+std::vector<EvalResult> Engine::run(const EvalBatch& batch, const SaltFn& salt_of,
+                                    const DispatchFn& dispatch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = batch.size();
+    counters_.requests += n;
+
+    std::vector<EvalResult> results(n);
+    std::vector<std::size_t> misses;
+    misses.reserve(n);
+    // Within-batch dedup: key -> batch index of the first occurrence.
+    std::unordered_map<CacheKey, std::size_t, CacheKeyHash> pending;
+    std::vector<std::pair<std::size_t, std::size_t>> aliases; // (dup, source)
+
+    const bool use_cache = cache_.capacity() > 0;
+    std::vector<CacheKey> keys(use_cache ? n : 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const EvalRequest& item = batch.items[i];
+        if (!use_cache || !item.cacheable) {
+            misses.push_back(i);
+            continue;
+        }
+        keys[i] = CacheKey{item.params, item.process_key, salt_of(i)};
+        if (const std::vector<double>* hit = cache_.find(keys[i])) {
+            results[i].values = *hit;
+            results[i].from_cache = true;
+            ++counters_.cache_hits;
+            continue;
+        }
+        const auto [it, inserted] = pending.emplace(keys[i], i);
+        if (inserted)
+            misses.push_back(i);
+        else
+            aliases.emplace_back(i, it->second);
+    }
+
+    dispatch(misses, results);
+
+    counters_.evaluations += misses.size();
+    for (std::size_t idx : misses) {
+        if (results[idx].failed()) ++counters_.failures;
+        if (use_cache && batch.items[idx].cacheable)
+            cache_.insert(keys[idx], results[idx].values);
+    }
+    for (const auto& [dup, source] : aliases) {
+        results[dup].values = results[source].values;
+        results[dup].from_cache = true;
+        ++counters_.cache_hits;
+    }
+
+    counters_.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return results;
+}
+
+std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
+                                         const KernelFn& kernel) {
+    const std::uint64_t salt = batch.tag;
+    return run(
+        batch, [salt](std::size_t) { return salt; },
+        [&](const std::vector<std::size_t>& misses,
+            std::vector<EvalResult>& results) {
+            for_each_miss(misses.size(), [&](std::size_t k) {
+                const std::size_t idx = misses[k];
+                results[idx].values = kernel(batch.items[idx]);
+            });
+        });
+}
+
+std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
+                                         const BatchKernelFn& kernel) {
+    const std::uint64_t salt = batch.tag;
+    return run(
+        batch, [salt](std::size_t) { return salt; },
+        [&](const std::vector<std::size_t>& misses,
+            std::vector<EvalResult>& results) {
+            const std::size_t n = misses.size();
+            if (n == 0) return;
+            // Worker-sized chunks keep chunk kernels busy without starving
+            // the pool; boundaries never change the element-wise results.
+            const std::size_t workers =
+                config_.parallel ? std::max<std::size_t>(pool().size(), 1) : 1;
+            const std::size_t chunk =
+                std::max<std::size_t>(1, (n + workers * 4 - 1) / (workers * 4));
+            const std::size_t n_chunks = (n + chunk - 1) / chunk;
+            auto run_chunk = [&](std::size_t c) {
+                const std::size_t lo = c * chunk;
+                const std::size_t hi = std::min(n, lo + chunk);
+                std::vector<const EvalRequest*> reqs;
+                reqs.reserve(hi - lo);
+                for (std::size_t k = lo; k < hi; ++k)
+                    reqs.push_back(&batch.items[misses[k]]);
+                auto out = kernel(reqs);
+                if (out.size() != reqs.size())
+                    throw InvalidInputError(
+                        "eval::Engine: chunk kernel returned wrong batch size");
+                for (std::size_t k = lo; k < hi; ++k)
+                    results[misses[k]].values = std::move(out[k - lo]);
+            };
+            if (!config_.parallel || n_chunks <= 1)
+                for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
+            else
+                pool().parallel_for(n_chunks, run_chunk);
+        });
+}
+
+std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
+                                         const StochasticKernelFn& kernel,
+                                         Rng& rng) {
+    // Same derivation as the original Monte Carlo runner: one child stream
+    // per item from the caller's RNG (identical for any thread count), with
+    // the parent advanced once so successive runs differ.
+    const Rng base = rng.child(rng.engine()());
+    const std::uint64_t base_seed = base.seed();
+    const std::uint64_t tag = batch.tag;
+    return run(
+        batch,
+        [base_seed, tag](std::size_t i) {
+            return mix64(tag, mix64(base_seed, i));
+        },
+        [&](const std::vector<std::size_t>& misses,
+            std::vector<EvalResult>& results) {
+            for_each_miss(misses.size(), [&](std::size_t k) {
+                const std::size_t idx = misses[k];
+                Rng item_rng = base.child(idx);
+                results[idx].values = kernel(batch.items[idx], item_rng);
+            });
+        });
+}
+
+} // namespace ypm::eval

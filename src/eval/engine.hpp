@@ -1,0 +1,119 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Unified batched evaluation engine.
+///
+/// All repeated-testbench workloads of the Fig. 3 flow - GA populations,
+/// per-Pareto-point Monte Carlo, corner sweeps, sensitivity probes,
+/// verification - submit EvalBatches here instead of hand-rolling their own
+/// ThreadPool loops. The engine owns:
+///
+///  * scheduling: misses are dispatched on a thread pool (the process-wide
+///    pool by default, or a private pool of `threads` workers);
+///  * determinism: stochastic kernels receive per-item RNG child streams
+///    derived exactly like the original Monte Carlo runner
+///    (base = rng.child(rng.engine()()), item i gets base.child(i)), so
+///    results are bit-identical for any thread count;
+///  * memoisation: an LRU cache keyed bit-exactly on (params, process key,
+///    batch tag / stream seed) serves repeated points - GA elites, repeated
+///    corner sweeps, sensitivity probes on archived designs;
+///  * accounting: one ledger of requests, kernel evaluations, cache hits,
+///    failures and wall time that feeds FlowTimings and the Table 5 bench.
+///
+/// The engine is not re-entrant: evaluate() must be called from one thread
+/// at a time (kernels themselves run on the pool and must be thread-safe).
+///
+/// Memoisation contract: one engine instance serves one design context.
+/// Cache keys cover (params, process key, tag/stream) but not the kernel's
+/// captured state, so batches submitted to a shared engine must evaluate
+/// the same testbench / process deck per tag - use separate engines (or
+/// clear_cache()) when switching contexts.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eval/cache.hpp"
+#include "eval/request.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ypm::eval {
+
+/// Deterministic kernel: same request, same values, every call.
+using KernelFn = std::function<std::vector<double>(const EvalRequest&)>;
+
+/// Stochastic kernel: consumes the per-item child stream (Monte Carlo).
+using StochasticKernelFn =
+    std::function<std::vector<double>(const EvalRequest&, Rng&)>;
+
+/// Chunk kernel: evaluates a group of requests at once. Must return one
+/// value vector per request, element-wise identical to evaluating each
+/// request alone (chunk boundaries depend on the worker count).
+using BatchKernelFn = std::function<std::vector<std::vector<double>>(
+    const std::vector<const EvalRequest*>&)>;
+
+struct EngineConfig {
+    bool parallel = true;       ///< dispatch misses on the thread pool
+    std::size_t threads = 0;    ///< 0 = shared global pool; else private pool
+    std::size_t cache_capacity = 4096; ///< LRU entries; 0 disables memoisation
+};
+
+/// Evaluation ledger. `requests` counts submitted items; `evaluations`
+/// counts actual kernel invocations (requests minus cache/dedup hits).
+struct EngineCounters {
+    std::size_t requests = 0;
+    std::size_t evaluations = 0;
+    std::size_t cache_hits = 0;
+    std::size_t failures = 0;   ///< fresh evaluations containing NaN
+    double wall_seconds = 0.0;  ///< time spent inside evaluate()
+};
+
+class Engine {
+public:
+    explicit Engine(EngineConfig config = {});
+
+    /// Evaluate a batch through a deterministic kernel.
+    [[nodiscard]] std::vector<EvalResult> evaluate(const EvalBatch& batch,
+                                                   const KernelFn& kernel);
+
+    /// Evaluate a batch through a chunk kernel (moo::Problem::evaluate_batch
+    /// adapters). Misses are split into worker-sized chunks.
+    [[nodiscard]] std::vector<EvalResult> evaluate(const EvalBatch& batch,
+                                                   const BatchKernelFn& kernel);
+
+    /// Evaluate a batch through a stochastic kernel. Advances `rng` once
+    /// (so successive runs differ) and hands item i the deterministic child
+    /// stream base.child(i) - bit-identical for any thread count.
+    [[nodiscard]] std::vector<EvalResult> evaluate(const EvalBatch& batch,
+                                                   const StochasticKernelFn& kernel,
+                                                   Rng& rng);
+
+    [[nodiscard]] const EngineCounters& counters() const { return counters_; }
+    void reset_counters() { counters_ = EngineCounters{}; }
+
+    [[nodiscard]] const EngineConfig& config() const { return config_; }
+    [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+    void clear_cache() { cache_.clear(); }
+
+private:
+    using SaltFn = std::function<std::uint64_t(std::size_t)>;
+    using DispatchFn = std::function<void(const std::vector<std::size_t>&,
+                                          std::vector<EvalResult>&)>;
+
+    [[nodiscard]] std::vector<EvalResult>
+    run(const EvalBatch& batch, const SaltFn& salt_of, const DispatchFn& dispatch);
+
+    [[nodiscard]] ThreadPool& pool();
+    void for_each_miss(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+    EngineConfig config_;
+    std::unique_ptr<ThreadPool> pool_; ///< only when config_.threads > 0
+    LruCache cache_;
+    EngineCounters counters_;
+};
+
+/// Deterministic 64-bit mix (splitmix64 finaliser over a seed combine);
+/// used for stochastic cache salts and exposed for tests.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+} // namespace ypm::eval

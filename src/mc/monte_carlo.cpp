@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "util/error.hpp"
-#include "util/thread_pool.hpp"
 
 namespace ypm::mc {
 
@@ -15,18 +14,28 @@ bool row_failed(const std::vector<double>& row) {
 }
 } // namespace
 
+void McResult::finalize() {
+    failure_mask_.assign(rows.size(), 0);
+    failed = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        failure_mask_[i] = row_failed(rows[i]) ? 1 : 0;
+        if (failure_mask_[i]) ++failed;
+    }
+}
+
 Summary McResult::column_summary(std::size_t col) const {
     return summarize(column(col));
 }
 
 std::vector<double> McResult::column(std::size_t col) const {
+    const bool has_mask = failure_mask_.size() == rows.size();
     std::vector<double> out;
     out.reserve(rows.size());
-    for (const auto& row : rows) {
-        if (row_failed(row)) continue;
-        if (col >= row.size())
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (has_mask ? failure_mask_[i] != 0 : row_failed(rows[i])) continue;
+        if (col >= rows[i].size())
             throw InvalidInputError("McResult::column: column out of range");
-        out.push_back(row[col]);
+        out.push_back(rows[i][col]);
     }
     if (out.empty())
         throw NumericalError("McResult::column: every sample failed");
@@ -37,32 +46,42 @@ VariationMetrics McResult::column_variation(std::size_t col) const {
     return variation_metrics(column(col));
 }
 
-McResult run_monte_carlo(
-    const McConfig& config, Rng& rng,
-    const std::function<std::vector<double>(std::size_t, Rng&)>& fn) {
+McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
+                         const SampleFn& fn) {
     if (config.samples == 0)
         throw InvalidInputError("run_monte_carlo: need >= 1 sample");
 
+    // One-shot stochastic samples: distinct streams mean a point never
+    // repeats within a run, so keep them out of the memoisation cache.
+    eval::EvalBatch batch;
+    batch.items.resize(config.samples);
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        batch.items[i].process_key = i;
+        batch.items[i].cacheable = false;
+    }
+
+    auto evals = engine.evaluate(
+        batch,
+        eval::StochasticKernelFn(
+            [&fn](const eval::EvalRequest& request, Rng& sample_rng) {
+                return fn(request.process_key, sample_rng);
+            }),
+        rng);
+
     McResult result;
-    result.rows.assign(config.samples, {});
-
-    // Derive one child stream per sample from the caller's RNG so results
-    // are identical for any thread count; advance the parent once so
-    // successive runs differ.
-    const Rng base = rng.child(rng.engine()());
-
-    auto eval_one = [&](std::size_t i) {
-        Rng sample_rng = base.child(i);
-        result.rows[i] = fn(i, sample_rng);
-    };
-    if (config.parallel)
-        ThreadPool::global().parallel_for(config.samples, eval_one);
-    else
-        for (std::size_t i = 0; i < config.samples; ++i) eval_one(i);
-
-    for (const auto& row : result.rows)
-        if (row_failed(row)) ++result.failed;
+    result.rows.resize(config.samples);
+    for (std::size_t i = 0; i < config.samples; ++i)
+        result.rows[i] = std::move(evals[i].values);
+    result.finalize();
     return result;
+}
+
+McResult run_monte_carlo(const McConfig& config, Rng& rng, const SampleFn& fn) {
+    eval::EngineConfig engine_config;
+    engine_config.parallel = config.parallel;
+    engine_config.cache_capacity = 0; // nothing to memoise in a one-shot run
+    eval::Engine engine(engine_config);
+    return run_monte_carlo(engine, config, rng, fn);
 }
 
 } // namespace ypm::mc

@@ -6,10 +6,14 @@
 /// with an independent deterministic RNG child stream, optionally in
 /// parallel, with failed samples (NaN performances) tracked separately so
 /// convergence failures degrade yield instead of silently vanishing.
+/// Scheduling and accounting are delegated to the shared evaluation engine;
+/// the legacy overload spins up a private engine for callers that do not
+/// keep a flow-wide ledger.
 
 #include <functional>
 #include <vector>
 
+#include "eval/engine.hpp"
 #include "mc/stats.hpp"
 #include "util/rng.hpp"
 
@@ -25,20 +29,45 @@ struct McResult {
     std::vector<std::vector<double>> rows;
     std::size_t failed = 0; ///< samples with any NaN performance
 
+    /// Scan rows once, recording the per-row failure mask and the failure
+    /// count; every subsequent column query reuses the mask instead of
+    /// re-scanning. run_monte_carlo() calls this; hand-built results may
+    /// call it after filling `rows` (and must re-call it if rows change).
+    void finalize();
+
+    /// The mask recorded by finalize(); empty on a non-finalised result.
+    [[nodiscard]] const std::vector<char>& failure_mask() const {
+        return failure_mask_;
+    }
+
     /// Column-wise summary over the *successful* samples only.
     [[nodiscard]] Summary column_summary(std::size_t column) const;
 
-    /// Column extracted over successful samples.
+    /// Column extracted over successful samples. Uses the finalize() mask
+    /// when present, falling back to a per-row scan otherwise (const and
+    /// thread-safe either way).
     [[nodiscard]] std::vector<double> column(std::size_t column) const;
 
     /// Paper Δ(%) metric for one column.
     [[nodiscard]] VariationMetrics column_variation(std::size_t column) const;
+
+private:
+    std::vector<char> failure_mask_; ///< built by finalize()
 };
 
-/// Evaluate `fn(sample_index, rng)` for each sample. fn must be thread-safe
-/// and return the same arity every call.
-[[nodiscard]] McResult run_monte_carlo(
-    const McConfig& config, Rng& rng,
-    const std::function<std::vector<double>(std::size_t, Rng&)>& fn);
+/// Sample kernel: fn(sample_index, rng) -> performance row. Must be
+/// thread-safe and return the same arity every call.
+using SampleFn = std::function<std::vector<double>(std::size_t, Rng&)>;
+
+/// Evaluate `fn` for each sample through a shared engine (one ledger across
+/// the whole flow). Advances `rng` once; bit-identical for any thread count.
+[[nodiscard]] McResult run_monte_carlo(eval::Engine& engine,
+                                       const McConfig& config, Rng& rng,
+                                       const SampleFn& fn);
+
+/// Legacy entry point: runs through a private engine honouring
+/// config.parallel. Results are bit-identical to the engine overload.
+[[nodiscard]] McResult run_monte_carlo(const McConfig& config, Rng& rng,
+                                       const SampleFn& fn);
 
 } // namespace ypm::mc

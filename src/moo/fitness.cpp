@@ -65,4 +65,39 @@ wbga_fitness_all(const std::vector<std::vector<double>>& objectives,
     return out;
 }
 
+ObjectiveBounds objective_bounds(const std::vector<eval::EvalResult>& results,
+                                 const std::vector<ObjectiveSpec>& specs) {
+    const std::size_t m = specs.size();
+    ObjectiveBounds b;
+    b.min.assign(m, std::numeric_limits<double>::infinity());
+    b.max.assign(m, -std::numeric_limits<double>::infinity());
+    bool any_valid = false;
+    for (const auto& r : results) {
+        if (r.values.size() != m)
+            throw InvalidInputError("objective_bounds: arity mismatch");
+        if (evaluation_failed(r.values)) continue;
+        any_valid = true;
+        for (std::size_t j = 0; j < m; ++j) {
+            b.min[j] = std::min(b.min[j], r.values[j]);
+            b.max[j] = std::max(b.max[j], r.values[j]);
+        }
+    }
+    if (!any_valid)
+        throw InvalidInputError("objective_bounds: every evaluation failed");
+    return b;
+}
+
+std::vector<double>
+wbga_fitness_all(const std::vector<eval::EvalResult>& results,
+                 const std::vector<std::vector<double>>& weights,
+                 const std::vector<ObjectiveSpec>& specs) {
+    if (results.size() != weights.size())
+        throw InvalidInputError("wbga_fitness_all: population size mismatch");
+    const ObjectiveBounds bounds = objective_bounds(results, specs);
+    std::vector<double> out(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        out[i] = wbga_fitness(results[i].values, weights[i], bounds, specs);
+    return out;
+}
+
 } // namespace ypm::moo

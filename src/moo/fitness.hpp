@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "eval/request.hpp"
 #include "moo/problem.hpp"
 
 namespace ypm::moo {
@@ -36,6 +37,17 @@ objective_bounds(const std::vector<std::vector<double>>& objectives,
 /// Eq. (5) for a whole population.
 [[nodiscard]] std::vector<double>
 wbga_fitness_all(const std::vector<std::vector<double>>& objectives,
+                 const std::vector<std::vector<double>>& weights,
+                 const std::vector<ObjectiveSpec>& specs);
+
+/// Bounds straight from engine output, without copying objective rows.
+[[nodiscard]] ObjectiveBounds
+objective_bounds(const std::vector<eval::EvalResult>& results,
+                 const std::vector<ObjectiveSpec>& specs);
+
+/// Eq. (5) for a whole population straight from engine output.
+[[nodiscard]] std::vector<double>
+wbga_fitness_all(const std::vector<eval::EvalResult>& results,
                  const std::vector<std::vector<double>>& weights,
                  const std::vector<ObjectiveSpec>& specs);
 

@@ -7,12 +7,6 @@
 
 namespace ypm::moo {
 
-bool evaluation_failed(const std::vector<double>& objectives) {
-    for (double v : objectives)
-        if (std::isnan(v)) return true;
-    return false;
-}
-
 GaString::GaString(std::size_t n_params, std::size_t n_weights)
     : n_params_(n_params), n_weights_(n_weights), genes_(n_params + n_weights, 0.0) {}
 

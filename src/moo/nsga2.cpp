@@ -5,8 +5,8 @@
 #include <numeric>
 
 #include "moo/pareto.hpp"
+#include "moo/population_eval.hpp"
 #include "util/error.hpp"
-#include "util/thread_pool.hpp"
 
 namespace ypm::moo {
 
@@ -44,20 +44,25 @@ Nsga2Result Nsga2::run(Rng& rng, const ProgressFn& progress) const {
 
     Nsga2Result result;
 
+    eval::EngineConfig private_config;
+    private_config.parallel = config_.parallel;
+    eval::Engine private_engine(private_config);
+    eval::Engine& engine = config_.engine ? *config_.engine : private_engine;
+
     auto evaluate = [&](std::vector<GaString>& chroms,
                         std::vector<EvaluatedIndividual>& out, std::size_t gen) {
         out.assign(chroms.size(), EvaluatedIndividual{GaString(n_params, 0), {}, {}, {},
                                                       0.0, gen});
-        auto eval_one = [&](std::size_t i) {
+        std::vector<std::vector<double>> points(chroms.size());
+        for (std::size_t i = 0; i < chroms.size(); ++i) {
             out[i].chromosome = chroms[i];
             out[i].params = chroms[i].decode_parameters(pspecs);
-            out[i].objectives = problem_.evaluate(out[i].params);
             out[i].generation = gen;
-        };
-        if (config_.parallel)
-            ThreadPool::global().parallel_for(chroms.size(), eval_one);
-        else
-            for (std::size_t i = 0; i < chroms.size(); ++i) eval_one(i);
+            points[i] = out[i].params;
+        }
+        const auto evals = evaluate_population(engine, problem_, points);
+        for (std::size_t i = 0; i < chroms.size(); ++i)
+            out[i].objectives = evals[i].values;
         result.evaluations += chroms.size();
         if (config_.keep_archive)
             for (const auto& e : out) result.archive.push_back(e);

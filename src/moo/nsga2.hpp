@@ -24,6 +24,10 @@ struct Nsga2Config {
     MutationKind mutation = MutationKind::gaussian;
     bool parallel = true;
     bool keep_archive = true;
+
+    /// Shared evaluation engine (non-owning; must outlive the run). When
+    /// null the optimiser creates a private engine honouring `parallel`.
+    eval::Engine* engine = nullptr;
 };
 
 struct Nsga2Result {

@@ -1,0 +1,26 @@
+#pragma once
+/// \file population_eval.hpp
+/// \brief Bridge between moo::Problem and the batched evaluation engine.
+///
+/// Optimisers submit whole populations as one EvalBatch; the engine serves
+/// repeated points (elites, duplicated offspring) from its cache and routes
+/// misses through Problem::evaluate_batch in worker-sized chunks, so a
+/// problem that vectorises its batch path benefits without the optimisers
+/// knowing.
+
+#include <vector>
+
+#include "eval/engine.hpp"
+#include "moo/problem.hpp"
+
+namespace ypm::moo {
+
+/// Evaluate a population of physical parameter points through the engine.
+/// Element i of the result corresponds to points[i]; values are the
+/// objective vectors (NaN rows mark failures). Bit-identical to calling
+/// problem.evaluate(points[i]) for every i, for any thread count.
+[[nodiscard]] std::vector<eval::EvalResult>
+evaluate_population(eval::Engine& engine, const Problem& problem,
+                    const std::vector<std::vector<double>>& points);
+
+} // namespace ypm::moo

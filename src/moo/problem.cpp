@@ -1,0 +1,26 @@
+#include "moo/problem.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ypm::moo {
+
+std::vector<std::vector<double>>
+Problem::evaluate_batch(const std::vector<std::vector<double>>& points) const {
+    std::vector<std::vector<double>> out;
+    out.reserve(points.size());
+    for (const auto& p : points) out.push_back(evaluate(p));
+    return out;
+}
+
+bool evaluation_failed(const std::vector<double>& objectives) {
+    for (double v : objectives)
+        if (std::isnan(v)) return true;
+    return false;
+}
+
+std::vector<double> failed_evaluation(std::size_t arity) {
+    return std::vector<double>(arity, std::numeric_limits<double>::quiet_NaN());
+}
+
+} // namespace ypm::moo

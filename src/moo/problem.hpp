@@ -44,9 +44,21 @@ public:
     /// returning NaN entries; optimisers assign worst fitness to such points.
     [[nodiscard]] virtual std::vector<double>
     evaluate(const std::vector<double>& params) const = 0;
+
+    /// Evaluate a group of points at once. The default loops the scalar
+    /// evaluate(); problems that can amortise work across points (shared
+    /// testbench prototypes, vectorised models) may override, but the
+    /// result must stay element-wise identical to the scalar path - the
+    /// evaluation engine chunks batches arbitrarily across workers.
+    [[nodiscard]] virtual std::vector<std::vector<double>>
+    evaluate_batch(const std::vector<std::vector<double>>& points) const;
 };
 
 /// True if any objective entry is NaN (failed evaluation).
 [[nodiscard]] bool evaluation_failed(const std::vector<double>& objectives);
+
+/// An all-NaN objective row of the given arity (the failure sentinel the
+/// Problem contract prescribes).
+[[nodiscard]] std::vector<double> failed_evaluation(std::size_t arity);
 
 } // namespace ypm::moo

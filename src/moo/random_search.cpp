@@ -1,11 +1,19 @@
 #include "moo/random_search.hpp"
 
-#include "util/thread_pool.hpp"
+#include "moo/population_eval.hpp"
 
 namespace ypm::moo {
 
 RandomSearchResult random_search(const Problem& problem, std::size_t samples,
                                  Rng& rng, bool parallel) {
+    eval::EngineConfig config;
+    config.parallel = parallel;
+    eval::Engine engine(config);
+    return random_search(engine, problem, samples, rng);
+}
+
+RandomSearchResult random_search(eval::Engine& engine, const Problem& problem,
+                                 std::size_t samples, Rng& rng) {
     const auto& pspecs = problem.parameters();
     const std::size_t n_params = pspecs.size();
 
@@ -15,18 +23,17 @@ RandomSearchResult random_search(const Problem& problem, std::size_t samples,
 
     // Draw all chromosomes up-front on the caller's stream so the sample set
     // is independent of evaluation order.
-    for (std::size_t i = 0; i < samples; ++i)
-        result.archive[i].chromosome = GaString::random(n_params, 0, rng);
-
-    auto eval_one = [&](std::size_t i) {
+    std::vector<std::vector<double>> points(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
         auto& e = result.archive[i];
+        e.chromosome = GaString::random(n_params, 0, rng);
         e.params = e.chromosome.decode_parameters(pspecs);
-        e.objectives = problem.evaluate(e.params);
-    };
-    if (parallel)
-        ThreadPool::global().parallel_for(samples, eval_one);
-    else
-        for (std::size_t i = 0; i < samples; ++i) eval_one(i);
+        points[i] = e.params;
+    }
+
+    const auto evals = evaluate_population(engine, problem, points);
+    for (std::size_t i = 0; i < samples; ++i)
+        result.archive[i].objectives = evals[i].values;
 
     result.evaluations = samples;
     return result;

@@ -23,4 +23,9 @@ struct RandomSearchResult {
                                                std::size_t samples, Rng& rng,
                                                bool parallel = true);
 
+/// Same search, submitted as one batch through a shared engine.
+[[nodiscard]] RandomSearchResult random_search(eval::Engine& engine,
+                                               const Problem& problem,
+                                               std::size_t samples, Rng& rng);
+
 } // namespace ypm::moo

@@ -4,9 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "moo/population_eval.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
-#include "util/thread_pool.hpp"
 
 namespace ypm::moo {
 
@@ -60,6 +60,14 @@ WbgaResult Wbga::run(Rng& rng, const ProgressFn& progress) const {
     if (config_.keep_archive)
         result.archive.reserve(pop_size * config_.generations);
 
+    // All population evaluations route through one engine: elites and
+    // duplicated offspring are served from its memoisation cache, and its
+    // ledger feeds the flow-level accounting.
+    eval::EngineConfig private_config;
+    private_config.parallel = config_.parallel;
+    eval::Engine private_engine(private_config);
+    eval::Engine& engine = config_.engine ? *config_.engine : private_engine;
+
     // Initial random population.
     std::vector<GaString> population;
     population.reserve(pop_size);
@@ -70,31 +78,29 @@ WbgaResult Wbga::run(Rng& rng, const ProgressFn& progress) const {
                                                EvaluatedIndividual{GaString(n_params, n_weights),
                                                                    {}, {}, {}, 0.0, 0});
 
-    auto evaluate_population = [&](std::size_t generation) {
-        auto eval_one = [&](std::size_t i) {
+    auto evaluate_population_gen = [&](std::size_t generation) {
+        std::vector<std::vector<double>> points(pop_size);
+        std::vector<std::vector<double>> wts(pop_size);
+        for (std::size_t i = 0; i < pop_size; ++i) {
             EvaluatedIndividual& e = evaluated[i];
             e.chromosome = population[i];
             e.params = population[i].decode_parameters(pspecs);
             e.weights = population[i].decode_weights();
-            e.objectives = problem_.evaluate(e.params);
-            if (e.objectives.size() != ospecs.size())
-                throw InvalidInputError("Wbga: problem returned wrong objective arity");
             e.generation = generation;
-        };
-        if (config_.parallel) {
-            ThreadPool::global().parallel_for(pop_size, eval_one);
-        } else {
-            for (std::size_t i = 0; i < pop_size; ++i) eval_one(i);
+            points[i] = e.params;
+            wts[i] = e.weights;
         }
+        const auto evals = evaluate_population(engine, problem_, points);
+        for (const auto& r : evals)
+            if (r.values.size() != ospecs.size())
+                throw InvalidInputError("Wbga: problem returned wrong objective arity");
 
         // eq. (5) fitness with per-generation min/max normalisation.
-        std::vector<std::vector<double>> objs(pop_size), wts(pop_size);
+        const auto fit = wbga_fitness_all(evals, wts, ospecs);
         for (std::size_t i = 0; i < pop_size; ++i) {
-            objs[i] = evaluated[i].objectives;
-            wts[i] = evaluated[i].weights;
+            evaluated[i].objectives = evals[i].values;
+            evaluated[i].fitness = fit[i];
         }
-        const auto fit = wbga_fitness_all(objs, wts, ospecs);
-        for (std::size_t i = 0; i < pop_size; ++i) evaluated[i].fitness = fit[i];
 
         if (config_.keep_archive)
             for (const auto& e : evaluated) result.archive.push_back(e);
@@ -102,7 +108,7 @@ WbgaResult Wbga::run(Rng& rng, const ProgressFn& progress) const {
     };
 
     for (std::size_t gen = 0; gen < config_.generations; ++gen) {
-        evaluate_population(gen);
+        evaluate_population_gen(gen);
 
         double best = 0.0;
         for (const auto& e : evaluated) best = std::max(best, e.fitness);

@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "eval/engine.hpp"
 #include "moo/fitness.hpp"
 #include "moo/ga_string.hpp"
 #include "moo/operators.hpp"
@@ -45,6 +46,12 @@ struct WbgaConfig {
     double sharing_radius = 0.15;   ///< weight-space niching; 0 disables
     bool parallel = true;           ///< evaluate populations on the pool
     bool keep_archive = true;       ///< record every evaluation
+
+    /// Shared evaluation engine (non-owning; must outlive the run). When
+    /// null the optimiser creates a private engine honouring `parallel`;
+    /// when set, the engine's own scheduling config governs and `parallel`
+    /// is ignored.
+    eval::Engine* engine = nullptr;
 };
 
 struct WbgaResult {

@@ -7,6 +7,7 @@
 
 #include "core/corners.hpp"
 #include "core/sensitivity.hpp"
+#include "eval/engine.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -90,8 +91,11 @@ TEST(Sensitivity, W1MovesPhaseMarginDown) {
     // PM elasticity.
     const circuits::OtaEvaluator ev;
     const SensitivityReport report = compute_sensitivities(ev, circuits::OtaSizing{});
-    for (const auto& p : report.parameters)
-        if (p.name == "w1") EXPECT_LT(p.pm_elasticity, 0.0);
+    for (const auto& p : report.parameters) {
+        if (p.name == "w1") {
+            EXPECT_LT(p.pm_elasticity, 0.0);
+        }
+    }
 }
 
 TEST(Sensitivity, RejectsBadStep) {
@@ -100,6 +104,53 @@ TEST(Sensitivity, RejectsBadStep) {
                  InvalidInputError);
     EXPECT_THROW((void)compute_sensitivities(ev, circuits::OtaSizing{}, 0.5),
                  InvalidInputError);
+}
+
+TEST(Corners, EngineSweepMatchesLegacyBitExactly) {
+    const circuits::OtaEvaluator ev;
+    const process::ProcessSampler sampler(ev.config().card,
+                                          process::VariationSpec::c35());
+    const CornerSweep legacy = run_corner_sweep(ev, circuits::OtaSizing{}, sampler);
+
+    eval::Engine engine;
+    const CornerSweep via_engine =
+        run_corner_sweep(engine, ev, circuits::OtaSizing{}, sampler);
+    ASSERT_EQ(via_engine.points.size(), legacy.points.size());
+    for (std::size_t i = 0; i < legacy.points.size(); ++i) {
+        EXPECT_EQ(via_engine.points[i].corner, legacy.points[i].corner);
+        EXPECT_EQ(via_engine.points[i].valid, legacy.points[i].valid);
+        EXPECT_DOUBLE_EQ(via_engine.points[i].gain_db, legacy.points[i].gain_db);
+        EXPECT_DOUBLE_EQ(via_engine.points[i].pm_deg, legacy.points[i].pm_deg);
+    }
+    EXPECT_DOUBLE_EQ(via_engine.dgain_halfspread_pct, legacy.dgain_halfspread_pct);
+    EXPECT_EQ(engine.counters().evaluations, 5u);
+
+    // A repeated sweep of the same sizing is served from the cache.
+    const CornerSweep again = run_corner_sweep(engine, ev, circuits::OtaSizing{}, sampler);
+    EXPECT_EQ(engine.counters().evaluations, 5u);
+    EXPECT_EQ(engine.counters().cache_hits, 5u);
+    EXPECT_DOUBLE_EQ(again.gain_min, via_engine.gain_min);
+}
+
+TEST(Sensitivity, EngineReportMatchesLegacyBitExactly) {
+    const circuits::OtaEvaluator ev;
+    const SensitivityReport legacy = compute_sensitivities(ev, circuits::OtaSizing{});
+
+    eval::Engine engine;
+    const SensitivityReport via_engine =
+        compute_sensitivities(engine, ev, circuits::OtaSizing{});
+    EXPECT_DOUBLE_EQ(via_engine.gain_db, legacy.gain_db);
+    EXPECT_DOUBLE_EQ(via_engine.pm_deg, legacy.pm_deg);
+    ASSERT_EQ(via_engine.parameters.size(), legacy.parameters.size());
+    for (std::size_t i = 0; i < legacy.parameters.size(); ++i) {
+        EXPECT_EQ(via_engine.parameters[i].name, legacy.parameters[i].name);
+        EXPECT_DOUBLE_EQ(via_engine.parameters[i].gain_elasticity,
+                         legacy.parameters[i].gain_elasticity);
+        EXPECT_DOUBLE_EQ(via_engine.parameters[i].pm_elasticity,
+                         legacy.parameters[i].pm_elasticity);
+    }
+    // Nominal + 2 probes per parameter, all submitted as one batch.
+    EXPECT_EQ(engine.counters().requests, 1u + 2u * legacy.parameters.size());
 }
 
 TEST(Sensitivity, DominantAccessors) {

@@ -1,0 +1,341 @@
+// Unit tests for src/eval: the unified batched evaluation engine - LRU
+// memoisation, within-batch dedup, deterministic stochastic child streams
+// across thread counts, NaN failure propagation, counters, and equivalence
+// of the scalar / batch / engine paths for moo problems and the MC runner.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "eval/cache.hpp"
+#include "eval/engine.hpp"
+#include "mc/monte_carlo.hpp"
+#include "moo/population_eval.hpp"
+#include "moo/test_problems.hpp"
+#include "moo/wbga.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::eval;
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+
+/// Deterministic toy kernel: {sum, product} of the parameters.
+std::vector<double> toy_kernel(const EvalRequest& r) {
+    double sum = 0.0, prod = 1.0;
+    for (double p : r.params) {
+        sum += p;
+        prod *= p;
+    }
+    return {sum + static_cast<double>(r.process_key), prod};
+}
+
+EvalBatch toy_batch(std::size_t n) {
+    EvalBatch batch;
+    for (std::size_t i = 0; i < n; ++i)
+        batch.add({static_cast<double>(i), 0.5 * static_cast<double>(i)});
+    return batch;
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(LruCache, FindAfterInsert) {
+    LruCache cache(4);
+    cache.insert({{1.0, 2.0}, 0, 0}, {42.0});
+    const auto* hit = cache.find({{1.0, 2.0}, 0, 0});
+    ASSERT_NE(hit, nullptr);
+    EXPECT_DOUBLE_EQ((*hit)[0], 42.0);
+    EXPECT_EQ(cache.find({{1.0, 2.0}, 1, 0}), nullptr); // other process point
+    EXPECT_EQ(cache.find({{1.0, 2.0}, 0, 1}), nullptr); // other salt
+    EXPECT_EQ(cache.find({{1.0, 2.1}, 0, 0}), nullptr); // other params
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+    LruCache cache(2);
+    cache.insert({{1.0}, 0, 0}, {1.0});
+    cache.insert({{2.0}, 0, 0}, {2.0});
+    ASSERT_NE(cache.find({{1.0}, 0, 0}), nullptr); // refresh key 1
+    cache.insert({{3.0}, 0, 0}, {3.0});            // evicts key 2
+    EXPECT_NE(cache.find({{1.0}, 0, 0}), nullptr);
+    EXPECT_EQ(cache.find({{2.0}, 0, 0}), nullptr);
+    EXPECT_NE(cache.find({{3.0}, 0, 0}), nullptr);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+    LruCache cache(0);
+    cache.insert({{1.0}, 0, 0}, {1.0});
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.find({{1.0}, 0, 0}), nullptr);
+}
+
+TEST(LruCache, BitExactKeying) {
+    LruCache cache(4);
+    cache.insert({{0.0}, 0, 0}, {1.0});
+    // -0.0 == 0.0 as doubles, but the bit patterns differ: no false hit.
+    EXPECT_EQ(cache.find({{-0.0}, 0, 0}), nullptr);
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(Engine, BatchMatchesScalarKernel) {
+    Engine engine;
+    const EvalBatch batch = toy_batch(33);
+    const auto results = engine.evaluate(batch, KernelFn(toy_kernel));
+    ASSERT_EQ(results.size(), 33u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto direct = toy_kernel(batch.items[i]);
+        EXPECT_EQ(results[i].values, direct);
+        EXPECT_FALSE(results[i].from_cache);
+    }
+}
+
+TEST(Engine, CacheHitsOnRepeatedPoints) {
+    Engine engine;
+    const EvalBatch batch = toy_batch(8);
+    const auto first = engine.evaluate(batch, KernelFn(toy_kernel));
+    const auto second = engine.evaluate(batch, KernelFn(toy_kernel));
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_TRUE(second[i].from_cache);
+        EXPECT_EQ(second[i].values, first[i].values);
+    }
+    EXPECT_EQ(engine.counters().requests, 16u);
+    EXPECT_EQ(engine.counters().evaluations, 8u);
+    EXPECT_EQ(engine.counters().cache_hits, 8u);
+}
+
+TEST(Engine, WithinBatchDedupEvaluatesOnce) {
+    Engine engine;
+    EvalBatch batch;
+    for (int rep = 0; rep < 5; ++rep) batch.add({3.0, 4.0});
+    std::atomic<int> calls{0};
+    const auto results = engine.evaluate(
+        batch, KernelFn([&calls](const EvalRequest& r) {
+            ++calls;
+            return toy_kernel(r);
+        }));
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(engine.counters().evaluations, 1u);
+    EXPECT_EQ(engine.counters().cache_hits, 4u);
+    for (const auto& r : results) EXPECT_EQ(r.values, results.front().values);
+}
+
+TEST(Engine, TagSeparatesKernelKeySpaces) {
+    Engine engine;
+    EvalBatch a;
+    a.add({1.0, 2.0});
+    EvalBatch b(77); // same point, different kernel tag
+    b.add({1.0, 2.0});
+    const auto ra = engine.evaluate(a, KernelFn(toy_kernel));
+    const auto rb = engine.evaluate(
+        b, KernelFn([](const EvalRequest&) { return std::vector<double>{9.0}; }));
+    EXPECT_FALSE(rb.front().from_cache);
+    EXPECT_EQ(rb.front().values, std::vector<double>{9.0});
+    EXPECT_NE(ra.front().values, rb.front().values);
+}
+
+TEST(Engine, NonCacheableItemsBypassCache) {
+    Engine engine;
+    EvalBatch batch;
+    batch.add({1.0}, kNominalProcess, false);
+    const auto first = engine.evaluate(batch, KernelFn(toy_kernel));
+    const auto second = engine.evaluate(batch, KernelFn(toy_kernel));
+    EXPECT_FALSE(second.front().from_cache);
+    EXPECT_EQ(engine.counters().evaluations, 2u);
+    EXPECT_EQ(engine.counters().cache_hits, 0u);
+}
+
+TEST(Engine, NanFailurePropagates) {
+    Engine engine;
+    EvalBatch batch = toy_batch(6);
+    const auto results = engine.evaluate(
+        batch, KernelFn([](const EvalRequest& r) -> std::vector<double> {
+            if (r.params[0] >= 3.0) return {nan_v, 1.0};
+            return toy_kernel(r);
+        }));
+    std::size_t failed = 0;
+    for (const auto& r : results) {
+        if (r.failed()) ++failed;
+        // The engine's failure flag and the moo-level helper must agree.
+        EXPECT_EQ(r.failed(), moo::evaluation_failed(r.values));
+    }
+    EXPECT_EQ(failed, 3u);
+    EXPECT_EQ(engine.counters().failures, 3u);
+}
+
+TEST(Engine, DeterministicAcrossThreadCounts) {
+    auto kernel = StochasticKernelFn([](const EvalRequest& r, Rng& rng) {
+        return std::vector<double>{rng.gauss(r.params[0], 1.0), rng.uniform01()};
+    });
+    std::vector<std::vector<EvalResult>> runs;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        EngineConfig config;
+        config.threads = threads;
+        Engine engine(config);
+        Rng rng(42);
+        runs.push_back(engine.evaluate(toy_batch(64), kernel, rng));
+    }
+    for (std::size_t t = 1; t < runs.size(); ++t) {
+        ASSERT_EQ(runs[t].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i)
+            EXPECT_EQ(runs[t][i].values, runs[0][i].values)
+                << "thread-count run " << t << ", item " << i;
+    }
+}
+
+TEST(Engine, SerialAndParallelIdentical) {
+    auto kernel = StochasticKernelFn([](const EvalRequest&, Rng& rng) {
+        return std::vector<double>{rng.uniform01()};
+    });
+    EngineConfig serial;
+    serial.parallel = false;
+    Engine e1(serial), e2;
+    Rng r1(7), r2(7);
+    const auto a = e1.evaluate(toy_batch(32), kernel, r1);
+    const auto b = e2.evaluate(toy_batch(32), kernel, r2);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].values, b[i].values);
+}
+
+TEST(Engine, LruEvictionForcesReEvaluation) {
+    EngineConfig config;
+    config.cache_capacity = 2;
+    Engine engine(config);
+    EvalBatch one;
+    one.add({1.0});
+    (void)engine.evaluate(one, KernelFn(toy_kernel));
+    (void)engine.evaluate(toy_batch(4), KernelFn(toy_kernel)); // evicts {1.0}
+    const auto again = engine.evaluate(one, KernelFn(toy_kernel));
+    EXPECT_FALSE(again.front().from_cache);
+    EXPECT_EQ(engine.counters().evaluations, 6u);
+}
+
+TEST(Engine, ChunkKernelMatchesScalar) {
+    Engine engine;
+    const EvalBatch batch = toy_batch(23);
+    const auto scalar = engine.evaluate(batch, KernelFn(toy_kernel));
+    engine.clear_cache();
+    const auto chunked = engine.evaluate(
+        batch, BatchKernelFn([](const std::vector<const EvalRequest*>& reqs) {
+            std::vector<std::vector<double>> out;
+            for (const auto* r : reqs) out.push_back(toy_kernel(*r));
+            return out;
+        }));
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+        EXPECT_EQ(chunked[i].values, scalar[i].values);
+}
+
+TEST(Engine, ChunkKernelArityChecked) {
+    EngineConfig config;
+    config.parallel = false;
+    Engine engine(config);
+    EXPECT_THROW(
+        (void)engine.evaluate(
+            toy_batch(4),
+            BatchKernelFn([](const std::vector<const EvalRequest*>&) {
+                return std::vector<std::vector<double>>{};
+            })),
+        InvalidInputError);
+}
+
+TEST(Engine, EmptyBatchIsANoOp) {
+    Engine engine;
+    const auto results = engine.evaluate(EvalBatch{}, KernelFn(toy_kernel));
+    EXPECT_TRUE(results.empty());
+    EXPECT_EQ(engine.counters().requests, 0u);
+}
+
+TEST(Engine, WallTimeAccumulates) {
+    Engine engine;
+    (void)engine.evaluate(toy_batch(16), KernelFn(toy_kernel));
+    EXPECT_GE(engine.counters().wall_seconds, 0.0);
+    const double after_one = engine.counters().wall_seconds;
+    (void)engine.evaluate(toy_batch(16), KernelFn(toy_kernel));
+    EXPECT_GE(engine.counters().wall_seconds, after_one);
+}
+
+// ------------------------------------------------- population bridge (moo)
+
+TEST(PopulationEval, MatchesScalarProblemEvaluate) {
+    const moo::ZdtProblem problem(1, 6);
+    Engine engine;
+    std::vector<std::vector<double>> points;
+    Rng rng(11);
+    for (int i = 0; i < 40; ++i) {
+        std::vector<double> p(6);
+        for (auto& v : p) v = rng.uniform01();
+        points.push_back(p);
+    }
+    const auto results = moo::evaluate_population(engine, problem, points);
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(results[i].values, problem.evaluate(points[i]));
+}
+
+TEST(PopulationEval, SharedEngineDoesNotChangeWbgaResults) {
+    const moo::ToyAmplifierProblem problem;
+    moo::WbgaConfig cfg;
+    cfg.population = 16;
+    cfg.generations = 8;
+
+    Rng r1(5);
+    const auto baseline = moo::Wbga(problem, cfg).run(r1);
+
+    Engine engine;
+    cfg.engine = &engine;
+    Rng r2(5);
+    const auto shared = moo::Wbga(problem, cfg).run(r2);
+
+    ASSERT_EQ(shared.archive.size(), baseline.archive.size());
+    for (std::size_t i = 0; i < shared.archive.size(); ++i) {
+        EXPECT_EQ(shared.archive[i].objectives, baseline.archive[i].objectives);
+        EXPECT_DOUBLE_EQ(shared.archive[i].fitness, baseline.archive[i].fitness);
+    }
+    // Elites re-enter the population every generation: the engine must have
+    // served some of those repeats from its cache.
+    EXPECT_EQ(engine.counters().requests, 16u * 8u);
+    EXPECT_GT(engine.counters().cache_hits, 0u);
+    EXPECT_LT(engine.counters().evaluations, engine.counters().requests);
+}
+
+// --------------------------------------------------------- MC runner bridge
+
+TEST(McBridge, EngineOverloadMatchesLegacyRunner) {
+    auto fn = [](std::size_t, Rng& rng) -> std::vector<double> {
+        return {rng.gauss(10.0, 1.0), rng.uniform01()};
+    };
+    mc::McConfig config;
+    config.samples = 48;
+
+    Rng r1(9), r2(9);
+    const auto legacy = mc::run_monte_carlo(config, r1, fn);
+    Engine engine;
+    const auto via_engine = mc::run_monte_carlo(engine, config, r2, fn);
+
+    ASSERT_EQ(via_engine.rows.size(), legacy.rows.size());
+    for (std::size_t i = 0; i < legacy.rows.size(); ++i)
+        EXPECT_EQ(via_engine.rows[i], legacy.rows[i]);
+    EXPECT_EQ(engine.counters().evaluations, 48u);
+}
+
+TEST(McBridge, FailureMaskReusedAcrossColumnQueries) {
+    auto fn = [](std::size_t i, Rng&) -> std::vector<double> {
+        if (i % 3 == 0) return {nan_v, nan_v};
+        return {static_cast<double>(i), 2.0 * static_cast<double>(i)};
+    };
+    mc::McConfig config;
+    config.samples = 12;
+    Rng rng(1);
+    const auto result = mc::run_monte_carlo(config, rng, fn);
+    EXPECT_EQ(result.failed, 4u);
+    EXPECT_EQ(result.failure_mask().size(), 12u);
+    EXPECT_EQ(result.column(0).size(), 8u);
+    EXPECT_EQ(result.column(1).size(), 8u);
+    EXPECT_EQ(result.column_summary(0).count, 8u);
+}
+
+} // namespace
