@@ -3,12 +3,18 @@
 // The flow's cost is dominated by DC Newton solves and AC sweeps of the OTA
 // testbench; this binary benchmarks those kernels plus the underlying LU
 // factorisation at representative sizes, so changes to the numerics are
-// caught before they hit the multi-minute experiments.
+// caught before they hit the multi-minute experiments. The chunk benchmarks
+// at the bottom report the headline engine number: per-point testbench
+// rebuild vs prototype-reuse batch evaluation at paper-scale chunk sizes
+// (population 100), with a bit-identity cross-check between the two paths.
 
 #include <benchmark/benchmark.h>
 
 #include <complex>
+#include <cstring>
+#include <vector>
 
+#include "circuits/filter.hpp"
 #include "circuits/ota.hpp"
 #include "linalg/lu.hpp"
 #include "spice/analysis/ac.hpp"
@@ -18,6 +24,68 @@
 using namespace ypm;
 
 namespace {
+
+/// Deterministic sizing chunk spanning the Table 1 box (seeded so the
+/// rebuild and prototype benches see identical work).
+std::vector<circuits::OtaSizing> sizing_chunk(std::size_t n) {
+    Rng rng(2008);
+    const auto specs = circuits::OtaSizing::parameter_specs();
+    std::vector<circuits::OtaSizing> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> v;
+        v.reserve(specs.size());
+        for (const auto& s : specs) v.push_back(rng.uniform(s.lo, s.hi));
+        out.push_back(circuits::OtaSizing::from_vector(v));
+    }
+    return out;
+}
+
+bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/// Objective vectors of the two paths must agree bit-for-bit.
+bool chunk_matches_scalar(const circuits::OtaEvaluator& evaluator,
+                          const std::vector<circuits::OtaSizing>& sizings) {
+    const auto chunk = evaluator.measure_chunk(sizings);
+    for (std::size_t i = 0; i < sizings.size(); ++i) {
+        const auto scalar = evaluator.measure(sizings[i]);
+        if (scalar.valid != chunk[i].valid) return false;
+        if (!scalar.valid) continue;
+        if (!bits_equal(scalar.gain_db, chunk[i].gain_db) ||
+            !bits_equal(scalar.pm_deg, chunk[i].pm_deg))
+            return false;
+    }
+    return true;
+}
+
+std::vector<circuits::FilterSizing> filter_sizing_chunk(std::size_t n) {
+    Rng rng(42);
+    std::vector<circuits::FilterSizing> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back({rng.uniform(2e-12, 60e-12), rng.uniform(2e-12, 60e-12),
+                       rng.uniform(2e-12, 60e-12)});
+    return out;
+}
+
+bool filter_chunk_matches_scalar(
+    const circuits::FilterEvaluator& evaluator,
+    const std::vector<circuits::FilterSizing>& sizings,
+    circuits::OtaModelKind kind) {
+    const auto chunk = evaluator.measure_chunk(sizings, kind);
+    for (std::size_t i = 0; i < sizings.size(); ++i) {
+        const auto scalar = evaluator.measure(sizings[i], kind);
+        if (scalar.valid != chunk[i].valid) return false;
+        if (!scalar.valid) continue;
+        if (!bits_equal(scalar.fc, chunk[i].fc) ||
+            !bits_equal(scalar.worst_passband_dev_db,
+                        chunk[i].worst_passband_dev_db))
+            return false;
+    }
+    return true;
+}
 
 void BM_LuFactorSolve(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
@@ -101,6 +169,98 @@ void BM_CircuitConstruction(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_CircuitConstruction)->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------ chunk kernel comparison
+//
+// The headline pair: the same chunk of random sizings measured by
+// rebuilding the full testbench per point (the scalar OtaEvaluator::measure
+// path) vs through one shared CircuitPrototype (measure_chunk). Identical
+// work, bit-identical objective vectors; `points_per_second` is the
+// throughput to compare.
+
+void BM_OtaChunkRebuildPerPoint(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const auto sizings = sizing_chunk(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        for (const auto& s : sizings) {
+            auto perf = evaluator.measure(s);
+            benchmark::DoNotOptimize(perf);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+    state.counters["points_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OtaChunkRebuildPerPoint)
+    ->Arg(16)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OtaChunkPrototypeReuse(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const auto sizings = sizing_chunk(static_cast<std::size_t>(state.range(0)));
+    if (!chunk_matches_scalar(evaluator, sizings)) {
+        state.SkipWithError("prototype-reuse results diverge from scalar path");
+        return;
+    }
+    for (auto _ : state) {
+        auto perfs = evaluator.measure_chunk(sizings);
+        benchmark::DoNotOptimize(perfs);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+    state.counters["points_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OtaChunkPrototypeReuse)
+    ->Arg(16)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FilterChunkRebuildPerPoint(benchmark::State& state) {
+    const circuits::FilterEvaluator evaluator{circuits::FilterConfig{},
+                                              circuits::FilterSpecMask{}};
+    const auto sizings =
+        filter_sizing_chunk(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        for (const auto& s : sizings) {
+            auto perf = evaluator.measure(s, circuits::OtaModelKind::behavioural);
+            benchmark::DoNotOptimize(perf);
+        }
+    }
+    state.counters["points_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FilterChunkRebuildPerPoint)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_FilterChunkPrototypeReuse(benchmark::State& state) {
+    const circuits::FilterEvaluator evaluator{circuits::FilterConfig{},
+                                              circuits::FilterSpecMask{}};
+    const auto sizings =
+        filter_sizing_chunk(static_cast<std::size_t>(state.range(0)));
+    if (!filter_chunk_matches_scalar(evaluator, sizings,
+                                     circuits::OtaModelKind::behavioural)) {
+        state.SkipWithError("prototype-reuse results diverge from scalar path");
+        return;
+    }
+    for (auto _ : state) {
+        auto perfs =
+            evaluator.measure_chunk(sizings, circuits::OtaModelKind::behavioural);
+        benchmark::DoNotOptimize(perfs);
+    }
+    state.counters["points_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FilterChunkPrototypeReuse)->Arg(30)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -75,6 +75,26 @@ Circuit build_filter(const FilterSizing& s, const FilterConfig& cfg,
 FilterEvaluator::FilterEvaluator(FilterConfig config, FilterSpecMask mask)
     : config_(config), mask_(mask) {}
 
+FilterPerformance FilterEvaluator::metrics_from_transfer(
+    const std::vector<double>& freqs,
+    const std::vector<std::complex<double>>& h) const {
+    FilterPerformance perf;
+    const auto lp = spice::lowpass_metrics(freqs, h, mask_.f_stop);
+    perf.passband_gain_db = lp.passband_gain_db;
+    perf.fc = lp.fc;
+    perf.stopband_atten_db = lp.stopband_atten_db;
+
+    // Worst deviation from the passband gain below f_pass.
+    const auto mag = spice::magnitude_db(h);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < freqs.size() && freqs[i] <= mask_.f_pass; ++i)
+        worst = std::max(worst, std::fabs(mag[i] - perf.passband_gain_db));
+    perf.worst_passband_dev_db = worst;
+
+    perf.valid = true;
+    return perf;
+}
+
 FilterPerformance FilterEvaluator::measure_circuit(Circuit& ckt) const {
     FilterPerformance perf;
 
@@ -96,20 +116,52 @@ FilterPerformance FilterEvaluator::measure_circuit(Circuit& ckt) const {
     }
 
     const auto h = ac.transfer(*ckt.find_node("vout"), *ckt.find_node("vin"));
-    const auto lp = spice::lowpass_metrics(freqs, h, mask_.f_stop);
-    perf.passband_gain_db = lp.passband_gain_db;
-    perf.fc = lp.fc;
-    perf.stopband_atten_db = lp.stopband_atten_db;
+    return metrics_from_transfer(freqs, h);
+}
 
-    // Worst deviation from the passband gain below f_pass.
-    const auto mag = spice::magnitude_db(h);
-    double worst = 0.0;
-    for (std::size_t i = 0; i < freqs.size() && freqs[i] <= mask_.f_pass; ++i)
-        worst = std::max(worst, std::fabs(mag[i] - perf.passband_gain_db));
-    perf.worst_passband_dev_db = worst;
+FilterPrototype::FilterPrototype(const FilterEvaluator& evaluator,
+                                 OtaModelKind kind)
+    : evaluator_(&evaluator),
+      proto_(build_filter(FilterSizing{}, evaluator.config(), kind)),
+      inst_(proto_.instance()),
+      c1_(&proto_.device<spice::Capacitor>("c1")),
+      c2_(&proto_.device<spice::Capacitor>("c2")),
+      c3_(&proto_.device<spice::Capacitor>("c3")),
+      vout_(proto_.node("vout")), vin_(proto_.node("vin")),
+      freqs_(spice::log_sweep(evaluator.config().f_start,
+                              evaluator.config().f_stop,
+                              evaluator.config().points_per_decade)) {}
 
-    perf.valid = true;
-    return perf;
+FilterPerformance FilterPrototype::measure(const FilterSizing& sizing) {
+    c1_->set_capacitance(sizing.c1);
+    c2_->set_capacitance(sizing.c2);
+    c3_->set_capacitance(sizing.c3);
+
+    FilterPerformance perf;
+    const spice::DcResult op = inst_.solve_op();
+    if (!op.converged) {
+        perf.failure = "dc operating point did not converge";
+        return perf;
+    }
+
+    std::vector<std::complex<double>> h;
+    try {
+        h = inst_.ac_transfer(op.solution, freqs_, vout_, vin_);
+    } catch (const NumericalError& e) {
+        perf.failure = std::string("ac analysis failed: ") + e.what();
+        return perf;
+    }
+    return evaluator_->metrics_from_transfer(freqs_, h);
+}
+
+std::vector<FilterPerformance>
+FilterEvaluator::measure_chunk(std::span<const FilterSizing> sizings,
+                               OtaModelKind kind) const {
+    FilterPrototype proto(*this, kind);
+    std::vector<FilterPerformance> out;
+    out.reserve(sizings.size());
+    for (const FilterSizing& s : sizings) out.push_back(proto.measure(s));
+    return out;
 }
 
 FilterPerformance FilterEvaluator::measure(const FilterSizing& sizing,

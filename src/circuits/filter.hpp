@@ -13,11 +13,13 @@
 /// paper's fast hierarchical flow) or at transistor level (verification).
 
 #include <complex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "circuits/ota.hpp"
 #include "mc/yield.hpp"
+#include "spice/devices/capacitor.hpp"
 #include "moo/problem.hpp"
 #include "process/sampler.hpp"
 #include "spice/circuit.hpp"
@@ -99,12 +101,49 @@ struct FilterPerformance {
     [[nodiscard]] bool meets(const FilterSpecMask& mask) const;
 };
 
+class FilterEvaluator; // below
+
+/// Prototype-backed filter measurement kernel: builds the filter once for a
+/// fixed OTA model kind and re-binds the designable capacitors per point,
+/// reusing the MNA factorisation workspaces across the chunk. Results are
+/// bit-identical to FilterEvaluator::measure on a fresh build. Stateful -
+/// one per thread.
+class FilterPrototype {
+public:
+    FilterPrototype(const FilterEvaluator& evaluator, OtaModelKind kind);
+
+    FilterPrototype(const FilterPrototype&) = delete;
+    FilterPrototype& operator=(const FilterPrototype&) = delete;
+
+    /// Re-bind C1/C2/C3 and measure.
+    [[nodiscard]] FilterPerformance measure(const FilterSizing& sizing);
+
+private:
+    const FilterEvaluator* evaluator_;
+    spice::CircuitPrototype proto_;
+    spice::CircuitPrototype::Instance inst_;
+    spice::Capacitor *c1_, *c2_, *c3_;
+    spice::NodeId vout_, vin_;
+    std::vector<double> freqs_;
+};
+
 class FilterEvaluator {
 public:
     FilterEvaluator(FilterConfig config, FilterSpecMask mask);
 
     [[nodiscard]] FilterPerformance measure(const FilterSizing& sizing,
                                             OtaModelKind kind) const;
+
+    /// Chunk kernel: evaluate a group of sizings through one shared filter
+    /// prototype; element i is bit-identical to measure(sizings[i], kind).
+    [[nodiscard]] std::vector<FilterPerformance>
+    measure_chunk(std::span<const FilterSizing> sizings, OtaModelKind kind) const;
+
+    /// Response metrics from a computed transfer function (shared by the
+    /// scalar and prototype paths so they stay bit-identical).
+    [[nodiscard]] FilterPerformance
+    metrics_from_transfer(const std::vector<double>& freqs,
+                          const std::vector<std::complex<double>>& h) const;
 
     /// Measure with explicit per-OTA macromodel specs (used by yield MC).
     [[nodiscard]] FilterPerformance

@@ -16,6 +16,27 @@ using spice::Circuit;
 using spice::Mosfet;
 using spice::NodeId;
 
+namespace {
+
+/// Shared metric/validity tail of the scalar and prototype measurement
+/// paths, so the two cannot diverge (the engine cache, tests and the CI
+/// speedup gate all rely on their bit-identity).
+OtaPerformance perf_from_transfer(const std::vector<double>& freqs,
+                                  const std::vector<std::complex<double>>& h) {
+    OtaPerformance perf;
+    perf.bode = spice::bode_metrics(freqs, h);
+    perf.gain_db = perf.bode.dc_gain_db;
+    perf.pm_deg = perf.bode.phase_margin_deg;
+    if (std::isnan(perf.pm_deg) || perf.gain_db <= 0.0) {
+        perf.failure = "no unity-gain crossing (gain too low)";
+        return perf;
+    }
+    perf.valid = true;
+    return perf;
+}
+
+} // namespace
+
 OtaSizing OtaSizing::from_vector(const std::vector<double>& v) {
     if (v.size() != parameter_count)
         throw InvalidInputError("OtaSizing: expected 8 parameters");
@@ -116,6 +137,51 @@ Circuit build_ota_testbench(const OtaSizing& sizing, const OtaConfig& cfg) {
     return ckt;
 }
 
+OtaPrototype::OtaPrototype(const OtaConfig& config)
+    : proto_(build_ota_testbench(OtaSizing{}, config)), inst_(proto_.instance()),
+      m3_(&proto_.device<Mosfet>("m3")), m6_(&proto_.device<Mosfet>("m6")),
+      m5_(&proto_.device<Mosfet>("m5")), m4_(&proto_.device<Mosfet>("m4")),
+      m9_(&proto_.device<Mosfet>("m9")), m7_(&proto_.device<Mosfet>("m7")),
+      m10_(&proto_.device<Mosfet>("m10")), m8_(&proto_.device<Mosfet>("m8")),
+      out_(proto_.node("out")), inp_(proto_.node("inp")),
+      freqs_(spice::log_sweep(config.f_start, config.f_stop,
+                              config.points_per_decade)) {}
+
+void OtaPrototype::bind_sizing(const OtaSizing& s) {
+    // Same designable-slot assignment as add_ota_core.
+    m3_->set_geometry(s.w4, s.l4);
+    m6_->set_geometry(s.w4, s.l4);
+    m5_->set_geometry(s.w1, s.l1);
+    m4_->set_geometry(s.w1, s.l1);
+    m9_->set_geometry(s.w2, s.l2);
+    m7_->set_geometry(s.w2, s.l2);
+    m10_->set_geometry(s.w3, s.l3);
+    m8_->set_geometry(s.w3, s.l3);
+}
+
+OtaPerformance OtaPrototype::measure(const OtaSizing& sizing,
+                                     const process::Realization* real) {
+    bind_sizing(sizing);
+    inst_.bind_process(real);
+
+    OtaPerformance perf;
+    const spice::DcResult op = inst_.solve_op();
+    if (!op.converged) {
+        perf.failure = "dc operating point did not converge";
+        return perf;
+    }
+
+    std::vector<std::complex<double>> h;
+    try {
+        h = inst_.ac_transfer(op.solution, freqs_, out_, inp_);
+    } catch (const NumericalError& e) {
+        perf.failure = std::string("ac analysis failed: ") + e.what();
+        return perf;
+    }
+
+    return perf_from_transfer(freqs_, h);
+}
+
 OtaEvaluator::OtaEvaluator(OtaConfig config) : config_(config) {}
 
 OtaPerformance OtaEvaluator::measure_impl(const OtaSizing& sizing,
@@ -144,15 +210,7 @@ OtaPerformance OtaEvaluator::measure_impl(const OtaSizing& sizing,
     const NodeId out = *ckt.find_node("out");
     const NodeId inp = *ckt.find_node("inp");
     const auto h = ac.transfer(out, inp);
-    perf.bode = spice::bode_metrics(freqs, h);
-    perf.gain_db = perf.bode.dc_gain_db;
-    perf.pm_deg = perf.bode.phase_margin_deg;
-    if (std::isnan(perf.pm_deg) || perf.gain_db <= 0.0) {
-        perf.failure = "no unity-gain crossing (gain too low)";
-        return perf;
-    }
-    perf.valid = true;
-    return perf;
+    return perf_from_transfer(freqs, h);
 }
 
 OtaPerformance OtaEvaluator::measure(const OtaSizing& sizing) const {
@@ -162,6 +220,40 @@ OtaPerformance OtaEvaluator::measure(const OtaSizing& sizing) const {
 OtaPerformance OtaEvaluator::measure(const OtaSizing& sizing,
                                      const process::Realization& real) const {
     return measure_impl(sizing, &real);
+}
+
+std::vector<OtaPerformance>
+OtaEvaluator::measure_chunk(std::span<const OtaSizing> sizings) const {
+    OtaPrototype proto(config_);
+    std::vector<OtaPerformance> out;
+    out.reserve(sizings.size());
+    for (const OtaSizing& s : sizings) out.push_back(proto.measure(s));
+    return out;
+}
+
+std::vector<OtaPerformance>
+OtaEvaluator::measure_chunk(std::span<const OtaSizing> sizings,
+                            std::span<const process::Realization> reals) const {
+    if (sizings.size() != reals.size())
+        throw InvalidInputError(
+            "OtaEvaluator::measure_chunk: sizing/realization count mismatch");
+    OtaPrototype proto(config_);
+    std::vector<OtaPerformance> out;
+    out.reserve(sizings.size());
+    for (std::size_t i = 0; i < sizings.size(); ++i)
+        out.push_back(proto.measure(sizings[i], &reals[i]));
+    return out;
+}
+
+std::vector<OtaPerformance>
+OtaEvaluator::measure_chunk(const OtaSizing& sizing,
+                            std::span<const process::Realization> reals) const {
+    OtaPrototype proto(config_);
+    std::vector<OtaPerformance> out;
+    out.reserve(reals.size());
+    for (const process::Realization& r : reals)
+        out.push_back(proto.measure(sizing, &r));
+    return out;
 }
 
 OtaEvaluator::Response

@@ -16,6 +16,7 @@
 /// grounds the inverting input for AC.
 
 #include <complex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "spice/circuit.hpp"
 #include "spice/devices/mosfet.hpp"
 #include "spice/measure.hpp"
+#include "spice/prototype.hpp"
 
 namespace ypm::circuits {
 
@@ -84,8 +86,35 @@ struct OtaPerformance {
     std::string failure; ///< populated when !valid
 };
 
+/// Prototype-backed OTA measurement kernel: builds the testbench once and
+/// re-binds sizing/process values per point, reusing the MNA factorisation
+/// workspaces across the whole chunk. Results are bit-identical to
+/// OtaEvaluator::measure on a fresh build. Stateful - one per thread; the
+/// measure_chunk entry points construct one per chunk.
+class OtaPrototype {
+public:
+    explicit OtaPrototype(const OtaConfig& config);
+
+    OtaPrototype(const OtaPrototype&) = delete;
+    OtaPrototype& operator=(const OtaPrototype&) = delete;
+
+    /// Re-bind and measure one point (nullptr realization = nominal).
+    [[nodiscard]] OtaPerformance
+    measure(const OtaSizing& sizing,
+            const process::Realization* realization = nullptr);
+
+private:
+    void bind_sizing(const OtaSizing& sizing);
+
+    spice::CircuitPrototype proto_;
+    spice::CircuitPrototype::Instance inst_;
+    spice::Mosfet *m3_, *m6_, *m5_, *m4_, *m9_, *m7_, *m10_, *m8_;
+    spice::NodeId out_, inp_;
+    std::vector<double> freqs_;
+};
+
 /// Measurement harness around the testbench (thread-safe: every call builds
-/// its own circuit).
+/// its own circuit; the chunk entry points build one prototype per call).
 class OtaEvaluator {
 public:
     explicit OtaEvaluator(OtaConfig config = {});
@@ -96,6 +125,22 @@ public:
     /// Measurement under a sampled process realisation (Monte Carlo).
     [[nodiscard]] OtaPerformance
     measure(const OtaSizing& sizing, const process::Realization& realization) const;
+
+    /// Chunk kernels: evaluate a group of points through one shared
+    /// testbench prototype (see OtaPrototype). Element i of the result is
+    /// bit-identical to the corresponding scalar measure() call.
+    [[nodiscard]] std::vector<OtaPerformance>
+    measure_chunk(std::span<const OtaSizing> sizings) const;
+
+    /// Paired sizing/realisation points (corner sweeps); sizes must match.
+    [[nodiscard]] std::vector<OtaPerformance>
+    measure_chunk(std::span<const OtaSizing> sizings,
+                  std::span<const process::Realization> realizations) const;
+
+    /// One sizing under many realisations (Monte Carlo batches).
+    [[nodiscard]] std::vector<OtaPerformance>
+    measure_chunk(const OtaSizing& sizing,
+                  std::span<const process::Realization> realizations) const;
 
     /// Full AC response of V(out)/V(inp) - Fig. 8's curve.
     struct Response {

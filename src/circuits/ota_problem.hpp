@@ -18,9 +18,20 @@ namespace ypm::circuits {
 /// returned kernel.
 [[nodiscard]] eval::KernelFn ota_objectives_kernel(const OtaEvaluator& evaluator);
 
+/// Chunk twin of ota_objectives_kernel: measures a group of requests
+/// through one shared testbench prototype (OtaEvaluator::measure_chunk).
+/// Element-wise bit-identical to the scalar kernel, so rows cached under
+/// either are interchangeable. \param evaluator must outlive the kernel.
+[[nodiscard]] eval::BatchKernelFn
+ota_objectives_chunk_kernel(const OtaEvaluator& evaluator);
+
 class OtaProblem final : public moo::Problem {
 public:
     explicit OtaProblem(OtaConfig config = {});
+
+    // kernel_ captures evaluator_ by reference; a copy would dangle.
+    OtaProblem(const OtaProblem&) = delete;
+    OtaProblem& operator=(const OtaProblem&) = delete;
 
     [[nodiscard]] const std::vector<moo::ParameterSpec>& parameters() const override;
     [[nodiscard]] const std::vector<moo::ObjectiveSpec>& objectives() const override;
@@ -29,10 +40,16 @@ public:
     [[nodiscard]] std::vector<double>
     evaluate(const std::vector<double>& params) const override;
 
+    /// Prototype-reuse batch path: one shared testbench prototype per call,
+    /// element-wise bit-identical to the scalar evaluate().
+    [[nodiscard]] std::vector<std::vector<double>>
+    evaluate_batch(const std::vector<std::vector<double>>& points) const override;
+
     [[nodiscard]] const OtaEvaluator& evaluator() const { return evaluator_; }
 
 private:
     OtaEvaluator evaluator_;
+    eval::KernelFn kernel_; ///< hoisted: built once, not per evaluate() call
     std::vector<moo::ParameterSpec> params_;
     std::vector<moo::ObjectiveSpec> objectives_;
 };

@@ -39,15 +39,32 @@ CornerSweep run_corner_sweep(eval::Engine& engine,
     eval::EvalBatch batch;
     for (Corner c : kCorners) batch.add(sizing.to_vector(), corner_key(c));
 
+    // Chunk kernel: corner realisations decode from the process key, then
+    // the whole group measures through one shared testbench prototype.
     const auto evals = engine.evaluate(
-        batch, eval::KernelFn([&](const eval::EvalRequest& request) {
-            const process::Realization real =
-                sampler.corner(corner_from_key(request.process_key));
-            const circuits::OtaPerformance perf =
-                evaluator.measure(circuits::OtaSizing::from_vector(request.params),
-                                  real);
-            if (!perf.valid) return moo::failed_evaluation(2);
-            return std::vector<double>{perf.gain_db, perf.pm_deg};
+        batch,
+        eval::BatchKernelFn([&](const std::vector<const eval::EvalRequest*>&
+                                    requests) {
+            std::vector<circuits::OtaSizing> sizings;
+            std::vector<process::Realization> reals;
+            sizings.reserve(requests.size());
+            reals.reserve(requests.size());
+            for (const eval::EvalRequest* request : requests) {
+                sizings.push_back(
+                    circuits::OtaSizing::from_vector(request->params));
+                reals.push_back(
+                    sampler.corner(corner_from_key(request->process_key)));
+            }
+            const auto perfs = evaluator.measure_chunk(sizings, reals);
+            std::vector<std::vector<double>> rows;
+            rows.reserve(perfs.size());
+            for (const circuits::OtaPerformance& perf : perfs) {
+                if (!perf.valid)
+                    rows.push_back(moo::failed_evaluation(2));
+                else
+                    rows.push_back({perf.gain_db, perf.pm_deg});
+            }
+            return rows;
         }));
 
     CornerSweep sweep;

@@ -64,8 +64,10 @@ SensitivityReport compute_sensitivities(eval::Engine& engine,
         batch.add(std::move(hi));
     }
 
+    // Chunk kernel: the 17 probes share one testbench prototype; rows stay
+    // interchangeable with the scalar ota_objectives_kernel cache entries.
     const auto evals =
-        engine.evaluate(batch, circuits::ota_objectives_kernel(evaluator));
+        engine.evaluate(batch, circuits::ota_objectives_chunk_kernel(evaluator));
 
     if (evals.front().failed()) {
         // Re-measure outside the engine to recover the failure diagnostic

@@ -12,12 +12,12 @@ ModelVsTransistor
 compare_model_vs_transistor(eval::Engine& engine,
                             const circuits::OtaEvaluator& evaluator,
                             const SizingResult& sizing) {
-    // Default tag: measures through the canonical objectives kernel, so it
-    // shares the engine's nominal {gain, pm} cache key space.
+    // Default tag: measures through the canonical objectives chunk kernel,
+    // so it shares the engine's nominal {gain, pm} cache key space.
     eval::EvalBatch batch;
     batch.add(sizing.sizing.to_vector());
     const auto evals =
-        engine.evaluate(batch, circuits::ota_objectives_kernel(evaluator));
+        engine.evaluate(batch, circuits::ota_objectives_chunk_kernel(evaluator));
     if (evals.front().failed()) {
         // Re-measure outside the engine to recover the failure diagnostic.
         const auto perf = evaluator.measure(sizing.sizing);

@@ -103,6 +103,45 @@ std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
         });
 }
 
+void Engine::for_each_chunk(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) return;
+    // Worker-sized chunks keep chunk kernels busy without starving the
+    // pool; boundaries never change the element-wise results.
+    const std::size_t workers =
+        config_.parallel ? std::max<std::size_t>(pool().size(), 1) : 1;
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (count + workers * 4 - 1) / (workers * 4));
+    const std::size_t n_chunks = (count + chunk - 1) / chunk;
+    auto run_chunk = [&](std::size_t c) {
+        const std::size_t lo = c * chunk;
+        fn(lo, std::min(count, lo + chunk));
+    };
+    if (!config_.parallel || n_chunks <= 1)
+        for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
+    else
+        pool().parallel_for(n_chunks, run_chunk);
+}
+
+void Engine::dispatch_chunks(const EvalBatch& batch,
+                             const std::vector<std::size_t>& misses,
+                             std::vector<EvalResult>& results,
+                             const ChunkEvalFn& eval_chunk) {
+    for_each_chunk(misses.size(), [&](std::size_t lo, std::size_t hi) {
+        std::vector<const EvalRequest*> reqs;
+        reqs.reserve(hi - lo);
+        for (std::size_t k = lo; k < hi; ++k)
+            reqs.push_back(&batch.items[misses[k]]);
+        auto out = eval_chunk(
+            reqs, std::span<const std::size_t>(misses.data() + lo, hi - lo));
+        if (out.size() != reqs.size())
+            throw InvalidInputError(
+                "eval::Engine: chunk kernel returned wrong batch size");
+        for (std::size_t k = lo; k < hi; ++k)
+            results[misses[k]].values = std::move(out[k - lo]);
+    });
+}
+
 std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
                                          const BatchKernelFn& kernel) {
     const std::uint64_t salt = batch.tag;
@@ -110,33 +149,11 @@ std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
         batch, [salt](std::size_t) { return salt; },
         [&](const std::vector<std::size_t>& misses,
             std::vector<EvalResult>& results) {
-            const std::size_t n = misses.size();
-            if (n == 0) return;
-            // Worker-sized chunks keep chunk kernels busy without starving
-            // the pool; boundaries never change the element-wise results.
-            const std::size_t workers =
-                config_.parallel ? std::max<std::size_t>(pool().size(), 1) : 1;
-            const std::size_t chunk =
-                std::max<std::size_t>(1, (n + workers * 4 - 1) / (workers * 4));
-            const std::size_t n_chunks = (n + chunk - 1) / chunk;
-            auto run_chunk = [&](std::size_t c) {
-                const std::size_t lo = c * chunk;
-                const std::size_t hi = std::min(n, lo + chunk);
-                std::vector<const EvalRequest*> reqs;
-                reqs.reserve(hi - lo);
-                for (std::size_t k = lo; k < hi; ++k)
-                    reqs.push_back(&batch.items[misses[k]]);
-                auto out = kernel(reqs);
-                if (out.size() != reqs.size())
-                    throw InvalidInputError(
-                        "eval::Engine: chunk kernel returned wrong batch size");
-                for (std::size_t k = lo; k < hi; ++k)
-                    results[misses[k]].values = std::move(out[k - lo]);
-            };
-            if (!config_.parallel || n_chunks <= 1)
-                for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
-            else
-                pool().parallel_for(n_chunks, run_chunk);
+            dispatch_chunks(batch, misses, results,
+                            [&kernel](const std::vector<const EvalRequest*>& reqs,
+                                      std::span<const std::size_t>) {
+                                return kernel(reqs);
+                            });
         });
 }
 
@@ -161,6 +178,35 @@ std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
                 Rng item_rng = base.child(idx);
                 results[idx].values = kernel(batch.items[idx], item_rng);
             });
+        });
+}
+
+std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
+                                         const StochasticBatchKernelFn& kernel,
+                                         Rng& rng) {
+    // Stream and salt derivation must match the scalar stochastic overload
+    // exactly: item i (batch index) gets base.child(i), whichever chunk it
+    // lands in.
+    const Rng base = rng.child(rng.engine()());
+    const std::uint64_t base_seed = base.seed();
+    const std::uint64_t tag = batch.tag;
+    return run(
+        batch,
+        [base_seed, tag](std::size_t i) {
+            return mix64(tag, mix64(base_seed, i));
+        },
+        [&](const std::vector<std::size_t>& misses,
+            std::vector<EvalResult>& results) {
+            dispatch_chunks(
+                batch, misses, results,
+                [&kernel, &base](const std::vector<const EvalRequest*>& reqs,
+                                 std::span<const std::size_t> batch_indices) {
+                    std::vector<Rng> rngs;
+                    rngs.reserve(batch_indices.size());
+                    for (std::size_t idx : batch_indices)
+                        rngs.push_back(base.child(idx));
+                    return kernel(reqs, rngs);
+                });
         });
 }
 

@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "eval/cache.hpp"
@@ -51,6 +52,13 @@ using StochasticKernelFn =
 /// request alone (chunk boundaries depend on the worker count).
 using BatchKernelFn = std::function<std::vector<std::vector<double>>(
     const std::vector<const EvalRequest*>&)>;
+
+/// Stochastic chunk kernel: a group of requests with one RNG child stream
+/// per request (rngs[k] belongs to requests[k], derived exactly as the
+/// scalar stochastic path derives item streams). Element-wise identical to
+/// the scalar path for any chunking.
+using StochasticBatchKernelFn = std::function<std::vector<std::vector<double>>(
+    const std::vector<const EvalRequest*>&, std::span<Rng>)>;
 
 struct EngineConfig {
     bool parallel = true;       ///< dispatch misses on the thread pool
@@ -88,6 +96,14 @@ public:
                                                    const StochasticKernelFn& kernel,
                                                    Rng& rng);
 
+    /// Evaluate a batch through a stochastic chunk kernel (the Monte Carlo
+    /// prototype-reuse path). Streams and salts are derived exactly as the
+    /// scalar stochastic overload, so results are bit-identical to it for
+    /// any thread count or chunking.
+    [[nodiscard]] std::vector<EvalResult>
+    evaluate(const EvalBatch& batch, const StochasticBatchKernelFn& kernel,
+             Rng& rng);
+
     [[nodiscard]] const EngineCounters& counters() const { return counters_; }
     void reset_counters() { counters_ = EngineCounters{}; }
 
@@ -105,6 +121,20 @@ private:
 
     [[nodiscard]] ThreadPool& pool();
     void for_each_miss(std::size_t count, const std::function<void(std::size_t)>& fn);
+    /// Split `count` items into worker-sized [lo, hi) chunks, dispatching
+    /// each through fn (in parallel when configured).
+    void for_each_chunk(std::size_t count,
+                        const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// Shared miss dispatch of the chunk-kernel overloads: gather each
+    /// chunk's requests (plus their batch indices, for RNG provisioning),
+    /// evaluate, arity-check and scatter results.
+    using ChunkEvalFn = std::function<std::vector<std::vector<double>>(
+        const std::vector<const EvalRequest*>&, std::span<const std::size_t>)>;
+    void dispatch_chunks(const EvalBatch& batch,
+                         const std::vector<std::size_t>& misses,
+                         std::vector<EvalResult>& results,
+                         const ChunkEvalFn& eval_chunk);
 
     EngineConfig config_;
     std::unique_ptr<ThreadPool> pool_; ///< only when config_.threads > 0

@@ -93,4 +93,109 @@ T Lu<T>::determinant() const {
 template class Lu<double>;
 template class Lu<std::complex<double>>;
 
+namespace {
+
+/// Cheap pivot weight: strictly monotone in |v| within normal double range.
+inline double pivot_weight(double v) { return std::fabs(v); }
+inline double pivot_weight(const std::complex<double>& v) {
+    return v.real() * v.real() + v.imag() * v.imag();
+}
+
+/// Is a squared-magnitude column maximum trustworthy as an ordering? Only
+/// while it stays a normal double (no underflow, overflow or NaN).
+inline bool weight_reliable(double best) {
+    return std::isfinite(best) && best >= std::numeric_limits<double>::min();
+}
+
+} // namespace
+
+template <typename T>
+void InplaceLu<T>::factor(Matrix<T>& a) {
+    const std::size_t n = a.rows();
+    if (!a.square()) throw NumericalError("Lu: matrix must be square");
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+    T* data = a.data().data();
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Fast pivot search on the cheap weight.
+        std::size_t piv = k;
+        double best = pivot_weight(data[k * n + k]);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double mag = pivot_weight(data[i * n + k]);
+            if (mag > best) {
+                best = mag;
+                piv = i;
+            }
+        }
+        if constexpr (!std::is_same_v<T, double>) {
+            if (!weight_reliable(best)) {
+                // Degenerate weights (underflow, overflow, NaN): redo the
+                // column with Lu's exact std::abs comparisons so selection
+                // and the singularity test match Lu bit-for-bit.
+                piv = k;
+                double best_abs = std::abs(data[k * n + k]);
+                for (std::size_t i = k + 1; i < n; ++i) {
+                    const double mag = std::abs(data[i * n + k]);
+                    if (mag > best_abs) {
+                        best_abs = mag;
+                        piv = i;
+                    }
+                }
+                if (best_abs == 0.0 || !std::isfinite(best_abs))
+                    throw NumericalError(
+                        "Lu: singular or non-finite matrix at column " +
+                        std::to_string(k));
+            }
+        } else {
+            if (best == 0.0 || !std::isfinite(best))
+                throw NumericalError(
+                    "Lu: singular or non-finite matrix at column " +
+                    std::to_string(k));
+        }
+        if (piv != k) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(data[k * n + j], data[piv * n + j]);
+            std::swap(perm_[k], perm_[piv]);
+        }
+
+        const T pivot = data[k * n + k];
+        const T* row_k = data + k * n;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            T* row_i = data + i * n;
+            const T factor = row_i[k] / pivot;
+            row_i[k] = factor;
+            if (factor == T{}) continue;
+            for (std::size_t j = k + 1; j < n; ++j) row_i[j] -= factor * row_k[j];
+        }
+    }
+}
+
+template <typename T>
+void InplaceLu<T>::solve(const Matrix<T>& lu, const std::vector<T>& b,
+                         std::vector<T>& x) const {
+    const std::size_t n = lu.rows();
+    if (b.size() != n || perm_.size() != n)
+        throw NumericalError("InplaceLu::solve: size mismatch");
+    const T* data = lu.data().data();
+
+    x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+    for (std::size_t i = 1; i < n; ++i) {
+        T acc = x[i];
+        const T* row = data + i * n;
+        for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+        x[i] = acc;
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+        T acc = x[ii];
+        const T* row = data + ii * n;
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+        x[ii] = acc / row[ii];
+    }
+}
+
+template class InplaceLu<double>;
+template class InplaceLu<std::complex<double>>;
+
 } // namespace ypm::linalg

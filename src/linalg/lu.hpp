@@ -51,7 +51,42 @@ template <typename T>
     return b;
 }
 
+/// Allocation-free factorisation workspace for repeated solves at a fixed
+/// system size (the batch kernels factor thousands of same-shape MNA
+/// matrices). factor() overwrites the caller's matrix with the packed LU -
+/// no copy - and solve() reuses internal scratch, so the steady state
+/// performs zero allocations per point.
+///
+/// Equivalence to Lu: the elimination arithmetic (division by the pivot,
+/// the rank-1 update, the substitution sweeps) is operation-for-operation
+/// identical, so for the same pivot sequence the results are bit-identical.
+/// Pivot selection is also equivalent: real magnitudes compare with fabs
+/// (exact, as in Lu); complex magnitudes compare *squared* (strictly
+/// monotone in |.|, so the argmax matches Lu's std::abs comparisons unless
+/// two magnitudes coincide below one ulp), falling back to std::abs for any
+/// column whose squared maximum leaves the normal double range (underflow /
+/// overflow / non-finite), which also reproduces Lu's singularity test.
+template <typename T>
+class InplaceLu {
+public:
+    /// Factor `a` in place (it becomes the packed LU).
+    /// \throws ypm::NumericalError under exactly the condition, and with
+    /// the same message, as Lu's constructor (singular / non-finite).
+    void factor(Matrix<T>& a);
+
+    /// Solve LU x = b with the matrix last passed to factor(). `b` is left
+    /// untouched; the substitution runs directly in `x` (resized, reused).
+    /// Identical arithmetic to Lu::solve_in_place, minus its copies.
+    void solve(const Matrix<T>& lu, const std::vector<T>& b,
+               std::vector<T>& x) const;
+
+private:
+    std::vector<std::size_t> perm_;
+};
+
 extern template class Lu<double>;
 extern template class Lu<std::complex<double>>;
+extern template class InplaceLu<double>;
+extern template class InplaceLu<std::complex<double>>;
 
 } // namespace ypm::linalg

@@ -46,6 +46,31 @@ VariationMetrics McResult::column_variation(std::size_t col) const {
     return variation_metrics(column(col));
 }
 
+namespace {
+
+/// The shared sampling discipline: a non-cacheable one-shot batch with the
+/// sample index as process key.
+eval::EvalBatch sample_batch(std::size_t samples) {
+    eval::EvalBatch batch;
+    batch.items.resize(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        batch.items[i].process_key = i;
+        batch.items[i].cacheable = false;
+    }
+    return batch;
+}
+
+McResult collect_rows(std::vector<eval::EvalResult> evals) {
+    McResult result;
+    result.rows.resize(evals.size());
+    for (std::size_t i = 0; i < evals.size(); ++i)
+        result.rows[i] = std::move(evals[i].values);
+    result.finalize();
+    return result;
+}
+
+} // namespace
+
 McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
                          const SampleFn& fn) {
     if (config.samples == 0)
@@ -53,27 +78,34 @@ McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
 
     // One-shot stochastic samples: distinct streams mean a point never
     // repeats within a run, so keep them out of the memoisation cache.
-    eval::EvalBatch batch;
-    batch.items.resize(config.samples);
-    for (std::size_t i = 0; i < config.samples; ++i) {
-        batch.items[i].process_key = i;
-        batch.items[i].cacheable = false;
-    }
-
-    auto evals = engine.evaluate(
+    const eval::EvalBatch batch = sample_batch(config.samples);
+    return collect_rows(engine.evaluate(
         batch,
         eval::StochasticKernelFn(
             [&fn](const eval::EvalRequest& request, Rng& sample_rng) {
                 return fn(request.process_key, sample_rng);
             }),
-        rng);
+        rng));
+}
 
-    McResult result;
-    result.rows.resize(config.samples);
-    for (std::size_t i = 0; i < config.samples; ++i)
-        result.rows[i] = std::move(evals[i].values);
-    result.finalize();
-    return result;
+McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
+                         const ChunkSampleFn& fn) {
+    if (config.samples == 0)
+        throw InvalidInputError("run_monte_carlo: need >= 1 sample");
+
+    const eval::EvalBatch batch = sample_batch(config.samples);
+    return collect_rows(engine.evaluate(
+        batch,
+        eval::StochasticBatchKernelFn(
+            [&fn](const std::vector<const eval::EvalRequest*>& requests,
+                  std::span<Rng> rngs) {
+                std::vector<std::size_t> ids;
+                ids.reserve(requests.size());
+                for (const eval::EvalRequest* r : requests)
+                    ids.push_back(r->process_key);
+                return fn(ids, rngs);
+            }),
+        rng));
 }
 
 McResult run_monte_carlo(const McConfig& config, Rng& rng, const SampleFn& fn) {

@@ -11,6 +11,7 @@
 /// keep a flow-wide ledger.
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "eval/engine.hpp"
@@ -59,11 +60,26 @@ private:
 /// thread-safe and return the same arity every call.
 using SampleFn = std::function<std::vector<double>(std::size_t, Rng&)>;
 
+/// Chunk sample kernel: rows for a group of samples at once; sample_ids[k]
+/// is the Monte Carlo sample index and rngs[k] its child stream (derived
+/// exactly as the scalar path derives them). Kernels that amortise setup
+/// across the chunk (shared testbench prototypes) use this form; results
+/// must stay element-wise identical to the scalar SampleFn path.
+using ChunkSampleFn = std::function<std::vector<std::vector<double>>(
+    std::span<const std::size_t>, std::span<Rng>)>;
+
 /// Evaluate `fn` for each sample through a shared engine (one ledger across
 /// the whole flow). Advances `rng` once; bit-identical for any thread count.
 [[nodiscard]] McResult run_monte_carlo(eval::Engine& engine,
                                        const McConfig& config, Rng& rng,
                                        const SampleFn& fn);
+
+/// Chunked variant: samples are dispatched to `fn` in worker-sized groups
+/// through the engine's stochastic chunk path. Bit-identical to the scalar
+/// overload when the kernel honours the ChunkSampleFn contract.
+[[nodiscard]] McResult run_monte_carlo(eval::Engine& engine,
+                                       const McConfig& config, Rng& rng,
+                                       const ChunkSampleFn& fn);
 
 /// Legacy entry point: runs through a private engine honouring
 /// config.parallel. Results are bit-identical to the engine overload.

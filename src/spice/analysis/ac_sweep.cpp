@@ -1,0 +1,93 @@
+#include "spice/analysis/ac_sweep.hpp"
+
+#include <algorithm>
+
+#include "spice/stamper.hpp"
+#include "util/error.hpp"
+#include "util/mathx.hpp"
+
+namespace ypm::spice {
+
+std::vector<std::complex<double>>
+ac_sweep_transfer(Circuit& circuit, const Solution& op,
+                  const std::vector<double>& freqs, NodeId out, NodeId in,
+                  AcSweepWorkspace& ws) {
+    using C = std::complex<double>;
+    circuit.finalize();
+    if (op.size() != circuit.unknowns())
+        throw InvalidInputError(
+            "ac_sweep_transfer: operating point does not match circuit");
+    if (out == ground || in == ground)
+        throw InvalidInputError("ac_sweep_transfer: probe nodes must not be ground");
+
+    const std::size_t n_nodes = circuit.node_count();
+    const std::size_t n = circuit.unknowns();
+
+    if (ws.a_.rows() != n) ws.a_ = linalg::MatrixC(n);
+    ws.b_.resize(n);
+
+    // Record the frequency-affine stamp plan at this operating point. The
+    // replay-then-fallback split preserves per-entry accumulation order only
+    // if every fallback device follows every affine device in device order;
+    // otherwise abandon the plan and stamp everything per frequency.
+    ws.recorder_.reset(n_nodes, n);
+    ws.fallback_.clear();
+    bool plan_ok = true;
+    for (const auto& dev : circuit.devices()) {
+        if (dev->stamp_ac_affine(ws.recorder_, op)) {
+            if (!ws.fallback_.empty()) {
+                plan_ok = false;
+                break;
+            }
+        } else {
+            ws.fallback_.push_back(dev.get());
+        }
+    }
+
+    std::vector<C> h;
+    h.reserve(freqs.size());
+    const std::size_t out_idx = static_cast<std::size_t>(out) - 1;
+    const std::size_t in_idx = static_cast<std::size_t>(in) - 1;
+
+    // Recorded rhs terms are frequency-constant, so when no fallback device
+    // can write the rhs the excitation vector builds once per sweep.
+    const bool rhs_static = plan_ok && ws.fallback_.empty();
+    if (rhs_static) {
+        std::fill(ws.b_.begin(), ws.b_.end(), C{});
+        ws.recorder_.replay_rhs(ws.b_.data());
+    }
+
+    for (double f : freqs) {
+        if (!(f > 0.0))
+            throw InvalidInputError("ac_sweep_transfer: frequencies must be > 0");
+        const double omega = 2.0 * mathx::pi * f;
+        ws.a_.set_zero();
+        if (!rhs_static) std::fill(ws.b_.begin(), ws.b_.end(), C{});
+        if (plan_ok) {
+            ws.recorder_.replay_matrix(omega, ws.a_.data().data());
+            if (!ws.fallback_.empty()) {
+                ws.recorder_.replay_rhs(ws.b_.data());
+                ComplexStamper stamper(ws.a_, ws.b_, n_nodes);
+                for (const Device* dev : ws.fallback_)
+                    dev->stamp_ac(stamper, omega, op);
+            }
+        } else {
+            ComplexStamper stamper(ws.a_, ws.b_, n_nodes);
+            for (const auto& dev : circuit.devices())
+                dev->stamp_ac(stamper, omega, op);
+        }
+        // Same conductance floor as run_ac.
+        for (std::size_t i = 0; i < n_nodes; ++i) ws.a_(i, i) += 1e-15;
+
+        ws.lu_.factor(ws.a_);
+        ws.lu_.solve(ws.a_, ws.b_, ws.x_);
+
+        const C vin = ws.x_[in_idx];
+        if (std::abs(vin) == 0.0)
+            throw NumericalError("AcResult::transfer: zero input response");
+        h.push_back(ws.x_[out_idx] / vin);
+    }
+    return h;
+}
+
+} // namespace ypm::spice

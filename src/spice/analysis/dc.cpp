@@ -13,27 +13,31 @@ namespace ypm::spice {
 DcSolver::DcSolver(DcOptions options) : options_(options) {}
 
 bool DcSolver::newton(Circuit& circuit, Solution& x, double gmin,
-                      double source_scale, std::size_t& iterations) const {
+                      double source_scale, std::size_t& iterations,
+                      DcWorkspace& ws) const {
     const std::size_t n_nodes = circuit.node_count();
     const std::size_t n = circuit.unknowns();
     if (n == 0) return true;
 
-    linalg::MatrixD a(n);
-    std::vector<double> b(n, 0.0);
+    if (ws.a.rows() != n) ws.a = linalg::MatrixD(n);
+    ws.b.resize(n);
 
     for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
         ++iterations;
-        a.set_zero();
-        std::fill(b.begin(), b.end(), 0.0);
-        RealStamper stamper(a, b, n_nodes, source_scale);
+        ws.a.set_zero();
+        std::fill(ws.b.begin(), ws.b.end(), 0.0);
+        RealStamper stamper(ws.a, ws.b, n_nodes, source_scale);
         for (const auto& dev : circuit.devices()) dev->stamp_dc(stamper, x);
         // gmin from every node to ground keeps the Jacobian non-singular
         // while devices are cut off.
-        for (std::size_t i = 0; i < n_nodes; ++i) a(i, i) += gmin;
+        for (std::size_t i = 0; i < n_nodes; ++i) ws.a(i, i) += gmin;
 
-        std::vector<double> x_new;
+        std::vector<double>& x_new = ws.x_new;
         try {
-            x_new = linalg::solve(a, b);
+            // In-place factor (ws.a becomes the packed LU and is re-stamped
+            // next iteration); identical arithmetic to linalg::solve.
+            ws.lu.factor(ws.a);
+            ws.lu.solve(ws.a, ws.b, x_new);
         } catch (const NumericalError&) {
             return false; // singular system: let the caller escalate
         }
@@ -66,12 +70,23 @@ bool DcSolver::newton(Circuit& circuit, Solution& x, double gmin,
 }
 
 DcResult DcSolver::solve(Circuit& circuit) const {
-    circuit.finalize();
-    const Solution cold(circuit.node_count(), circuit.branch_count());
-    return solve(circuit, cold);
+    DcWorkspace ws;
+    return solve(circuit, ws);
 }
 
 DcResult DcSolver::solve(Circuit& circuit, const Solution& initial) const {
+    DcWorkspace ws;
+    return solve(circuit, initial, ws);
+}
+
+DcResult DcSolver::solve(Circuit& circuit, DcWorkspace& ws) const {
+    circuit.finalize();
+    const Solution cold(circuit.node_count(), circuit.branch_count());
+    return solve(circuit, cold, ws);
+}
+
+DcResult DcSolver::solve(Circuit& circuit, const Solution& initial,
+                         DcWorkspace& ws) const {
     circuit.finalize();
     DcResult result;
     result.solution = initial;
@@ -79,7 +94,8 @@ DcResult DcSolver::solve(Circuit& circuit, const Solution& initial) const {
         result.solution = Solution(circuit.node_count(), circuit.branch_count());
 
     // Strategy 1: plain Newton from the initial point.
-    if (newton(circuit, result.solution, options_.gmin, 1.0, result.iterations)) {
+    if (newton(circuit, result.solution, options_.gmin, 1.0, result.iterations,
+               ws)) {
         result.converged = true;
         result.method = "newton";
         return result;
@@ -91,12 +107,12 @@ DcResult DcSolver::solve(Circuit& circuit, const Solution& initial) const {
         Solution x(circuit.node_count(), circuit.branch_count());
         bool ok = true;
         for (double gmin = 1e-3; gmin >= options_.gmin * 0.99; gmin *= 0.01) {
-            if (!newton(circuit, x, gmin, 1.0, result.iterations)) {
+            if (!newton(circuit, x, gmin, 1.0, result.iterations, ws)) {
                 ok = false;
                 break;
             }
         }
-        if (ok && newton(circuit, x, options_.gmin, 1.0, result.iterations)) {
+        if (ok && newton(circuit, x, options_.gmin, 1.0, result.iterations, ws)) {
             result.converged = true;
             result.method = "gmin-stepping";
             result.solution = x;
@@ -110,7 +126,7 @@ DcResult DcSolver::solve(Circuit& circuit, const Solution& initial) const {
         bool ok = true;
         for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
             if (!newton(circuit, x, options_.gmin, std::min(scale, 1.0),
-                        result.iterations)) {
+                        result.iterations, ws)) {
                 ok = false;
                 break;
             }

@@ -8,11 +8,25 @@
 /// loudly so the optimiser can penalise it.
 
 #include <string>
+#include <vector>
 
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
 #include "spice/circuit.hpp"
 #include "spice/solution.hpp"
 
 namespace ypm::spice {
+
+/// Reusable DC solve storage: the MNA matrix, rhs and factorisation scratch
+/// survive across Newton iterations and across points of a batch, so the
+/// steady state allocates nothing per solve. Results are bit-identical to
+/// the workspace-free overloads (which route through a local workspace).
+struct DcWorkspace {
+    linalg::MatrixD a;
+    std::vector<double> b;
+    std::vector<double> x_new;
+    linalg::InplaceLu<double> lu;
+};
 
 struct DcOptions {
     std::size_t max_iterations = 150; ///< per Newton attempt
@@ -41,12 +55,21 @@ public:
     /// Solve from a warm start (e.g. the nominal OP during Monte Carlo).
     [[nodiscard]] DcResult solve(Circuit& circuit, const Solution& initial) const;
 
+    /// Cold-start solve reusing a caller-held workspace (batch kernels call
+    /// this once per point of a chunk). Bit-identical to solve(circuit).
+    [[nodiscard]] DcResult solve(Circuit& circuit, DcWorkspace& ws) const;
+
+    /// Warm-start solve reusing a caller-held workspace.
+    [[nodiscard]] DcResult solve(Circuit& circuit, const Solution& initial,
+                                 DcWorkspace& ws) const;
+
     [[nodiscard]] const DcOptions& options() const { return options_; }
 
 private:
     /// One Newton attempt; returns true on convergence, updating x.
     [[nodiscard]] bool newton(Circuit& circuit, Solution& x, double gmin,
-                              double source_scale, std::size_t& iterations) const;
+                              double source_scale, std::size_t& iterations,
+                              DcWorkspace& ws) const;
 
     DcOptions options_;
 };

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "spice/ac_terms.hpp"
 #include "spice/stamper.hpp"
 
 namespace ypm::spice {
@@ -59,6 +60,19 @@ public:
     /// the DC operating point op.
     virtual void stamp_ac(ComplexStamper& s, double omega,
                           const Solution& op) const = 0;
+
+    /// Frequency-affine AC stamp: record this device's stamp_ac as
+    /// entry += k + j*omega*c terms, evaluated once per operating point and
+    /// replayed per frequency by batch sweeps (see ac_terms.hpp for the
+    /// bit-identity contract). Returns false (the default) when the stamp
+    /// is not affine in omega; the sweep then falls back to per-frequency
+    /// stamp_ac for this device.
+    [[nodiscard]] virtual bool stamp_ac_affine(AcTermRecorder& rec,
+                                               const Solution& op) const {
+        (void)rec;
+        (void)op;
+        return false;
+    }
 
     /// Number of transient history slots (e.g. a capacitor stores its
     /// branch current for the trapezoidal companion model).

@@ -1,0 +1,36 @@
+#include "spice/prototype.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ypm::spice {
+
+CircuitPrototype::CircuitPrototype(Circuit circuit)
+    : circuit_(std::move(circuit)) {
+    circuit_.finalize();
+    // The device list is fixed for the prototype's lifetime, so the typed
+    // slots stay valid.
+    for (const auto& dev : circuit_.devices())
+        if (auto* mos = dynamic_cast<Mosfet*>(dev.get())) mosfets_.push_back(mos);
+}
+
+NodeId CircuitPrototype::node(const std::string& name) const {
+    const auto id = circuit_.find_node(name);
+    if (!id)
+        throw InvalidInputError("CircuitPrototype: no node '" + name + "'");
+    return *id;
+}
+
+void CircuitPrototype::bind_process(const process::Realization* realization) {
+    if (realization == nullptr) {
+        for (Mosfet* mos : mosfets_) mos->apply_delta(process::MosDelta{});
+        return;
+    }
+    // Same per-device lookups as Circuit::apply_process, minus the
+    // dynamic_cast scan.
+    for (Mosfet* mos : mosfets_)
+        mos->apply_delta(
+            realization->delta_for(str::to_lower(mos->name()), mos->is_pmos()));
+}
+
+} // namespace ypm::spice

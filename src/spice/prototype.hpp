@@ -1,0 +1,115 @@
+#pragma once
+/// \file prototype.hpp
+/// \brief Reusable circuit prototype for batch evaluation.
+///
+/// The hot path of every batch workload (GA populations, Monte Carlo,
+/// corners, sensitivity) evaluates the *same testbench topology* at many
+/// parameter/process points. Rebuilding the Circuit per point - node name
+/// maps, device allocations, finalisation - plus re-allocating the MNA
+/// factorisation workspace per analysis is pure overhead: the structure
+/// never changes within a chunk.
+///
+/// CircuitPrototype is built once per chunk from the testbench topology and
+/// precomputes everything structural: the finalised node index map, the
+/// typed device parameter slots (MOSFET list for process re-binding, named
+/// device lookup for sizing re-binding), and - through its Instance view -
+/// the MNA stamp pattern and factorisation workspaces of the DC and AC
+/// analyses. Re-binding a new point mutates device parameters in place and
+/// re-stamps numerics without reallocating structure; results are
+/// bit-identical to building a fresh circuit at the same point (same device
+/// order, same stamp values, same solver trajectory).
+///
+/// Instances are cheap but stateful: one Instance (and one prototype) per
+/// thread. The engine's chunk kernels construct one per chunk.
+
+#include <string>
+#include <vector>
+
+#include "process/sampler.hpp"
+#include "spice/analysis/ac_sweep.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices/mosfet.hpp"
+#include "util/error.hpp"
+
+namespace ypm::spice {
+
+class CircuitPrototype {
+public:
+    /// Take ownership of a built testbench, finalise it and cache the
+    /// structural slots (node ids, MOSFET list).
+    explicit CircuitPrototype(Circuit circuit);
+
+    [[nodiscard]] Circuit& circuit() { return circuit_; }
+    [[nodiscard]] const Circuit& circuit() const { return circuit_; }
+
+    /// Precomputed node lookup. \throws ypm::InvalidInputError if absent.
+    [[nodiscard]] NodeId node(const std::string& name) const;
+
+    /// Every MOSFET in device order (the process re-binding slots).
+    [[nodiscard]] const std::vector<Mosfet*>& mosfets() const { return mosfets_; }
+
+    /// Geometry inventory reflecting the *currently bound* sizing (mismatch
+    /// sigmas scale with 1/sqrt(WL), so sample after binding the sizing).
+    [[nodiscard]] std::vector<process::MosGeometry> mos_geometries() const {
+        return circuit_.mos_geometries();
+    }
+
+    /// Typed device parameter slot. \throws ypm::InvalidInputError when the
+    /// device is absent or of the wrong type.
+    template <typename D>
+    [[nodiscard]] D& device(const std::string& name) {
+        auto* dev = dynamic_cast<D*>(circuit_.find_device(name));
+        if (dev == nullptr)
+            throw InvalidInputError("CircuitPrototype: no device '" + name +
+                                    "' of the requested type");
+        return *dev;
+    }
+
+    /// Re-bind a process realisation onto the cached MOSFET slots; nullptr
+    /// restores the nominal process (all deltas zero), matching a freshly
+    /// built circuit.
+    void bind_process(const process::Realization* realization);
+
+    /// A per-thread evaluation view over the prototype: re-binds points and
+    /// runs the analyses through reused factorisation workspaces.
+    class Instance {
+    public:
+        explicit Instance(CircuitPrototype& prototype) : proto_(&prototype) {}
+
+        [[nodiscard]] CircuitPrototype& prototype() { return *proto_; }
+
+        void bind_process(const process::Realization* realization) {
+            proto_->bind_process(realization);
+        }
+
+        /// Cold-start DC operating point; bit-identical to
+        /// DcSolver(options).solve(circuit) on a fresh build.
+        [[nodiscard]] DcResult solve_op(const DcOptions& options = {}) {
+            const DcSolver solver(options);
+            return solver.solve(proto_->circuit(), dc_ws_);
+        }
+
+        /// AC transfer sweep h[i] = V(out)/V(in); bit-identical to
+        /// run_ac + AcResult::transfer on a fresh build.
+        [[nodiscard]] std::vector<std::complex<double>>
+        ac_transfer(const Solution& op, const std::vector<double>& freqs,
+                    NodeId out, NodeId in) {
+            return ac_sweep_transfer(proto_->circuit(), op, freqs, out, in,
+                                     ac_ws_);
+        }
+
+    private:
+        CircuitPrototype* proto_;
+        DcWorkspace dc_ws_;
+        AcSweepWorkspace ac_ws_;
+    };
+
+    [[nodiscard]] Instance instance() { return Instance(*this); }
+
+private:
+    Circuit circuit_;
+    std::vector<Mosfet*> mosfets_;
+};
+
+} // namespace ypm::spice

@@ -229,6 +229,67 @@ TEST(Engine, ChunkKernelMatchesScalar) {
         EXPECT_EQ(chunked[i].values, scalar[i].values);
 }
 
+TEST(Engine, StochasticChunkKernelMatchesScalar) {
+    // The chunked stochastic path must reproduce the scalar stochastic
+    // path sample-for-sample: same child streams, same salts, any chunking.
+    auto scalar_kernel = StochasticKernelFn([](const EvalRequest& r, Rng& rng) {
+        return std::vector<double>{rng.gauss(r.params[0], 1.0), rng.uniform01()};
+    });
+    auto chunk_kernel = StochasticBatchKernelFn(
+        [](const std::vector<const EvalRequest*>& reqs, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> out;
+            for (std::size_t k = 0; k < reqs.size(); ++k)
+                out.push_back({rngs[k].gauss(reqs[k]->params[0], 1.0),
+                               rngs[k].uniform01()});
+            return out;
+        });
+    Engine e1, e2;
+    Rng r1(13), r2(13);
+    const auto scalar = e1.evaluate(toy_batch(48), scalar_kernel, r1);
+    const auto chunked = e2.evaluate(toy_batch(48), chunk_kernel, r2);
+    ASSERT_EQ(chunked.size(), scalar.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+        EXPECT_EQ(chunked[i].values, scalar[i].values) << "item " << i;
+}
+
+TEST(Engine, StochasticChunkKernelThreadCountInvariant) {
+    auto kernel = StochasticBatchKernelFn(
+        [](const std::vector<const EvalRequest*>& reqs, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> out;
+            for (std::size_t k = 0; k < reqs.size(); ++k)
+                out.push_back({rngs[k].uniform01()});
+            return out;
+        });
+    std::vector<std::vector<EvalResult>> runs;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        EngineConfig config;
+        config.threads = threads;
+        Engine engine(config);
+        Rng rng(99);
+        runs.push_back(engine.evaluate(toy_batch(64), kernel, rng));
+    }
+    for (std::size_t t = 1; t < runs.size(); ++t)
+        for (std::size_t i = 0; i < runs[0].size(); ++i)
+            EXPECT_EQ(runs[t][i].values, runs[0][i].values)
+                << "thread-count run " << t << ", item " << i;
+}
+
+TEST(Engine, StochasticChunkKernelArityChecked) {
+    EngineConfig config;
+    config.parallel = false;
+    Engine engine(config);
+    Rng rng(1);
+    EXPECT_THROW(
+        (void)engine.evaluate(
+            toy_batch(4),
+            StochasticBatchKernelFn(
+                [](const std::vector<const EvalRequest*>&, std::span<Rng>) {
+                    return std::vector<std::vector<double>>{};
+                }),
+            rng),
+        InvalidInputError);
+}
+
 TEST(Engine, ChunkKernelArityChecked) {
     EngineConfig config;
     config.parallel = false;

@@ -1,0 +1,289 @@
+// Unit tests for the prototype-reuse batch kernels: spice::CircuitPrototype
+// and the chunk measurement paths must be bit-identical to the per-point
+// rebuild paths - for OTA and filter, nominal and under process
+// realisations - safe to re-bind repeatedly, and thread-count invariant
+// when driven through the evaluation engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "circuits/filter_problem.hpp"
+#include "circuits/ota_problem.hpp"
+#include "core/ota_mc.hpp"
+#include "eval/engine.hpp"
+#include "moo/population_eval.hpp"
+#include "process/sampler.hpp"
+#include "spice/analysis/ac.hpp"
+#include "spice/analysis/ac_sweep.hpp"
+#include "spice/analysis/dc.hpp"
+#include "spice/prototype.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ypm;
+
+bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/// Bitwise comparison that treats NaN == NaN (failure sentinels).
+void expect_rows_identical(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+        EXPECT_TRUE(bits_equal(a[i], b[i]))
+            << "column " << i << ": " << a[i] << " vs " << b[i];
+    }
+}
+
+void expect_perf_identical(const circuits::OtaPerformance& scalar,
+                           const circuits::OtaPerformance& chunk) {
+    ASSERT_EQ(scalar.valid, chunk.valid);
+    if (!scalar.valid) return;
+    EXPECT_TRUE(bits_equal(scalar.gain_db, chunk.gain_db));
+    EXPECT_TRUE(bits_equal(scalar.pm_deg, chunk.pm_deg));
+    EXPECT_TRUE(bits_equal(scalar.bode.unity_freq, chunk.bode.unity_freq));
+}
+
+std::vector<circuits::OtaSizing> random_sizings(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto specs = circuits::OtaSizing::parameter_specs();
+    std::vector<circuits::OtaSizing> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> v;
+        for (const auto& s : specs) v.push_back(rng.uniform(s.lo, s.hi));
+        out.push_back(circuits::OtaSizing::from_vector(v));
+    }
+    return out;
+}
+
+// -------------------------------------------------------- sweep primitives
+
+TEST(AcSweep, TransferBitIdenticalToRunAc) {
+    const circuits::OtaConfig cfg;
+    const circuits::OtaSizing sizing;
+    spice::Circuit ckt = circuits::build_ota_testbench(sizing, cfg);
+    const spice::DcSolver solver;
+    const auto op = solver.solve(ckt);
+    ASSERT_TRUE(op.converged);
+    const auto freqs =
+        spice::log_sweep(cfg.f_start, cfg.f_stop, cfg.points_per_decade);
+    const auto ac = spice::run_ac(ckt, op.solution, freqs);
+    const auto out = *ckt.find_node("out");
+    const auto inp = *ckt.find_node("inp");
+    const auto h_ref = ac.transfer(out, inp);
+
+    spice::AcSweepWorkspace ws;
+    const auto h = spice::ac_sweep_transfer(ckt, op.solution, freqs, out, inp, ws);
+    ASSERT_EQ(h.size(), h_ref.size());
+    for (std::size_t i = 0; i < h.size(); ++i) {
+        EXPECT_TRUE(bits_equal(h[i].real(), h_ref[i].real())) << "freq " << i;
+        EXPECT_TRUE(bits_equal(h[i].imag(), h_ref[i].imag())) << "freq " << i;
+    }
+}
+
+TEST(CircuitPrototype, CachesStructureAndSlots) {
+    spice::CircuitPrototype proto(
+        circuits::build_ota_testbench(circuits::OtaSizing{}, {}));
+    EXPECT_TRUE(proto.circuit().finalized());
+    EXPECT_EQ(proto.mosfets().size(), 10u);
+    EXPECT_EQ(proto.node("out"), *proto.circuit().find_node("out"));
+    EXPECT_NO_THROW((void)proto.device<spice::Mosfet>("m1"));
+    EXPECT_THROW((void)proto.device<spice::Mosfet>("nope"), InvalidInputError);
+    EXPECT_THROW((void)proto.node("nope"), InvalidInputError);
+}
+
+// ------------------------------------------------------------- OTA chunks
+
+TEST(OtaChunk, BitIdenticalToScalarAcrossRandomSizings) {
+    const circuits::OtaEvaluator evaluator;
+    const auto sizings = random_sizings(12, 7);
+    const auto chunk = evaluator.measure_chunk(sizings);
+    ASSERT_EQ(chunk.size(), sizings.size());
+    std::size_t valid = 0;
+    for (std::size_t i = 0; i < sizings.size(); ++i) {
+        const auto scalar = evaluator.measure(sizings[i]);
+        expect_perf_identical(scalar, chunk[i]);
+        if (scalar.valid) ++valid;
+    }
+    // The box sampling must exercise the real path, not just failures.
+    EXPECT_GT(valid, 0u);
+}
+
+TEST(OtaChunk, BitIdenticalUnderProcessRealizations) {
+    const circuits::OtaEvaluator evaluator;
+    const circuits::OtaSizing sizing; // nominal center point
+    spice::Circuit ckt = circuits::build_ota_testbench(sizing, evaluator.config());
+    const auto geometries = ckt.mos_geometries();
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+
+    Rng rng(11);
+    std::vector<process::Realization> reals;
+    for (int i = 0; i < 8; ++i) reals.push_back(sampler.sample(rng, geometries));
+
+    const auto chunk = evaluator.measure_chunk(sizing, reals);
+    ASSERT_EQ(chunk.size(), reals.size());
+    for (std::size_t i = 0; i < reals.size(); ++i) {
+        const auto scalar = evaluator.measure(sizing, reals[i]);
+        expect_perf_identical(scalar, chunk[i]);
+    }
+}
+
+TEST(OtaChunk, PairedSizingsAndRealizations) {
+    const circuits::OtaEvaluator evaluator;
+    const auto sizings = random_sizings(5, 3);
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    Rng rng(5);
+    std::vector<process::Realization> reals;
+    for (const auto& s : sizings) {
+        spice::Circuit ckt = circuits::build_ota_testbench(s, evaluator.config());
+        reals.push_back(sampler.sample(rng, ckt.mos_geometries()));
+    }
+    const auto chunk = evaluator.measure_chunk(sizings, reals);
+    for (std::size_t i = 0; i < sizings.size(); ++i)
+        expect_perf_identical(evaluator.measure(sizings[i], reals[i]), chunk[i]);
+}
+
+TEST(OtaChunk, PairedChunkRejectsMismatchedSizes) {
+    const circuits::OtaEvaluator evaluator;
+    const auto sizings = random_sizings(2, 1);
+    const std::vector<process::Realization> reals(1);
+    EXPECT_THROW((void)evaluator.measure_chunk(sizings, reals), InvalidInputError);
+}
+
+TEST(OtaChunk, PrototypeSafeToRebindRepeatedly) {
+    // A -> B -> A through one prototype: the third measurement must equal
+    // the first bit-for-bit (no state leaks across re-binds), and both must
+    // equal the fresh-build path.
+    const circuits::OtaEvaluator evaluator;
+    const auto ab = random_sizings(2, 19);
+    const std::vector<circuits::OtaSizing> seq = {ab[0], ab[1], ab[0], ab[1],
+                                                  ab[0]};
+    const auto chunk = evaluator.measure_chunk(seq);
+    expect_perf_identical(chunk[0], chunk[2]);
+    expect_perf_identical(chunk[0], chunk[4]);
+    expect_perf_identical(chunk[1], chunk[3]);
+    expect_perf_identical(evaluator.measure(ab[0]), chunk[0]);
+    expect_perf_identical(evaluator.measure(ab[1]), chunk[1]);
+}
+
+// ----------------------------------------------------------- filter chunks
+
+TEST(FilterChunk, BitIdenticalToScalarBothKinds) {
+    const circuits::FilterEvaluator evaluator{circuits::FilterConfig{},
+                                              circuits::FilterSpecMask{}};
+    Rng rng(23);
+    std::vector<circuits::FilterSizing> sizings;
+    for (int i = 0; i < 6; ++i)
+        sizings.push_back({rng.uniform(2e-12, 60e-12), rng.uniform(2e-12, 60e-12),
+                           rng.uniform(2e-12, 60e-12)});
+    for (auto kind : {circuits::OtaModelKind::behavioural,
+                      circuits::OtaModelKind::transistor}) {
+        const auto chunk = evaluator.measure_chunk(sizings, kind);
+        ASSERT_EQ(chunk.size(), sizings.size());
+        for (std::size_t i = 0; i < sizings.size(); ++i) {
+            const auto scalar = evaluator.measure(sizings[i], kind);
+            ASSERT_EQ(scalar.valid, chunk[i].valid);
+            if (!scalar.valid) continue;
+            EXPECT_TRUE(bits_equal(scalar.fc, chunk[i].fc));
+            EXPECT_TRUE(bits_equal(scalar.passband_gain_db,
+                                   chunk[i].passband_gain_db));
+            EXPECT_TRUE(bits_equal(scalar.stopband_atten_db,
+                                   chunk[i].stopband_atten_db));
+            EXPECT_TRUE(bits_equal(scalar.worst_passband_dev_db,
+                                   chunk[i].worst_passband_dev_db));
+        }
+    }
+}
+
+// --------------------------------------------------- problem batch + engine
+
+TEST(ProblemBatch, OtaEvaluateBatchMatchesScalar) {
+    const circuits::OtaProblem problem;
+    const auto sizings = random_sizings(6, 31);
+    std::vector<std::vector<double>> points;
+    for (const auto& s : sizings) points.push_back(s.to_vector());
+    const auto batch = problem.evaluate_batch(points);
+    ASSERT_EQ(batch.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expect_rows_identical(problem.evaluate(points[i]), batch[i]);
+}
+
+TEST(ProblemBatch, FilterEvaluateBatchMatchesScalar) {
+    const circuits::FilterProblem problem{circuits::FilterConfig{},
+                                          circuits::FilterSpecMask{}};
+    Rng rng(37);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 6; ++i)
+        points.push_back({rng.uniform(2e-12, 60e-12), rng.uniform(2e-12, 60e-12),
+                          rng.uniform(2e-12, 60e-12)});
+    const auto batch = problem.evaluate_batch(points);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expect_rows_identical(problem.evaluate(points[i]), batch[i]);
+}
+
+TEST(ProblemBatch, EngineEvaluationThreadCountInvariant) {
+    // The engine chunks batches differently per worker count; the chunk
+    // kernels must make that invisible.
+    const circuits::OtaProblem problem;
+    const auto sizings = random_sizings(10, 41);
+    std::vector<std::vector<double>> points;
+    for (const auto& s : sizings) points.push_back(s.to_vector());
+
+    std::vector<std::vector<eval::EvalResult>> runs;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        eval::EngineConfig config;
+        config.threads = threads;
+        eval::Engine engine(config);
+        runs.push_back(moo::evaluate_population(engine, problem, points));
+    }
+    for (std::size_t t = 1; t < runs.size(); ++t) {
+        ASSERT_EQ(runs[t].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i)
+            expect_rows_identical(runs[0][i].values, runs[t][i].values);
+    }
+    // And the engine path must agree with the scalar problem path.
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expect_rows_identical(problem.evaluate(points[i]), runs[0][i].values);
+}
+
+TEST(ProblemBatch, OtaMonteCarloChunkMatchesScalarStreams) {
+    // The chunked MC path (prototype reuse) must reproduce the scalar
+    // SampleFn path sample-for-sample: same child streams, same rows.
+    const circuits::OtaEvaluator evaluator;
+    const circuits::OtaSizing sizing;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+
+    spice::Circuit proto =
+        circuits::build_ota_testbench(sizing, evaluator.config());
+    const auto geometries = proto.mos_geometries();
+
+    mc::McConfig cfg;
+    cfg.samples = 16;
+    Rng r_scalar(77);
+    const auto scalar = mc::run_monte_carlo(
+        cfg, r_scalar, [&](std::size_t, Rng& sample_rng) -> std::vector<double> {
+            const auto real = sampler.sample(sample_rng, geometries);
+            const auto perf = evaluator.measure(sizing, real);
+            if (!perf.valid) return moo::failed_evaluation(2);
+            return {perf.gain_db, perf.pm_deg};
+        });
+
+    eval::Engine engine;
+    Rng r_chunk(77);
+    const auto chunked = core::run_ota_monte_carlo(engine, evaluator, sizing,
+                                                   sampler, cfg.samples, r_chunk);
+    ASSERT_EQ(chunked.rows.size(), scalar.rows.size());
+    for (std::size_t i = 0; i < scalar.rows.size(); ++i)
+        expect_rows_identical(scalar.rows[i], chunked.rows[i]);
+}
+
+} // namespace
