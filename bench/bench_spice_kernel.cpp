@@ -11,12 +11,18 @@
 #include <benchmark/benchmark.h>
 
 #include <complex>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "circuits/filter.hpp"
 #include "circuits/ota.hpp"
+#include "core/ota_mc.hpp"
+#include "eval/engine.hpp"
 #include "linalg/lu.hpp"
+#include "mc/monte_carlo.hpp"
+#include "process/variation.hpp"
 #include "spice/analysis/ac.hpp"
 #include "spice/analysis/dc.hpp"
 #include "util/rng.hpp"
@@ -261,6 +267,203 @@ void BM_FilterChunkPrototypeReuse(benchmark::State& state) {
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FilterChunkPrototypeReuse)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------- overlapped Monte Carlo stages
+//
+// The flow's step 4 runs, per Pareto point, a nominal Bode measurement, a
+// Monte Carlo stage and the variation statistics. The blocking engine
+// barriers between points: the pool drains, stragglers of the last chunk
+// run alone, the serial Bode/stats work keeps the workers idle, then the
+// next point starts from scratch. The async path submits every point's
+// Bode batch and MC run up front and retires them in order, so chunks from
+// all points stream onto the pool while the retiring thread does the
+// serial work. Results are bit-identical (pre-checked once below).
+
+constexpr std::size_t kMcParetoPoints = 6;
+constexpr std::uint64_t kBodeBenchTag = 0x626f6465; // flow's nominal tag
+
+double consume_variation(const mc::McResult& result) {
+    const auto gain_var = result.column_variation(0);
+    const auto pm_var = result.column_variation(1);
+    return gain_var.delta_3sigma_pct + pm_var.delta_3sigma_pct;
+}
+
+eval::KernelFn bode_kernel(const circuits::OtaEvaluator& evaluator) {
+    return [&evaluator](const eval::EvalRequest& request) {
+        const auto perf =
+            evaluator.measure(circuits::OtaSizing::from_vector(request.params));
+        if (!perf.valid)
+            return std::vector<double>(4,
+                                       std::numeric_limits<double>::quiet_NaN());
+        return std::vector<double>{perf.gain_db, perf.pm_deg, perf.bode.f3db,
+                                   perf.bode.gbw};
+    };
+}
+
+struct PointOutcome {
+    std::vector<double> bode;
+    mc::McResult mc;
+};
+
+/// One full blocking pass over all points (the flow's step 4, point by
+/// point): Bode batch, MC run, stats.
+std::vector<PointOutcome>
+run_points_blocking(eval::Engine& engine, const circuits::OtaEvaluator& evaluator,
+                    const process::ProcessSampler& sampler,
+                    const std::vector<circuits::OtaSizing>& sizings,
+                    std::size_t samples, Rng& rng, double& sink) {
+    const eval::KernelFn bode = bode_kernel(evaluator);
+    std::vector<PointOutcome> out;
+    out.reserve(sizings.size());
+    for (const auto& s : sizings) {
+        PointOutcome point;
+        eval::EvalBatch bode_batch(kBodeBenchTag);
+        bode_batch.add(s.to_vector());
+        point.bode =
+            engine.evaluate(std::move(bode_batch), bode).front().values;
+        point.mc = core::run_ota_monte_carlo(engine, evaluator, s, sampler,
+                                             samples, rng);
+        sink += consume_variation(point.mc);
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+/// The same pass overlapped: all Bode batches and MC runs in flight before
+/// the first retirement.
+std::vector<PointOutcome>
+run_points_async(eval::Engine& engine, const circuits::OtaEvaluator& evaluator,
+                 const process::ProcessSampler& sampler,
+                 const std::vector<circuits::OtaSizing>& sizings,
+                 std::size_t samples, Rng& rng, double& sink) {
+    const eval::KernelFn bode = bode_kernel(evaluator);
+    std::vector<eval::Engine::Ticket> bode_tickets;
+    std::vector<mc::McTicket> mc_tickets;
+    bode_tickets.reserve(sizings.size());
+    mc_tickets.reserve(sizings.size());
+    for (const auto& s : sizings) {
+        eval::EvalBatch bode_batch(kBodeBenchTag);
+        bode_batch.add(s.to_vector());
+        bode_tickets.push_back(engine.submit(std::move(bode_batch), bode));
+        mc_tickets.push_back(core::submit_ota_monte_carlo(
+            engine, evaluator, s, sampler, samples, rng));
+    }
+    std::vector<PointOutcome> out;
+    out.reserve(sizings.size());
+    for (std::size_t p = 0; p < sizings.size(); ++p) {
+        PointOutcome point;
+        point.bode = engine.wait(std::move(bode_tickets[p])).front().values;
+        point.mc = mc::wait_monte_carlo(engine, std::move(mc_tickets[p]));
+        sink += consume_variation(point.mc);
+        out.push_back(std::move(point));
+    }
+    return out;
+}
+
+bool rows_bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size()) return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Bit-identity cross-check, run once per process: the overlapped pass
+/// must reproduce the blocking pass result-for-result (re-running it per
+/// benchmark repetition would only add untimed wall-clock to CI).
+bool async_mc_matches_blocking_once(std::size_t samples) {
+    static const std::size_t checked_samples = samples;
+    static const bool matches = [] {
+        const circuits::OtaEvaluator evaluator;
+        const process::ProcessSampler sampler(evaluator.config().card,
+                                              process::VariationSpec::c35());
+        const auto sizings = sizing_chunk(kMcParetoPoints);
+        eval::EngineConfig cfg;
+        cfg.cache_capacity = 0;
+        eval::Engine blocking(cfg), async(cfg);
+        Rng rb(2008), ra(2008);
+        double sink_b = 0.0, sink_a = 0.0;
+        const auto b = run_points_blocking(blocking, evaluator, sampler, sizings,
+                                           checked_samples, rb, sink_b);
+        const auto a = run_points_async(async, evaluator, sampler, sizings,
+                                        checked_samples, ra, sink_a);
+        for (std::size_t p = 0; p < sizings.size(); ++p) {
+            if (!rows_bits_equal(a[p].bode, b[p].bode)) return false;
+            if (a[p].mc.rows.size() != b[p].mc.rows.size()) return false;
+            for (std::size_t i = 0; i < a[p].mc.rows.size(); ++i)
+                if (!rows_bits_equal(a[p].mc.rows[i], b[p].mc.rows[i]))
+                    return false;
+        }
+        return true;
+    }();
+    return samples == checked_samples && matches;
+}
+
+void BM_OtaMcParetoPointsBlocking(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    const auto sizings = sizing_chunk(kMcParetoPoints);
+    const auto samples = static_cast<std::size_t>(state.range(0));
+    eval::EngineConfig cfg;
+    cfg.cache_capacity = 0;
+    for (auto _ : state) {
+        eval::Engine engine(cfg);
+        Rng rng(2008);
+        double sink = 0.0;
+        auto outcomes = run_points_blocking(engine, evaluator, sampler, sizings,
+                                            samples, rng, sink);
+        benchmark::DoNotOptimize(outcomes);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kMcParetoPoints) *
+                            state.range(0));
+    state.counters["samples_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(kMcParetoPoints) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OtaMcParetoPointsBlocking)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_OtaMcParetoPointsAsync(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    const auto sizings = sizing_chunk(kMcParetoPoints);
+    const auto samples = static_cast<std::size_t>(state.range(0));
+    if (!async_mc_matches_blocking_once(samples)) {
+        state.SkipWithError("overlapped MC results diverge from blocking engine");
+        return;
+    }
+    eval::EngineConfig cfg;
+    cfg.cache_capacity = 0;
+    for (auto _ : state) {
+        eval::Engine engine(cfg);
+        Rng rng(2008);
+        double sink = 0.0;
+        auto outcomes = run_points_async(engine, evaluator, sampler, sizings,
+                                         samples, rng, sink);
+        benchmark::DoNotOptimize(outcomes);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kMcParetoPoints) *
+                            state.range(0));
+    state.counters["samples_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(kMcParetoPoints) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OtaMcParetoPointsAsync)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 } // namespace
 

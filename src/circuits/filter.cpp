@@ -73,7 +73,30 @@ Circuit build_filter(const FilterSizing& s, const FilterConfig& cfg,
 }
 
 FilterEvaluator::FilterEvaluator(FilterConfig config, FilterSpecMask mask)
-    : config_(config), mask_(mask) {}
+    : config_(config), mask_(mask), pool_(make_pool()) {}
+
+FilterEvaluator::FilterEvaluator(const FilterEvaluator& other)
+    : config_(other.config_), mask_(other.mask_), pool_(make_pool()) {}
+
+FilterEvaluator& FilterEvaluator::operator=(const FilterEvaluator& other) {
+    if (this != &other) {
+        config_ = other.config_;
+        mask_ = other.mask_;
+        pool_ = make_pool();
+    }
+    return *this;
+}
+
+std::shared_ptr<spice::PrototypePool<FilterPrototype>>
+FilterEvaluator::make_pool() const {
+    // Keyed by OtaModelKind: the behavioural and transistor testbenches are
+    // structurally different circuits, so they pool separately.
+    return std::make_shared<spice::PrototypePool<FilterPrototype>>(
+        [this](std::uint64_t key) {
+            return std::make_unique<FilterPrototype>(
+                *this, static_cast<OtaModelKind>(key));
+        });
+}
 
 FilterPerformance FilterEvaluator::metrics_from_transfer(
     const std::vector<double>& freqs,
@@ -157,10 +180,10 @@ FilterPerformance FilterPrototype::measure(const FilterSizing& sizing) {
 std::vector<FilterPerformance>
 FilterEvaluator::measure_chunk(std::span<const FilterSizing> sizings,
                                OtaModelKind kind) const {
-    FilterPrototype proto(*this, kind);
+    const auto proto = pool_->acquire(static_cast<std::uint64_t>(kind));
     std::vector<FilterPerformance> out;
     out.reserve(sizings.size());
-    for (const FilterSizing& s : sizings) out.push_back(proto.measure(s));
+    for (const FilterSizing& s : sizings) out.push_back(proto->measure(s));
     return out;
 }
 

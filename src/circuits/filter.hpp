@@ -131,13 +131,24 @@ class FilterEvaluator {
 public:
     FilterEvaluator(FilterConfig config, FilterSpecMask mask);
 
+    /// The prototype pool's factory captures `this`, so copies rebuild
+    /// their own pool instead of leasing prototypes bound to the source.
+    FilterEvaluator(const FilterEvaluator& other);
+    FilterEvaluator& operator=(const FilterEvaluator& other);
+
     [[nodiscard]] FilterPerformance measure(const FilterSizing& sizing,
                                             OtaModelKind kind) const;
 
-    /// Chunk kernel: evaluate a group of sizings through one shared filter
-    /// prototype; element i is bit-identical to measure(sizings[i], kind).
+    /// Chunk kernel: evaluate a group of sizings through a leased warm
+    /// filter prototype (persistent spice::PrototypePool keyed by the OTA
+    /// model kind); element i is bit-identical to measure(sizings[i], kind).
     [[nodiscard]] std::vector<FilterPerformance>
     measure_chunk(std::span<const FilterSizing> sizings, OtaModelKind kind) const;
+
+    /// The persistent prototype pool behind measure_chunk.
+    [[nodiscard]] const spice::PrototypePool<FilterPrototype>& prototype_pool() const {
+        return *pool_;
+    }
 
     /// Response metrics from a computed transfer function (shared by the
     /// scalar and prototype paths so they stay bit-identical).
@@ -169,9 +180,12 @@ public:
 
 private:
     [[nodiscard]] FilterPerformance measure_circuit(spice::Circuit& ckt) const;
+    [[nodiscard]] std::shared_ptr<spice::PrototypePool<FilterPrototype>>
+    make_pool() const;
 
     FilterConfig config_;
     FilterSpecMask mask_;
+    std::shared_ptr<spice::PrototypePool<FilterPrototype>> pool_;
 };
 
 /// Variation model for behavioural-level filter Monte Carlo: the OTA macro

@@ -182,7 +182,13 @@ OtaPerformance OtaPrototype::measure(const OtaSizing& sizing,
     return perf_from_transfer(freqs_, h);
 }
 
-OtaEvaluator::OtaEvaluator(OtaConfig config) : config_(config) {}
+OtaEvaluator::OtaEvaluator(OtaConfig config)
+    : config_(config),
+      pool_(std::make_shared<spice::PrototypePool<OtaPrototype>>(
+          // The factory captures the config by value, so copies of the
+          // evaluator can share the pool safely (leases co-own the pool
+          // core and never reference this evaluator).
+          [config](std::uint64_t) { return std::make_unique<OtaPrototype>(config); })) {}
 
 OtaPerformance OtaEvaluator::measure_impl(const OtaSizing& sizing,
                                           const process::Realization* real) const {
@@ -224,10 +230,10 @@ OtaPerformance OtaEvaluator::measure(const OtaSizing& sizing,
 
 std::vector<OtaPerformance>
 OtaEvaluator::measure_chunk(std::span<const OtaSizing> sizings) const {
-    OtaPrototype proto(config_);
+    const auto proto = pool_->acquire();
     std::vector<OtaPerformance> out;
     out.reserve(sizings.size());
-    for (const OtaSizing& s : sizings) out.push_back(proto.measure(s));
+    for (const OtaSizing& s : sizings) out.push_back(proto->measure(s));
     return out;
 }
 
@@ -237,22 +243,22 @@ OtaEvaluator::measure_chunk(std::span<const OtaSizing> sizings,
     if (sizings.size() != reals.size())
         throw InvalidInputError(
             "OtaEvaluator::measure_chunk: sizing/realization count mismatch");
-    OtaPrototype proto(config_);
+    const auto proto = pool_->acquire();
     std::vector<OtaPerformance> out;
     out.reserve(sizings.size());
     for (std::size_t i = 0; i < sizings.size(); ++i)
-        out.push_back(proto.measure(sizings[i], &reals[i]));
+        out.push_back(proto->measure(sizings[i], &reals[i]));
     return out;
 }
 
 std::vector<OtaPerformance>
 OtaEvaluator::measure_chunk(const OtaSizing& sizing,
                             std::span<const process::Realization> reals) const {
-    OtaPrototype proto(config_);
+    const auto proto = pool_->acquire();
     std::vector<OtaPerformance> out;
     out.reserve(reals.size());
     for (const process::Realization& r : reals)
-        out.push_back(proto.measure(sizing, &r));
+        out.push_back(proto->measure(sizing, &r));
     return out;
 }
 

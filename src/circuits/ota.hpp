@@ -113,8 +113,12 @@ private:
     std::vector<double> freqs_;
 };
 
-/// Measurement harness around the testbench (thread-safe: every call builds
-/// its own circuit; the chunk entry points build one prototype per call).
+/// Measurement harness around the testbench (thread-safe: scalar calls
+/// build their own circuit; chunk entry points lease warm prototypes from a
+/// persistent spice::PrototypePool keyed by this evaluator's config, so the
+/// testbench structure is built once per concurrent kernel, not once per
+/// evaluate_batch call). Copies share the pool - they measure the same
+/// configuration, so warm instances are interchangeable.
 class OtaEvaluator {
 public:
     explicit OtaEvaluator(OtaConfig config = {});
@@ -158,12 +162,20 @@ public:
 
     [[nodiscard]] const OtaConfig& config() const { return config_; }
 
+    /// The persistent prototype pool behind the chunk kernels (reuse
+    /// diagnostics: created() stops growing once the pool is warm).
+    [[nodiscard]] const spice::PrototypePool<OtaPrototype>& prototype_pool() const {
+        return *pool_;
+    }
+
 private:
     [[nodiscard]] OtaPerformance
     measure_impl(const OtaSizing& sizing,
                  const process::Realization* realization) const;
 
     OtaConfig config_;
+    /// Shared so copies reuse the same warm instances (identical config).
+    std::shared_ptr<spice::PrototypePool<OtaPrototype>> pool_;
 };
 
 } // namespace ypm::circuits

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "moo/problem.hpp"
 #include "util/error.hpp"
@@ -40,9 +41,9 @@ CornerSweep run_corner_sweep(eval::Engine& engine,
     for (Corner c : kCorners) batch.add(sizing.to_vector(), corner_key(c));
 
     // Chunk kernel: corner realisations decode from the process key, then
-    // the whole group measures through one shared testbench prototype.
+    // the whole group measures through a leased warm testbench prototype.
     const auto evals = engine.evaluate(
-        batch,
+        std::move(batch),
         eval::BatchKernelFn([&](const std::vector<const eval::EvalRequest*>&
                                     requests) {
             std::vector<circuits::OtaSizing> sizings;

@@ -39,10 +39,10 @@ struct CornerSweep {
 };
 
 /// Sweep all five corners for a sizing as one engine batch (the corners
-/// simulate in parallel and repeated sweeps of the same sizing are served
-/// from the engine's cache). \throws ypm::NumericalError when the typical
-/// (TT) corner fails to simulate; other corner failures are reported via
-/// CornerPoint::valid.
+/// simulate in parallel through warm pooled testbench prototypes, and
+/// repeated sweeps of the same sizing are served from the engine's cache).
+/// \throws ypm::NumericalError when the typical (TT) corner fails to
+/// simulate; other corner failures are reported via CornerPoint::valid.
 [[nodiscard]] CornerSweep run_corner_sweep(eval::Engine& engine,
                                            const circuits::OtaEvaluator& evaluator,
                                            const circuits::OtaSizing& sizing,

@@ -98,7 +98,10 @@ FlowResult YieldFlow::run() const {
         mc_points = std::move(picked);
     }
 
-    // Step 4: variation model - MC on every (selected) Pareto point.
+    // Step 4: variation model - MC on every (selected) Pareto point. The
+    // stages stream: every point's nominal-Bode batch and MC run is
+    // submitted before any result is retired, so misses from all points
+    // overlap on the engine's pool instead of barriering point-by-point.
     {
         const auto t0 = std::chrono::steady_clock::now();
         const process::ProcessSampler sampler(ota_.card, config_.variation);
@@ -113,48 +116,70 @@ FlowResult YieldFlow::run() const {
                                        perf.bode.gbw};
         };
 
-        result.front.reserve(mc_points.size());
-        std::size_t design_id = 1;
+        // Pre-filter on archive objectives alone (no simulation needed), so
+        // only points worth a Monte Carlo budget get submitted at all.
+        struct PointStage {
+            FrontPointData point;
+            eval::Engine::Ticket bode;
+            mc::McTicket mc;
+        };
+        std::vector<PointStage> stages;
+        stages.reserve(mc_points.size());
         for (std::size_t archive_idx : mc_points) {
             const auto& e = result.optimisation.archive[archive_idx];
-            const circuits::OtaSizing sizing =
-                circuits::OtaSizing::from_vector(e.params);
+            PointStage stage;
+            stage.point.sizing = circuits::OtaSizing::from_vector(e.params);
+            stage.point.gain_db = e.objectives[0];
+            stage.point.pm_deg = e.objectives[1];
+            // Front hygiene: skip endpoints no model query should land on.
+            if (stage.point.pm_deg < config_.min_front_pm_deg ||
+                stage.point.gain_db < config_.min_front_gain_db) {
+                log::debug("flow: dropping extreme front point (gain ",
+                           stage.point.gain_db, " dB, pm ", stage.point.pm_deg,
+                           " deg)");
+                continue;
+            }
+            stages.push_back(std::move(stage));
+        }
 
-            FrontPointData point;
-            point.design_id = design_id++;
-            point.sizing = sizing;
-            point.gain_db = e.objectives[0];
-            point.pm_deg = e.objectives[1];
-
-            // Nominal Bode data for the macromodel.
+        // Submission pass: per point, the nominal Bode batch followed by
+        // the MC run. Each point's RNG stream derives from its submission
+        // position, independent of later hygiene filtering. Everything is
+        // in flight at once: an MC request carries no parameters (just a
+        // sample id) and a result row is two doubles, so even a full
+        // paper-scale front (~1000 points x 200 samples) stays in the
+        // low-megabyte range; max_mc_points bounds it when that matters.
+        for (std::size_t i = 0; i < stages.size(); ++i) {
+            PointStage& stage = stages[i];
             eval::EvalBatch bode_batch(kBodeTag);
-            bode_batch.add(e.params);
-            const auto nominal = engine.evaluate(bode_batch, bode_kernel);
+            bode_batch.add(stage.point.sizing.to_vector());
+            stage.bode = engine.submit(std::move(bode_batch), bode_kernel);
+            Rng point_rng = mc_rng.child(i + 1);
+            stage.mc =
+                submit_ota_monte_carlo(engine, evaluator, stage.point.sizing,
+                                       sampler, config_.mc_samples, point_rng);
+            result.timings.mc_evaluations += config_.mc_samples;
+        }
+
+        // Retirement pass, in submission order: apply the MC-dependent
+        // hygiene filters and number the surviving designs sequentially.
+        result.front.reserve(stages.size());
+        std::size_t design_id = 1;
+        for (PointStage& stage : stages) {
+            FrontPointData point = stage.point;
+            const auto nominal = engine.wait(std::move(stage.bode));
             if (!nominal.front().failed()) {
                 point.f3db = nominal.front().values[2];
                 point.gbw = nominal.front().values[3];
             }
 
-            // Front hygiene: skip endpoints no model query should land on.
-            if (point.pm_deg < config_.min_front_pm_deg ||
-                point.gain_db < config_.min_front_gain_db) {
-                log::debug("flow: dropping extreme front point (gain ",
-                           point.gain_db, " dB, pm ", point.pm_deg, " deg)");
-                --design_id;
-                continue;
-            }
-
-            Rng point_rng = mc_rng.child(point.design_id);
-            const mc::McResult mc_result = run_ota_monte_carlo(
-                engine, evaluator, sizing, sampler, config_.mc_samples, point_rng);
-            result.timings.mc_evaluations += config_.mc_samples;
+            const mc::McResult mc_result =
+                mc::wait_monte_carlo(engine, std::move(stage.mc));
             point.mc_failures = mc_result.failed;
             if (static_cast<double>(point.mc_failures) >
                 config_.max_front_mc_failure_ratio *
-                    static_cast<double>(config_.mc_samples)) {
-                --design_id;
+                    static_cast<double>(config_.mc_samples))
                 continue;
-            }
             const auto gain_var = mc_result.column_variation(0);
             const auto pm_var = mc_result.column_variation(1);
             point.dgain_pct = gain_var.delta_3sigma_pct;
@@ -162,10 +187,9 @@ FlowResult YieldFlow::run() const {
             point.dgain_halfrange_pct = gain_var.delta_halfrange_pct;
             point.dpm_halfrange_pct = pm_var.delta_halfrange_pct;
             if (point.dgain_pct > config_.max_front_delta_pct ||
-                point.dpm_pct > config_.max_front_delta_pct) {
-                --design_id;
+                point.dpm_pct > config_.max_front_delta_pct)
                 continue;
-            }
+            point.design_id = design_id++;
             result.front.push_back(point);
         }
         result.timings.mc_seconds = seconds_since(t0);

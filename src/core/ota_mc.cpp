@@ -9,19 +9,33 @@ mc::McResult run_ota_monte_carlo(eval::Engine& engine,
                                  const circuits::OtaSizing& sizing,
                                  const process::ProcessSampler& sampler,
                                  std::size_t samples, Rng& rng) {
+    return mc::wait_monte_carlo(
+        engine,
+        submit_ota_monte_carlo(engine, evaluator, sizing, sampler, samples, rng));
+}
+
+mc::McTicket submit_ota_monte_carlo(eval::Engine& engine,
+                                    const circuits::OtaEvaluator& evaluator,
+                                    const circuits::OtaSizing& sizing,
+                                    const process::ProcessSampler& sampler,
+                                    std::size_t samples, Rng& rng) {
     // Geometry inventory once (identical for every sample of this sizing).
     spice::Circuit proto = circuits::build_ota_testbench(sizing, evaluator.config());
-    const auto geometries = proto.mos_geometries();
+    auto geometries = proto.mos_geometries();
 
     mc::McConfig cfg;
     cfg.samples = samples;
     // Chunk kernel: realisations are drawn per sample from the same child
-    // streams as the scalar path, then measured through one shared
+    // streams as the scalar path, then measured through a leased warm
     // testbench prototype - element-wise bit-identical to measuring each
-    // sample on a fresh build.
-    return mc::run_monte_carlo(
+    // sample on a fresh build. Sizing and geometries are captured by value:
+    // with async dispatch the kernel outlives this scope (the evaluator and
+    // sampler are the caller's lifetime problem, see header).
+    return mc::submit_monte_carlo(
         engine, cfg, rng,
-        mc::ChunkSampleFn([&](std::span<const std::size_t>, std::span<Rng> rngs) {
+        mc::ChunkSampleFn([&evaluator, &sampler, sizing,
+                           geometries = std::move(geometries)](
+                              std::span<const std::size_t>, std::span<Rng> rngs) {
             constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
             std::vector<process::Realization> reals;
             reals.reserve(rngs.size());

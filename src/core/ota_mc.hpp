@@ -20,6 +20,17 @@ run_ota_monte_carlo(eval::Engine& engine, const circuits::OtaEvaluator& evaluato
                     const process::ProcessSampler& sampler, std::size_t samples,
                     Rng& rng);
 
+/// Async variant: enqueue the run and return its ticket without blocking,
+/// so MC stages of several Pareto points overlap on the engine's pool.
+/// `evaluator` and `sampler` must outlive mc::wait_monte_carlo(); rows are
+/// bit-identical to run_ota_monte_carlo() with the same engine state/rng.
+[[nodiscard]] mc::McTicket
+submit_ota_monte_carlo(eval::Engine& engine,
+                       const circuits::OtaEvaluator& evaluator,
+                       const circuits::OtaSizing& sizing,
+                       const process::ProcessSampler& sampler,
+                       std::size_t samples, Rng& rng);
+
 /// Legacy entry point: private engine honouring `parallel`.
 [[nodiscard]] mc::McResult
 run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "circuits/ota_problem.hpp"
 #include "util/error.hpp"
@@ -64,10 +65,10 @@ SensitivityReport compute_sensitivities(eval::Engine& engine,
         batch.add(std::move(hi));
     }
 
-    // Chunk kernel: the 17 probes share one testbench prototype; rows stay
+    // Chunk kernel: the 17 probes share warm pooled prototypes; rows stay
     // interchangeable with the scalar ota_objectives_kernel cache entries.
-    const auto evals =
-        engine.evaluate(batch, circuits::ota_objectives_chunk_kernel(evaluator));
+    const auto evals = engine.evaluate(
+        std::move(batch), circuits::ota_objectives_chunk_kernel(evaluator));
 
     if (evals.front().failed()) {
         // Re-measure outside the engine to recover the failure diagnostic

@@ -34,17 +34,20 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
 
 LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {}
 
-const std::vector<double>* LruCache::find(const CacheKey& key) {
+std::optional<std::vector<double>> LruCache::find(const CacheKey& key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map_.find(key);
-    if (it == map_.end()) return nullptr;
+    if (it == map_.end()) return std::nullopt;
     order_.splice(order_.begin(), order_, it->second);
-    return &it->second->second;
+    return it->second->second;
 }
 
 void LruCache::insert(CacheKey key, std::vector<double> values) {
     if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
+        // Refresh: replace in place and promote to MRU; size() unchanged.
         it->second->second = std::move(values);
         order_.splice(order_.begin(), order_, it->second);
         return;
@@ -57,7 +60,13 @@ void LruCache::insert(CacheKey key, std::vector<double> values) {
     map_.emplace(order_.front().first, order_.begin());
 }
 
+std::size_t LruCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
 void LruCache::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
     order_.clear();
 }

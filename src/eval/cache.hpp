@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,28 +35,38 @@ struct CacheKeyHash {
 };
 
 /// Fixed-capacity least-recently-used map from CacheKey to a value vector.
-/// Not thread-safe: the engine only touches it from the submitting thread.
+///
+/// Thread-safe: every operation takes an internal mutex. The engine
+/// already serialises its own lookup/insert traffic under its state lock
+/// (submission-order determinism needs that anyway); the cache's mutex
+/// covers what that lock does not - clear() and size() calls from other
+/// threads while batches are in flight - and keeps the class safe
+/// standalone. find() returns a *copy* of the values rather than the old
+/// interior pointer, which an insert could invalidate after the lookup.
 class LruCache {
 public:
     /// \param capacity maximum entry count; 0 disables the cache entirely.
     explicit LruCache(std::size_t capacity);
 
-    /// Returns the cached values and marks the entry most-recently-used,
-    /// or nullptr on a miss. The pointer is invalidated by insert().
-    [[nodiscard]] const std::vector<double>* find(const CacheKey& key);
+    /// Returns a copy of the cached values and marks the entry
+    /// most-recently-used, or nullopt on a miss.
+    [[nodiscard]] std::optional<std::vector<double>> find(const CacheKey& key);
 
-    /// Insert (or refresh) an entry, evicting the least-recently-used one
-    /// when full. No-op when capacity is 0.
+    /// Insert (or refresh) an entry. A refresh replaces the stored values,
+    /// moves the entry to the MRU front and never changes size(); a fresh
+    /// insert at capacity evicts the least-recently-used entry first, so
+    /// size() never exceeds capacity(). No-op when capacity is 0.
     void insert(CacheKey key, std::vector<double> values);
 
-    [[nodiscard]] std::size_t size() const { return map_.size(); }
+    [[nodiscard]] std::size_t size() const;
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
     void clear();
 
 private:
     using Entry = std::pair<CacheKey, std::vector<double>>;
 
-    std::size_t capacity_;
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
     std::list<Entry> order_; ///< most-recently-used at the front
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -17,94 +20,163 @@ std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
     return x;
 }
 
+namespace {
+
+/// A fresh evaluation failed when its row carries a NaN (the moo::Problem
+/// contract) or is empty (a kernel that signals failure by returning no
+/// values - the NaN scan alone cannot see those).
+bool row_failed(const std::vector<double>& values) {
+    if (values.empty()) return true;
+    for (double v : values)
+        if (std::isnan(v)) return true;
+    return false;
+}
+
+} // namespace
+
+/// In-flight state of one submitted batch. Owned jointly by the ticket and
+/// the engine's retirement queue; pool jobs reference it through a raw
+/// pointer, which is safe because retirement always waits for the jobs
+/// before the queue drops its reference.
+struct Engine::Pending {
+    const Engine* owner = nullptr;     ///< rejects tickets waited elsewhere
+    EvalBatch batch;                   ///< owned copy; jobs read items from it
+    std::vector<EvalResult> results;
+    std::vector<std::size_t> misses;   ///< batch indices needing evaluation
+    std::vector<CacheKey> keys;        ///< per-item keys (cache enabled only)
+    std::vector<std::pair<std::size_t, std::size_t>> aliases; ///< (dup, source)
+    ThreadPool::Job job;               ///< invalid when dispatched inline
+    std::exception_ptr error;          ///< first kernel error, if any
+    bool use_cache = false;
+    bool retired = false;
+    bool taken = false;                ///< results consumed by a wait()
+};
+
 Engine::Engine(EngineConfig config)
     : config_(config),
       pool_(config.threads > 0 ? std::make_unique<ThreadPool>(config.threads)
                                : nullptr),
       cache_(config.cache_capacity) {}
 
+Engine::~Engine() {
+    // Drain in-flight batches: queued jobs write into their Pending blocks,
+    // so those must stay alive until every job has finished.
+    const std::lock_guard<std::mutex> retire_lock(retire_mutex_);
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.empty()) break;
+        }
+        try {
+            retire_head();
+        } catch (...) {
+            // Destructor drain: nobody is left to receive kernel errors.
+        }
+    }
+}
+
 ThreadPool& Engine::pool() { return pool_ ? *pool_ : ThreadPool::global(); }
 
-void Engine::for_each_miss(std::size_t count,
-                           const std::function<void(std::size_t)>& fn) {
-    if (!config_.parallel || count <= 1) {
-        for (std::size_t i = 0; i < count; ++i) fn(i);
+std::size_t Engine::in_flight() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+EngineCounters Engine::counters() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void Engine::reset_counters() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_ = EngineCounters{};
+}
+
+Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
+                                   const DispatchFn& dispatch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto pending = std::make_shared<Pending>();
+    pending->owner = this;
+    pending->batch = std::move(batch);
+    const std::size_t n = pending->batch.size();
+    pending->results.resize(n);
+    pending->use_cache = cache_.capacity() > 0;
+
+    // Front phase, on the submitting thread: ledger request count, cache
+    // lookups and within-batch dedup. Happens in submission order, so the
+    // cache sees exactly the state every previously *retired* batch left.
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        counters_.requests += n;
+        pending->misses.reserve(n);
+        if (pending->use_cache) pending->keys.resize(n);
+        // Within-batch dedup: key -> batch index of the first occurrence.
+        std::unordered_map<CacheKey, std::size_t, CacheKeyHash> first_seen;
+        for (std::size_t i = 0; i < n; ++i) {
+            const EvalRequest& item = pending->batch.items[i];
+            if (!pending->use_cache || !item.cacheable) {
+                pending->misses.push_back(i);
+                continue;
+            }
+            pending->keys[i] = CacheKey{item.params, item.process_key, salt_of(i)};
+            if (auto hit = cache_.find(pending->keys[i])) {
+                pending->results[i].values = std::move(*hit);
+                pending->results[i].from_cache = true;
+                // A hit on a cached failure (NaN row - empty failures are
+                // never cached) is a request answered by a known-failed
+                // evaluation: flag it and charge the ledger, exactly like a
+                // within-batch dedup alias of a failed source.
+                pending->results[i].failure = row_failed(pending->results[i].values);
+                ++counters_.cache_hits;
+                if (pending->results[i].failure) ++counters_.failures;
+                continue;
+            }
+            const auto [it, inserted] = first_seen.emplace(pending->keys[i], i);
+            if (inserted)
+                pending->misses.push_back(i);
+            else
+                pending->aliases.emplace_back(i, it->second);
+        }
+    }
+
+    // Start the misses. Parallel engines enqueue pool jobs and return
+    // immediately; serial engines evaluate inline here (still deferring
+    // ledger/cache retirement to wait(), so both paths retire identically).
+    dispatch(*pending);
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(pending);
+        counters_.wall_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+    }
+    return Ticket(std::move(pending));
+}
+
+void Engine::dispatch_items(Pending& pending, ItemEvalFn eval_item) {
+    const std::size_t count = pending.misses.size();
+    if (count == 0) return;
+    Pending* p = &pending;
+    // Shared so the closure stays copyable (std::function requirement).
+    auto eval = std::make_shared<ItemEvalFn>(std::move(eval_item));
+    auto run_item = [p, eval](std::size_t k) {
+        const std::size_t idx = p->misses[k];
+        p->results[idx].values = (*eval)(p->batch.items[idx], idx);
+    };
+    if (!config_.parallel) {
+        try {
+            for (std::size_t k = 0; k < count; ++k) run_item(k);
+        } catch (...) {
+            pending.error = std::current_exception();
+        }
         return;
     }
-    pool().parallel_for(count, fn);
+    pending.job = pool().parallel_for_async(count, std::move(run_item));
 }
 
-std::vector<EvalResult> Engine::run(const EvalBatch& batch, const SaltFn& salt_of,
-                                    const DispatchFn& dispatch) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::size_t n = batch.size();
-    counters_.requests += n;
-
-    std::vector<EvalResult> results(n);
-    std::vector<std::size_t> misses;
-    misses.reserve(n);
-    // Within-batch dedup: key -> batch index of the first occurrence.
-    std::unordered_map<CacheKey, std::size_t, CacheKeyHash> pending;
-    std::vector<std::pair<std::size_t, std::size_t>> aliases; // (dup, source)
-
-    const bool use_cache = cache_.capacity() > 0;
-    std::vector<CacheKey> keys(use_cache ? n : 0);
-    for (std::size_t i = 0; i < n; ++i) {
-        const EvalRequest& item = batch.items[i];
-        if (!use_cache || !item.cacheable) {
-            misses.push_back(i);
-            continue;
-        }
-        keys[i] = CacheKey{item.params, item.process_key, salt_of(i)};
-        if (const std::vector<double>* hit = cache_.find(keys[i])) {
-            results[i].values = *hit;
-            results[i].from_cache = true;
-            ++counters_.cache_hits;
-            continue;
-        }
-        const auto [it, inserted] = pending.emplace(keys[i], i);
-        if (inserted)
-            misses.push_back(i);
-        else
-            aliases.emplace_back(i, it->second);
-    }
-
-    dispatch(misses, results);
-
-    counters_.evaluations += misses.size();
-    for (std::size_t idx : misses) {
-        if (results[idx].failed()) ++counters_.failures;
-        if (use_cache && batch.items[idx].cacheable)
-            cache_.insert(keys[idx], results[idx].values);
-    }
-    for (const auto& [dup, source] : aliases) {
-        results[dup].values = results[source].values;
-        results[dup].from_cache = true;
-        ++counters_.cache_hits;
-    }
-
-    counters_.wall_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    return results;
-}
-
-std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
-                                         const KernelFn& kernel) {
-    const std::uint64_t salt = batch.tag;
-    return run(
-        batch, [salt](std::size_t) { return salt; },
-        [&](const std::vector<std::size_t>& misses,
-            std::vector<EvalResult>& results) {
-            for_each_miss(misses.size(), [&](std::size_t k) {
-                const std::size_t idx = misses[k];
-                results[idx].values = kernel(batch.items[idx]);
-            });
-        });
-}
-
-void Engine::for_each_chunk(
-    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+void Engine::dispatch_chunks(Pending& pending, ChunkEvalFn eval_chunk) {
+    const std::size_t count = pending.misses.size();
     if (count == 0) return;
     // Worker-sized chunks keep chunk kernels busy without starving the
     // pool; boundaries never change the element-wise results.
@@ -113,101 +185,222 @@ void Engine::for_each_chunk(
     const std::size_t chunk =
         std::max<std::size_t>(1, (count + workers * 4 - 1) / (workers * 4));
     const std::size_t n_chunks = (count + chunk - 1) / chunk;
-    auto run_chunk = [&](std::size_t c) {
-        const std::size_t lo = c * chunk;
-        fn(lo, std::min(count, lo + chunk));
-    };
-    if (!config_.parallel || n_chunks <= 1)
-        for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
-    else
-        pool().parallel_for(n_chunks, run_chunk);
-}
 
-void Engine::dispatch_chunks(const EvalBatch& batch,
-                             const std::vector<std::size_t>& misses,
-                             std::vector<EvalResult>& results,
-                             const ChunkEvalFn& eval_chunk) {
-    for_each_chunk(misses.size(), [&](std::size_t lo, std::size_t hi) {
+    Pending* p = &pending;
+    auto eval = std::make_shared<ChunkEvalFn>(std::move(eval_chunk));
+    auto run_chunk = [p, eval, chunk, count](std::size_t c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(count, lo + chunk);
         std::vector<const EvalRequest*> reqs;
         reqs.reserve(hi - lo);
         for (std::size_t k = lo; k < hi; ++k)
-            reqs.push_back(&batch.items[misses[k]]);
-        auto out = eval_chunk(
-            reqs, std::span<const std::size_t>(misses.data() + lo, hi - lo));
+            reqs.push_back(&p->batch.items[p->misses[k]]);
+        auto out = (*eval)(
+            reqs, std::span<const std::size_t>(p->misses.data() + lo, hi - lo));
         if (out.size() != reqs.size())
             throw InvalidInputError(
                 "eval::Engine: chunk kernel returned wrong batch size");
         for (std::size_t k = lo; k < hi; ++k)
-            results[misses[k]].values = std::move(out[k - lo]);
-    });
+            p->results[p->misses[k]].values = std::move(out[k - lo]);
+    };
+    if (!config_.parallel) {
+        try {
+            for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
+        } catch (...) {
+            pending.error = std::current_exception();
+        }
+        return;
+    }
+    pending.job = pool().parallel_for_async(n_chunks, std::move(run_chunk));
 }
 
-std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
-                                         const BatchKernelFn& kernel) {
+void Engine::retire_head() {
+    std::shared_ptr<Pending> head;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        head = queue_.front();
+    }
+
+    // Block (off the engine mutex) until the batch's jobs are done.
+    std::exception_ptr error = head->error;
+    if (!error) {
+        try {
+            head->job.wait();
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    head->retired = true;
+    queue_.pop_front();
+    if (error) {
+        // Mirror the blocking path: a kernel error leaves only the request
+        // count in the ledger and nothing in the cache; the error surfaces
+        // from this ticket's wait().
+        head->error = error;
+        return;
+    }
+
+    counters_.evaluations += head->misses.size();
+    for (std::size_t idx : head->misses) {
+        EvalResult& r = head->results[idx];
+        r.failure = row_failed(r.values);
+        if (r.failure) ++counters_.failures;
+        // NaN rows self-describe their failure, so caching them still spares
+        // the re-simulation of a known-failing point; empty rows would come
+        // back looking successful, so they stay out.
+        if (head->use_cache && head->batch.items[idx].cacheable &&
+            !r.values.empty())
+            cache_.insert(head->keys[idx], r.values);
+    }
+    for (const auto& [dup, source] : head->aliases) {
+        const EvalResult& src = head->results[source];
+        EvalResult& dst = head->results[dup];
+        dst.values = src.values;
+        dst.failure = src.failure;
+        dst.from_cache = true;
+        ++counters_.cache_hits;
+        // A failed source fans its failure out to every alias: each was a
+        // request that got a failed answer, and the ledger counts it so.
+        if (dst.failure) ++counters_.failures;
+    }
+}
+
+std::vector<EvalResult> Engine::wait(Ticket ticket) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::shared_ptr<Pending> pending = std::move(ticket.pending_);
+    if (!pending)
+        throw InvalidInputError("eval::Engine::wait: invalid ticket");
+    // Reject foreign tickets before retiring anything: without this check
+    // the loop below would drain this engine's whole queue (side effects
+    // included) before noticing the ticket can never retire here.
+    if (pending->owner != this)
+        throw InvalidInputError(
+            "eval::Engine::wait: ticket does not belong to this engine");
+
+    const std::lock_guard<std::mutex> retire_lock(retire_mutex_);
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (pending->retired) break;
+        }
+        retire_head();
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (pending->taken)
+        throw InvalidInputError("eval::Engine::wait: ticket already consumed");
+    pending->taken = true;
+    // Calling-thread time only: overlapped batches retire while an earlier
+    // wait() blocks, so summing per-thread time never double-counts (and
+    // equals the old "time inside evaluate()" for the blocking pattern).
+    counters_.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (pending->error) std::rethrow_exception(pending->error);
+    return std::move(pending->results);
+}
+
+Engine::Ticket Engine::submit(EvalBatch batch, KernelFn kernel) {
     const std::uint64_t salt = batch.tag;
-    return run(
-        batch, [salt](std::size_t) { return salt; },
-        [&](const std::vector<std::size_t>& misses,
-            std::vector<EvalResult>& results) {
-            dispatch_chunks(batch, misses, results,
-                            [&kernel](const std::vector<const EvalRequest*>& reqs,
-                                      std::span<const std::size_t>) {
-                                return kernel(reqs);
+    auto eval = std::make_shared<KernelFn>(std::move(kernel));
+    return submit_impl(
+        std::move(batch), [salt](std::size_t) { return salt; },
+        [&](Pending& pending) {
+            dispatch_items(pending,
+                           [eval](const EvalRequest& request, std::size_t) {
+                               return (*eval)(request);
+                           });
+        });
+}
+
+Engine::Ticket Engine::submit(EvalBatch batch, BatchKernelFn kernel) {
+    const std::uint64_t salt = batch.tag;
+    auto eval = std::make_shared<BatchKernelFn>(std::move(kernel));
+    return submit_impl(
+        std::move(batch), [salt](std::size_t) { return salt; },
+        [&](Pending& pending) {
+            dispatch_chunks(pending,
+                            [eval](const std::vector<const EvalRequest*>& reqs,
+                                   std::span<const std::size_t>) {
+                                return (*eval)(reqs);
                             });
         });
 }
 
-std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
-                                         const StochasticKernelFn& kernel,
-                                         Rng& rng) {
+Engine::Ticket Engine::submit(EvalBatch batch, StochasticKernelFn kernel,
+                              Rng& rng) {
     // Same derivation as the original Monte Carlo runner: one child stream
     // per item from the caller's RNG (identical for any thread count), with
-    // the parent advanced once so successive runs differ.
+    // the parent advanced once at submission so successive batches differ.
     const Rng base = rng.child(rng.engine()());
     const std::uint64_t base_seed = base.seed();
     const std::uint64_t tag = batch.tag;
-    return run(
-        batch,
+    auto eval = std::make_shared<StochasticKernelFn>(std::move(kernel));
+    return submit_impl(
+        std::move(batch),
         [base_seed, tag](std::size_t i) {
             return mix64(tag, mix64(base_seed, i));
         },
-        [&](const std::vector<std::size_t>& misses,
-            std::vector<EvalResult>& results) {
-            for_each_miss(misses.size(), [&](std::size_t k) {
-                const std::size_t idx = misses[k];
-                Rng item_rng = base.child(idx);
-                results[idx].values = kernel(batch.items[idx], item_rng);
-            });
+        [&](Pending& pending) {
+            dispatch_items(pending,
+                           [eval, base](const EvalRequest& request,
+                                        std::size_t idx) {
+                               Rng item_rng = base.child(idx);
+                               return (*eval)(request, item_rng);
+                           });
         });
 }
 
-std::vector<EvalResult> Engine::evaluate(const EvalBatch& batch,
-                                         const StochasticBatchKernelFn& kernel,
-                                         Rng& rng) {
+Engine::Ticket Engine::submit(EvalBatch batch, StochasticBatchKernelFn kernel,
+                              Rng& rng) {
     // Stream and salt derivation must match the scalar stochastic overload
     // exactly: item i (batch index) gets base.child(i), whichever chunk it
     // lands in.
     const Rng base = rng.child(rng.engine()());
     const std::uint64_t base_seed = base.seed();
     const std::uint64_t tag = batch.tag;
-    return run(
-        batch,
+    auto eval = std::make_shared<StochasticBatchKernelFn>(std::move(kernel));
+    return submit_impl(
+        std::move(batch),
         [base_seed, tag](std::size_t i) {
             return mix64(tag, mix64(base_seed, i));
         },
-        [&](const std::vector<std::size_t>& misses,
-            std::vector<EvalResult>& results) {
+        [&](Pending& pending) {
             dispatch_chunks(
-                batch, misses, results,
-                [&kernel, &base](const std::vector<const EvalRequest*>& reqs,
-                                 std::span<const std::size_t> batch_indices) {
+                pending,
+                [eval, base](const std::vector<const EvalRequest*>& reqs,
+                             std::span<const std::size_t> batch_indices) {
                     std::vector<Rng> rngs;
                     rngs.reserve(batch_indices.size());
                     for (std::size_t idx : batch_indices)
                         rngs.push_back(base.child(idx));
-                    return kernel(reqs, rngs);
+                    return (*eval)(reqs, rngs);
                 });
         });
+}
+
+std::vector<EvalResult> Engine::evaluate(EvalBatch batch,
+                                         const KernelFn& kernel) {
+    return wait(submit(std::move(batch), kernel));
+}
+
+std::vector<EvalResult> Engine::evaluate(EvalBatch batch,
+                                         const BatchKernelFn& kernel) {
+    return wait(submit(std::move(batch), kernel));
+}
+
+std::vector<EvalResult> Engine::evaluate(EvalBatch batch,
+                                         const StochasticKernelFn& kernel,
+                                         Rng& rng) {
+    return wait(submit(std::move(batch), kernel, rng));
+}
+
+std::vector<EvalResult> Engine::evaluate(EvalBatch batch,
+                                         const StochasticBatchKernelFn& kernel,
+                                         Rng& rng) {
+    return wait(submit(std::move(batch), kernel, rng));
 }
 
 } // namespace ypm::eval

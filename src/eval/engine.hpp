@@ -1,6 +1,6 @@
 #pragma once
 /// \file engine.hpp
-/// \brief Unified batched evaluation engine.
+/// \brief Unified batched evaluation engine with async streaming dispatch.
 ///
 /// All repeated-testbench workloads of the Fig. 3 flow - GA populations,
 /// per-Pareto-point Monte Carlo, corner sweeps, sensitivity probes,
@@ -8,19 +8,30 @@
 /// ThreadPool loops. The engine owns:
 ///
 ///  * scheduling: misses are dispatched on a thread pool (the process-wide
-///    pool by default, or a private pool of `threads` workers);
+///    pool by default, or a private pool of `threads` workers). submit()
+///    enqueues a batch and returns a Ticket immediately, so misses from
+///    several batches stream onto the pool together (overlapped Monte Carlo
+///    stages); wait() retires batches strictly in submission order.
+///    evaluate() is submit() + wait() in one call;
 ///  * determinism: stochastic kernels receive per-item RNG child streams
 ///    derived exactly like the original Monte Carlo runner
-///    (base = rng.child(rng.engine()()), item i gets base.child(i)), so
-///    results are bit-identical for any thread count;
+///    (base = rng.child(rng.engine()()), item i gets base.child(i)) at
+///    submission time, so results are bit-identical for any thread count
+///    and identical between the blocking and async paths;
 ///  * memoisation: an LRU cache keyed bit-exactly on (params, process key,
 ///    batch tag / stream seed) serves repeated points - GA elites, repeated
-///    corner sweeps, sensitivity probes on archived designs;
+///    corner sweeps, sensitivity probes on archived designs. Lookups happen
+///    at submit(), insertions at retirement, both in submission order, so a
+///    submit()+wait() sequence touches the cache exactly like evaluate();
 ///  * accounting: one ledger of requests, kernel evaluations, cache hits,
 ///    failures and wall time that feeds FlowTimings and the Table 5 bench.
 ///
-/// The engine is not re-entrant: evaluate() must be called from one thread
-/// at a time (kernels themselves run on the pool and must be thread-safe).
+/// Threading contract: submit()/evaluate() must be called from one thread
+/// at a time (kernels themselves run on the pool and must be thread-safe
+/// and must outlive the batch's retirement). wait() may be called from a
+/// different thread than submit(), and concurrent waiters serialise on an
+/// internal retirement lock; the cache is internally thread-safe so
+/// submission-time lookups may overlap a concurrent retirement.
 ///
 /// Memoisation contract: one engine instance serves one design context.
 /// Cache keys cover (params, process key, tag/stream) but not the kernel's
@@ -28,8 +39,10 @@
 /// the same testbench / process deck per tag - use separate engines (or
 /// clear_cache()) when switching contexts.
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -68,44 +81,103 @@ struct EngineConfig {
 
 /// Evaluation ledger. `requests` counts submitted items; `evaluations`
 /// counts actual kernel invocations (requests minus cache/dedup hits).
+/// `failures` counts failed fresh evaluations plus every request they
+/// answer second-hand - dedup aliases and LRU hits of a failed point each
+/// add one, so a failing point is charged once per request consistently,
+/// whether the duplicates land in one batch or across batches.
 struct EngineCounters {
     std::size_t requests = 0;
     std::size_t evaluations = 0;
     std::size_t cache_hits = 0;
-    std::size_t failures = 0;   ///< fresh evaluations containing NaN
-    double wall_seconds = 0.0;  ///< time spent inside evaluate()
+    std::size_t failures = 0;
+    /// Calling-thread time spent inside submit()/wait() (equals the old
+    /// "time inside evaluate()" for the blocking pattern; overlapped
+    /// batches retiring during an earlier wait() are not double-counted).
+    double wall_seconds = 0.0;
 };
 
 class Engine {
+    struct Pending; ///< one submitted batch's in-flight state (engine.cpp)
+
 public:
     explicit Engine(EngineConfig config = {});
+    /// Retires every still-pending batch (discarding results and swallowing
+    /// kernel errors) so no queued job outlives the engine's state.
+    ~Engine();
 
-    /// Evaluate a batch through a deterministic kernel.
-    [[nodiscard]] std::vector<EvalResult> evaluate(const EvalBatch& batch,
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Handle of one in-flight submitted batch. Cheap to copy; results are
+    /// consumed by exactly one wait() call.
+    class Ticket {
+    public:
+        Ticket() = default;
+        [[nodiscard]] bool valid() const { return pending_ != nullptr; }
+
+    private:
+        friend class Engine;
+        explicit Ticket(std::shared_ptr<Pending> pending)
+            : pending_(std::move(pending)) {}
+        std::shared_ptr<Pending> pending_;
+    };
+
+    /// Enqueue a batch through a deterministic kernel; misses start
+    /// evaluating on the pool immediately, the call returns without
+    /// blocking. The kernel is copied; anything it captures by reference
+    /// must outlive the batch's retirement.
+    [[nodiscard]] Ticket submit(EvalBatch batch, KernelFn kernel);
+
+    /// Enqueue a batch through a chunk kernel (moo::Problem::evaluate_batch
+    /// adapters). Misses are split into worker-sized chunks.
+    [[nodiscard]] Ticket submit(EvalBatch batch, BatchKernelFn kernel);
+
+    /// Enqueue a batch through a stochastic kernel. Advances `rng` once at
+    /// submission (so successive submissions differ, in submission order)
+    /// and hands item i the deterministic child stream base.child(i).
+    [[nodiscard]] Ticket submit(EvalBatch batch, StochasticKernelFn kernel,
+                                Rng& rng);
+
+    /// Enqueue a batch through a stochastic chunk kernel (the Monte Carlo
+    /// prototype-reuse path). Streams and salts are derived exactly as the
+    /// scalar stochastic overload.
+    [[nodiscard]] Ticket submit(EvalBatch batch, StochasticBatchKernelFn kernel,
+                                Rng& rng);
+
+    /// Block until `ticket`'s batch (and every batch submitted before it)
+    /// has retired, then return its results. Retirement is strictly in
+    /// submission order: ledger updates, cache insertions and alias fills
+    /// happen in the same order as the blocking path, so evaluate() and
+    /// submit()+wait() are bit-identical, counters included. Rethrows the
+    /// batch's kernel exception, if any. Each ticket can be waited once.
+    [[nodiscard]] std::vector<EvalResult> wait(Ticket ticket);
+
+    /// Evaluate a batch through a deterministic kernel (submit + wait).
+    /// Taking the batch by value lets rvalue callers move it in for free;
+    /// lvalue callers pay the same one copy the submit path needs anyway.
+    [[nodiscard]] std::vector<EvalResult> evaluate(EvalBatch batch,
                                                    const KernelFn& kernel);
 
-    /// Evaluate a batch through a chunk kernel (moo::Problem::evaluate_batch
-    /// adapters). Misses are split into worker-sized chunks.
-    [[nodiscard]] std::vector<EvalResult> evaluate(const EvalBatch& batch,
+    /// Evaluate a batch through a chunk kernel (submit + wait).
+    [[nodiscard]] std::vector<EvalResult> evaluate(EvalBatch batch,
                                                    const BatchKernelFn& kernel);
 
-    /// Evaluate a batch through a stochastic kernel. Advances `rng` once
-    /// (so successive runs differ) and hands item i the deterministic child
-    /// stream base.child(i) - bit-identical for any thread count.
-    [[nodiscard]] std::vector<EvalResult> evaluate(const EvalBatch& batch,
+    /// Evaluate a batch through a stochastic kernel (submit + wait).
+    [[nodiscard]] std::vector<EvalResult> evaluate(EvalBatch batch,
                                                    const StochasticKernelFn& kernel,
                                                    Rng& rng);
 
-    /// Evaluate a batch through a stochastic chunk kernel (the Monte Carlo
-    /// prototype-reuse path). Streams and salts are derived exactly as the
-    /// scalar stochastic overload, so results are bit-identical to it for
-    /// any thread count or chunking.
+    /// Evaluate a batch through a stochastic chunk kernel (submit + wait).
     [[nodiscard]] std::vector<EvalResult>
-    evaluate(const EvalBatch& batch, const StochasticBatchKernelFn& kernel,
-             Rng& rng);
+    evaluate(EvalBatch batch, const StochasticBatchKernelFn& kernel, Rng& rng);
 
-    [[nodiscard]] const EngineCounters& counters() const { return counters_; }
-    void reset_counters() { counters_ = EngineCounters{}; }
+    /// Snapshot of the ledger (copied under the engine lock: retirement on
+    /// a waiting thread mutates the counters, so a reference would race).
+    [[nodiscard]] EngineCounters counters() const;
+    void reset_counters();
+
+    /// Batches submitted but not yet retired.
+    [[nodiscard]] std::size_t in_flight() const;
 
     [[nodiscard]] const EngineConfig& config() const { return config_; }
     [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
@@ -113,33 +185,34 @@ public:
 
 private:
     using SaltFn = std::function<std::uint64_t(std::size_t)>;
-    using DispatchFn = std::function<void(const std::vector<std::size_t>&,
-                                          std::vector<EvalResult>&)>;
-
-    [[nodiscard]] std::vector<EvalResult>
-    run(const EvalBatch& batch, const SaltFn& salt_of, const DispatchFn& dispatch);
-
-    [[nodiscard]] ThreadPool& pool();
-    void for_each_miss(std::size_t count, const std::function<void(std::size_t)>& fn);
-    /// Split `count` items into worker-sized [lo, hi) chunks, dispatching
-    /// each through fn (in parallel when configured).
-    void for_each_chunk(std::size_t count,
-                        const std::function<void(std::size_t, std::size_t)>& fn);
-
-    /// Shared miss dispatch of the chunk-kernel overloads: gather each
-    /// chunk's requests (plus their batch indices, for RNG provisioning),
-    /// evaluate, arity-check and scatter results.
+    /// Starts the miss evaluation: either launches an async pool job on the
+    /// pending block or (serial engines) runs inline, capturing any error.
+    using DispatchFn = std::function<void(Pending&)>;
+    /// Chunk-kernel adapter: gather each chunk's requests (plus their batch
+    /// indices, for RNG provisioning), evaluate, arity-check and scatter.
     using ChunkEvalFn = std::function<std::vector<std::vector<double>>(
         const std::vector<const EvalRequest*>&, std::span<const std::size_t>)>;
-    void dispatch_chunks(const EvalBatch& batch,
-                         const std::vector<std::size_t>& misses,
-                         std::vector<EvalResult>& results,
-                         const ChunkEvalFn& eval_chunk);
+    /// Scalar-kernel adapter: evaluate one request (idx = batch index).
+    using ItemEvalFn =
+        std::function<std::vector<double>(const EvalRequest&, std::size_t)>;
+
+    [[nodiscard]] Ticket submit_impl(EvalBatch batch, const SaltFn& salt_of,
+                                     const DispatchFn& dispatch);
+    void dispatch_items(Pending& pending, ItemEvalFn eval_item);
+    void dispatch_chunks(Pending& pending, ChunkEvalFn eval_chunk);
+    /// Retire the oldest pending batch: wait for its jobs, then apply its
+    /// ledger/cache/alias updates. Caller holds retire_mutex_.
+    void retire_head();
+
+    [[nodiscard]] ThreadPool& pool();
 
     EngineConfig config_;
     std::unique_ptr<ThreadPool> pool_; ///< only when config_.threads > 0
     LruCache cache_;
     EngineCounters counters_;
+    mutable std::mutex mutex_;   ///< guards counters_ and queue_
+    std::mutex retire_mutex_;    ///< serialises retirement across waiters
+    std::deque<std::shared_ptr<Pending>> queue_; ///< submission order
 };
 
 /// Deterministic 64-bit mix (splitmix64 finaliser over a seed combine);

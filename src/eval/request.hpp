@@ -61,8 +61,15 @@ struct EvalBatch {
 struct EvalResult {
     std::vector<double> values;
     bool from_cache = false; ///< served from the LRU or within-batch dedup
+    /// Explicit failure flag, set by the engine when the fresh evaluation
+    /// failed and *propagated* to dedup aliases and cache hits of that
+    /// point. Carrying the flag alongside the values means a failure stays
+    /// a failure even for kernels whose failure rows are empty rather than
+    /// NaN-filled (which the NaN scan alone cannot see).
+    bool failure = false;
 
     [[nodiscard]] bool failed() const {
+        if (failure) return true;
         for (double v : values)
             if (std::isnan(v)) return true;
         return false;

@@ -78,9 +78,8 @@ McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
 
     // One-shot stochastic samples: distinct streams mean a point never
     // repeats within a run, so keep them out of the memoisation cache.
-    const eval::EvalBatch batch = sample_batch(config.samples);
     return collect_rows(engine.evaluate(
-        batch,
+        sample_batch(config.samples),
         eval::StochasticKernelFn(
             [&fn](const eval::EvalRequest& request, Rng& sample_rng) {
                 return fn(request.process_key, sample_rng);
@@ -90,22 +89,33 @@ McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
 
 McResult run_monte_carlo(eval::Engine& engine, const McConfig& config, Rng& rng,
                          const ChunkSampleFn& fn) {
-    if (config.samples == 0)
-        throw InvalidInputError("run_monte_carlo: need >= 1 sample");
+    return wait_monte_carlo(engine, submit_monte_carlo(engine, config, rng, fn));
+}
 
-    const eval::EvalBatch batch = sample_batch(config.samples);
-    return collect_rows(engine.evaluate(
-        batch,
+McTicket submit_monte_carlo(eval::Engine& engine, const McConfig& config,
+                            Rng& rng, const ChunkSampleFn& fn) {
+    if (config.samples == 0)
+        throw InvalidInputError("submit_monte_carlo: need >= 1 sample");
+
+    eval::EvalBatch batch = sample_batch(config.samples);
+    // The adapter owns a copy of fn: the chunk jobs may still be running
+    // after the submitting scope has moved on to the next Pareto point.
+    return McTicket{engine.submit(
+        std::move(batch),
         eval::StochasticBatchKernelFn(
-            [&fn](const std::vector<const eval::EvalRequest*>& requests,
-                  std::span<Rng> rngs) {
+            [fn](const std::vector<const eval::EvalRequest*>& requests,
+                 std::span<Rng> rngs) {
                 std::vector<std::size_t> ids;
                 ids.reserve(requests.size());
                 for (const eval::EvalRequest* r : requests)
                     ids.push_back(r->process_key);
                 return fn(ids, rngs);
             }),
-        rng));
+        rng)};
+}
+
+McResult wait_monte_carlo(eval::Engine& engine, McTicket ticket) {
+    return collect_rows(engine.wait(std::move(ticket.ticket)));
 }
 
 McResult run_monte_carlo(const McConfig& config, Rng& rng, const SampleFn& fn) {

@@ -81,6 +81,26 @@ using ChunkSampleFn = std::function<std::vector<std::vector<double>>(
                                        const McConfig& config, Rng& rng,
                                        const ChunkSampleFn& fn);
 
+/// Handle of one in-flight Monte Carlo run (async engine dispatch).
+struct McTicket {
+    eval::Engine::Ticket ticket;
+    [[nodiscard]] bool valid() const { return ticket.valid(); }
+};
+
+/// Async variant of the chunked runner: enqueue the run and return without
+/// blocking, so the MC stages of several Pareto points stream onto the pool
+/// together. Advances `rng` once at submission (same derivation as the
+/// blocking overloads, in submission order); `fn` is copied and anything it
+/// captures by reference must outlive wait_monte_carlo(). Rows are
+/// bit-identical to run_monte_carlo() with the same engine state and rng.
+[[nodiscard]] McTicket submit_monte_carlo(eval::Engine& engine,
+                                          const McConfig& config, Rng& rng,
+                                          const ChunkSampleFn& fn);
+
+/// Block until the submitted run (and every batch submitted to the engine
+/// before it) has retired, then collect its rows.
+[[nodiscard]] McResult wait_monte_carlo(eval::Engine& engine, McTicket ticket);
+
 /// Legacy entry point: runs through a private engine honouring
 /// config.parallel. Results are bit-identical to the engine overload.
 [[nodiscard]] McResult run_monte_carlo(const McConfig& config, Rng& rng,

@@ -5,9 +5,8 @@ namespace ypm::moo {
 std::vector<eval::EvalResult>
 evaluate_population(eval::Engine& engine, const Problem& problem,
                     const std::vector<std::vector<double>>& points) {
-    const eval::EvalBatch batch = eval::EvalBatch::nominal(points);
     return engine.evaluate(
-        batch,
+        eval::EvalBatch::nominal(points),
         eval::BatchKernelFn([&problem](const std::vector<const eval::EvalRequest*>&
                                            requests) {
             std::vector<std::vector<double>> chunk;

@@ -22,7 +22,13 @@
 /// Instances are cheap but stateful: one Instance (and one prototype) per
 /// thread. The engine's chunk kernels construct one per chunk.
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "process/sampler.hpp"
@@ -110,6 +116,115 @@ public:
 private:
     Circuit circuit_;
     std::vector<Mosfet*> mosfets_;
+};
+
+/// Persistent pool of warm prototype objects, keyed by testbench
+/// configuration.
+///
+/// Chunk kernels used to build their prototype (a CircuitPrototype wrapper
+/// such as circuits::OtaPrototype / FilterPrototype) from scratch on every
+/// evaluate_batch call - node maps, device allocations, finalisation and
+/// workspace growth repeated per chunk. The pool keeps instances alive
+/// across calls instead: acquire() hands out a warm instance (or builds one
+/// through the factory on first use), and the returned Lease gives it back
+/// on destruction. Because prototypes fully re-bind sizing and process per
+/// point, a warm instance is bit-identical to a cold one - asserted by
+/// tests/test_prototype.cpp.
+///
+/// Thread-safe: chunk kernels running concurrently on the pool each lease
+/// their own instance; the peak number of live instances equals the peak
+/// kernel concurrency. The `key` discriminates testbench configurations
+/// that need structurally different circuits behind one pool (e.g. the
+/// filter's OtaModelKind); callers with a single configuration use the
+/// default key.
+template <typename P>
+class PrototypePool {
+    /// The poolable state, co-owned by the pool and every outstanding
+    /// Lease: async chunk kernels may hold a lease past the lifetime of
+    /// whatever owned the pool (an evaluator being destroyed or assigned a
+    /// fresh pool), and returning the instance must then still be safe.
+    struct Core {
+        mutable std::mutex mutex;
+        std::size_t created = 0;
+        std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<P>>> idle;
+    };
+
+public:
+    /// Builds a cold prototype for a configuration key.
+    using Factory = std::function<std::unique_ptr<P>(std::uint64_t key)>;
+
+    explicit PrototypePool(Factory factory)
+        : factory_(std::move(factory)), core_(std::make_shared<Core>()) {}
+
+    PrototypePool(const PrototypePool&) = delete;
+    PrototypePool& operator=(const PrototypePool&) = delete;
+
+    /// Scoped ownership of one pooled prototype; returns it warm on
+    /// destruction (into the core, which it keeps alive - a lease may
+    /// safely outlive the pool object itself).
+    class Lease {
+    public:
+        Lease(Lease&&) noexcept = default;
+        Lease& operator=(Lease&&) = delete;
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+
+        ~Lease() {
+            if (core_ != nullptr && proto_ != nullptr) {
+                const std::lock_guard<std::mutex> lock(core_->mutex);
+                core_->idle[key_].push_back(std::move(proto_));
+            }
+        }
+
+        [[nodiscard]] P& operator*() const { return *proto_; }
+        [[nodiscard]] P* operator->() const { return proto_.get(); }
+
+    private:
+        friend class PrototypePool;
+        Lease(std::shared_ptr<Core> core, std::uint64_t key,
+              std::unique_ptr<P> proto)
+            : core_(std::move(core)), key_(key), proto_(std::move(proto)) {}
+
+        std::shared_ptr<Core> core_;
+        std::uint64_t key_;
+        std::unique_ptr<P> proto_;
+    };
+
+    /// Lease a prototype for `key`: a warm instance when one is idle, a
+    /// fresh factory build otherwise (built outside the pool lock, so slow
+    /// cold builds do not serialise concurrent kernels).
+    [[nodiscard]] Lease acquire(std::uint64_t key = 0) {
+        {
+            const std::lock_guard<std::mutex> lock(core_->mutex);
+            auto it = core_->idle.find(key);
+            if (it != core_->idle.end() && !it->second.empty()) {
+                std::unique_ptr<P> warm = std::move(it->second.back());
+                it->second.pop_back();
+                return Lease(core_, key, std::move(warm));
+            }
+            ++core_->created;
+        }
+        return Lease(core_, key, factory_(key));
+    }
+
+    /// Total cold builds so far (reuse diagnostics: steady-state chunk
+    /// traffic should stop growing this).
+    [[nodiscard]] std::size_t created() const {
+        const std::lock_guard<std::mutex> lock(core_->mutex);
+        return core_->created;
+    }
+
+    /// Warm instances currently idle across all keys.
+    [[nodiscard]] std::size_t idle() const {
+        const std::lock_guard<std::mutex> lock(core_->mutex);
+        std::size_t n = 0;
+        for (const auto& [key, bucket] : core_->idle) n += bucket.size();
+        return n;
+    }
+
+private:
+    Factory factory_;
+    std::shared_ptr<Core> core_;
 };
 
 } // namespace ypm::spice

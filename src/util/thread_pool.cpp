@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <exception>
-#include <memory>
+#include <utility>
 
 namespace ypm {
 
@@ -39,16 +39,17 @@ void ThreadPool::worker_loop() {
     }
 }
 
-namespace {
-
-/// Shared control block for one parallel_for call. Heap-allocated and
-/// co-owned by the caller and every queued job: a worker that drains the
-/// index counter may still touch the block *after* the caller's wait has
-/// been satisfied, so stack storage would be a use-after-scope race.
-struct ParallelState {
-    explicit ParallelState(std::size_t total) : n(total) {}
+/// Shared control block for one parallel_for / parallel_for_async call.
+/// Heap-allocated and co-owned by the caller's Job handle and every queued
+/// task. It owns `fn` too: with async submission the caller may leave the
+/// submitting scope before any item has run, so capturing the caller's
+/// function by reference (the pre-async design) would be a use-after-scope.
+struct ThreadPool::Job::State {
+    State(std::size_t total, std::function<void(std::size_t)> f)
+        : n(total), fn(std::move(f)) {}
 
     const std::size_t n;
+    const std::function<void(std::size_t)> fn;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex done_mutex;
@@ -57,55 +58,83 @@ struct ParallelState {
     std::exception_ptr first_error;
 };
 
-} // namespace
+void ThreadPool::Job::wait() {
+    if (!state_) return;
+    {
+        std::unique_lock<std::mutex> lock(state_->done_mutex);
+        state_->done_cv.wait(lock, [&] {
+            return state_->done.load(std::memory_order_acquire) == state_->n;
+        });
+    }
+    std::exception_ptr error;
+    {
+        const std::lock_guard<std::mutex> elock(state_->error_mutex);
+        error = std::exchange(state_->first_error, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+bool ThreadPool::Job::done() const {
+    return state_ == nullptr ||
+           state_->done.load(std::memory_order_acquire) == state_->n;
+}
+
+void ThreadPool::enqueue_locked_batch(std::vector<std::function<void()>> tasks) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& t : tasks) tasks_.push(std::move(t));
+    }
+    cv_.notify_all();
+}
+
+ThreadPool::Job ThreadPool::parallel_for_async(
+    std::size_t n, std::function<void(std::size_t)> fn) {
+    if (n == 0) return Job{};
+
+    auto state = std::make_shared<Job::State>(n, std::move(fn));
+
+    // One chunked task per worker; each pulls indices until exhausted. The
+    // tasks share ownership of the state (and so of fn) with the returned
+    // handle - nothing references the submitting scope.
+    const std::size_t jobs = std::min(std::max<std::size_t>(workers_.size(), 1), n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        tasks.emplace_back([state] {
+            for (;;) {
+                const std::size_t i =
+                    state->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= state->n) break;
+                try {
+                    state->fn(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> elock(state->error_mutex);
+                    if (!state->first_error)
+                        state->first_error = std::current_exception();
+                }
+                if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                    state->n) {
+                    const std::lock_guard<std::mutex> dlock(state->done_mutex);
+                    state->done_cv.notify_all();
+                }
+            }
+        });
+    }
+    enqueue_locked_batch(std::move(tasks));
+    return Job{std::move(state)};
+}
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
+    // Inline fast path: with one item or one worker the queue adds nothing
+    // but latency, and running on the calling thread cannot change results
+    // (item i only depends on index i).
     if (n == 1 || workers_.size() <= 1) {
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
-
-    auto state = std::make_shared<ParallelState>(n);
-
-    // One chunked job per worker; each pulls indices until exhausted.
-    // `fn` is captured by reference: every invocation completes before
-    // `done` reaches n, and the caller cannot return before that.
-    const std::size_t jobs = std::min(workers_.size(), n);
-    {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t j = 0; j < jobs; ++j) {
-            tasks_.emplace([state, &fn] {
-                for (;;) {
-                    const std::size_t i =
-                        state->next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= state->n) break;
-                    try {
-                        fn(i);
-                    } catch (...) {
-                        const std::lock_guard<std::mutex> elock(state->error_mutex);
-                        if (!state->first_error)
-                            state->first_error = std::current_exception();
-                    }
-                    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-                        state->n) {
-                        const std::lock_guard<std::mutex> dlock(state->done_mutex);
-                        state->done_cv.notify_all();
-                    }
-                }
-            });
-        }
-    }
-    cv_.notify_all();
-
-    {
-        std::unique_lock<std::mutex> lock(state->done_mutex);
-        state->done_cv.wait(lock, [&] {
-            return state->done.load(std::memory_order_acquire) == state->n;
-        });
-    }
-    if (state->first_error) std::rethrow_exception(state->first_error);
+    parallel_for_async(n, fn).wait();
 }
 
 ThreadPool& ThreadPool::global() {

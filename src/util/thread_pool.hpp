@@ -1,14 +1,24 @@
 #pragma once
 /// \file thread_pool.hpp
-/// \brief Fixed-size worker pool with a deterministic parallel_for.
+/// \brief Fixed-size worker pool with a deterministic parallel_for and an
+///        asynchronous submission path.
 ///
 /// Monte Carlo sampling and GA population evaluation are embarrassingly
 /// parallel: work item i only depends on index i (each derives its own RNG
 /// child stream), so results are bitwise identical for any thread count.
+///
+/// Two entry points:
+///  * parallel_for(n, fn)        - blocking barrier, as before;
+///  * parallel_for_async(n, fn)  - enqueues the same work and returns a Job
+///    handle immediately. The per-call control state (including `fn`) is
+///    co-owned by the handle and every queued task, so the caller may leave
+///    the submitting scope before any item has run. This is what lets the
+///    evaluation engine keep misses from several batches in flight at once.
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -28,16 +38,48 @@ public:
     /// Number of workers.
     [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+    /// Completion handle of a parallel_for_async submission. Default
+    /// constructed handles are invalid no-ops; wait() may be called from
+    /// any one thread and is idempotent.
+    class Job {
+    public:
+        Job() = default;
+
+        /// Block until every item has completed, then rethrow the first
+        /// exception any item raised (if any). No-op on an invalid handle.
+        void wait();
+
+        /// True once every item has completed (does not consume errors).
+        [[nodiscard]] bool done() const;
+
+        [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+    private:
+        friend class ThreadPool;
+        struct State;
+        explicit Job(std::shared_ptr<State> state) : state_(std::move(state)) {}
+        std::shared_ptr<State> state_;
+    };
+
     /// Run fn(i) for i in [0, n); blocks until all items complete.
     /// fn must not throw across the boundary - exceptions are captured and
     /// the first one is rethrown on the calling thread after the barrier.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Asynchronous counterpart: enqueue the n items and return immediately
+    /// with a Job handle; fn is copied into shared per-call state that the
+    /// queued tasks co-own, so it may outlive the submitting scope. Items
+    /// run on the workers only - the caller never executes fn inline, which
+    /// keeps submission latency independent of the work size.
+    [[nodiscard]] Job parallel_for_async(std::size_t n,
+                                         std::function<void(std::size_t)> fn);
 
     /// Process-wide shared pool (created on first use).
     static ThreadPool& global();
 
 private:
     void worker_loop();
+    void enqueue_locked_batch(std::vector<std::function<void()>> tasks);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

@@ -1,0 +1,407 @@
+// Dedicated suite for the engine's async streaming dispatch: submit()/wait()
+// must be bit-identical to evaluate() - results, cache behaviour and ledger
+// counters - for all four kernel kinds, with the cache on and off; plus the
+// ticket discipline (in-order retirement, out-of-order waits, error
+// delivery, misuse) and the overlapped Monte Carlo entry points.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/ota_mc.hpp"
+#include "eval/engine.hpp"
+#include "mc/monte_carlo.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ypm;
+using namespace ypm::eval;
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> toy_kernel(const EvalRequest& r) {
+    double sum = 0.0, prod = 1.0;
+    for (double p : r.params) {
+        sum += p;
+        prod *= p;
+    }
+    return {sum + static_cast<double>(r.process_key), prod};
+}
+
+EvalBatch toy_batch(std::size_t n, double offset = 0.0) {
+    EvalBatch batch;
+    for (std::size_t i = 0; i < n; ++i)
+        batch.add({offset + static_cast<double>(i),
+                   0.5 * static_cast<double>(i)});
+    return batch;
+}
+
+/// Sequence of batches covering the interesting shapes: distinct points,
+/// repeats of an earlier batch (LRU hits), within-batch duplicates
+/// (dedup aliases) and a NaN-failing point.
+std::vector<EvalBatch> batch_sequence() {
+    std::vector<EvalBatch> seq;
+    seq.push_back(toy_batch(17));
+    seq.push_back(toy_batch(17));      // full repeat -> cache hits
+    EvalBatch dups;
+    for (int rep = 0; rep < 4; ++rep) dups.add({2.0, 3.0});
+    dups.add({-1.0, 1.0});             // NaN-failing point (see fail_kernel)
+    dups.add({-1.0, 1.0});             // ... and its dedup alias
+    seq.push_back(std::move(dups));
+    seq.push_back(toy_batch(5, 100.0));
+    return seq;
+}
+
+std::vector<double> fail_kernel(const EvalRequest& r) {
+    if (r.params[0] < 0.0) return {nan_v, nan_v};
+    return toy_kernel(r);
+}
+
+/// Bit-identical rows: memcmp over the double bit patterns, so NaN failure
+/// sentinels compare equal to themselves (the equivalence criterion is
+/// bitwise, not IEEE ==).
+void expect_bits_identical(const std::vector<double>& a,
+                           const std::vector<double>& b, std::size_t batch,
+                           std::size_t item) {
+    ASSERT_EQ(a.size(), b.size()) << "batch " << batch << ", item " << item;
+    EXPECT_TRUE(a.empty() ||
+                std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0)
+        << "batch " << batch << ", item " << item;
+}
+
+void expect_same_results(const std::vector<std::vector<EvalResult>>& a,
+                         const std::vector<std::vector<EvalResult>>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        ASSERT_EQ(a[s].size(), b[s].size()) << "batch " << s;
+        for (std::size_t i = 0; i < a[s].size(); ++i) {
+            expect_bits_identical(a[s][i].values, b[s][i].values, s, i);
+            EXPECT_EQ(a[s][i].from_cache, b[s][i].from_cache)
+                << "batch " << s << ", item " << i;
+            EXPECT_EQ(a[s][i].failed(), b[s][i].failed())
+                << "batch " << s << ", item " << i;
+        }
+    }
+}
+
+void expect_same_counters(const EngineCounters& a, const EngineCounters& b) {
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.failures, b.failures);
+}
+
+EngineConfig config_with_cache(bool cache) {
+    EngineConfig config;
+    config.cache_capacity = cache ? 4096 : 0;
+    return config;
+}
+
+// --------------------------------------------------- four kernel kinds
+
+TEST(AsyncEquivalence, DeterministicKernel) {
+    for (bool cache : {true, false}) {
+        Engine blocking(config_with_cache(cache));
+        Engine async(config_with_cache(cache));
+        std::vector<std::vector<EvalResult>> blocking_results, async_results;
+        for (const EvalBatch& batch : batch_sequence())
+            blocking_results.push_back(
+                blocking.evaluate(batch, KernelFn(fail_kernel)));
+        for (const EvalBatch& batch : batch_sequence())
+            async_results.push_back(
+                async.wait(async.submit(batch, KernelFn(fail_kernel))));
+        expect_same_results(blocking_results, async_results);
+        expect_same_counters(blocking.counters(), async.counters());
+    }
+}
+
+TEST(AsyncEquivalence, ChunkKernel) {
+    const auto chunk_kernel =
+        BatchKernelFn([](const std::vector<const EvalRequest*>& reqs) {
+            std::vector<std::vector<double>> out;
+            out.reserve(reqs.size());
+            for (const auto* r : reqs) out.push_back(fail_kernel(*r));
+            return out;
+        });
+    for (bool cache : {true, false}) {
+        Engine blocking(config_with_cache(cache));
+        Engine async(config_with_cache(cache));
+        std::vector<std::vector<EvalResult>> blocking_results, async_results;
+        for (const EvalBatch& batch : batch_sequence())
+            blocking_results.push_back(blocking.evaluate(batch, chunk_kernel));
+        for (const EvalBatch& batch : batch_sequence())
+            async_results.push_back(async.wait(async.submit(batch, chunk_kernel)));
+        expect_same_results(blocking_results, async_results);
+        expect_same_counters(blocking.counters(), async.counters());
+    }
+}
+
+TEST(AsyncEquivalence, StochasticKernel) {
+    const auto kernel = StochasticKernelFn([](const EvalRequest& r, Rng& rng) {
+        return std::vector<double>{rng.gauss(r.params[0], 1.0), rng.uniform01()};
+    });
+    for (bool cache : {true, false}) {
+        Engine blocking(config_with_cache(cache));
+        Engine async(config_with_cache(cache));
+        Rng r1(42), r2(42);
+        std::vector<std::vector<EvalResult>> blocking_results, async_results;
+        for (const EvalBatch& batch : batch_sequence())
+            blocking_results.push_back(blocking.evaluate(batch, kernel, r1));
+        for (const EvalBatch& batch : batch_sequence())
+            async_results.push_back(async.wait(async.submit(batch, kernel, r2)));
+        expect_same_results(blocking_results, async_results);
+        expect_same_counters(blocking.counters(), async.counters());
+    }
+}
+
+TEST(AsyncEquivalence, StochasticChunkKernel) {
+    const auto kernel = StochasticBatchKernelFn(
+        [](const std::vector<const EvalRequest*>& reqs, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> out;
+            out.reserve(reqs.size());
+            for (std::size_t k = 0; k < reqs.size(); ++k)
+                out.push_back({rngs[k].gauss(reqs[k]->params[0], 1.0),
+                               rngs[k].uniform01()});
+            return out;
+        });
+    for (bool cache : {true, false}) {
+        Engine blocking(config_with_cache(cache));
+        Engine async(config_with_cache(cache));
+        Rng r1(13), r2(13);
+        std::vector<std::vector<EvalResult>> blocking_results, async_results;
+        for (const EvalBatch& batch : batch_sequence())
+            blocking_results.push_back(blocking.evaluate(batch, kernel, r1));
+        for (const EvalBatch& batch : batch_sequence())
+            async_results.push_back(async.wait(async.submit(batch, kernel, r2)));
+        expect_same_results(blocking_results, async_results);
+        expect_same_counters(blocking.counters(), async.counters());
+    }
+}
+
+// ----------------------------------------------------- ticket discipline
+
+TEST(AsyncTickets, ManyBatchesInFlightRetireInSubmissionOrder) {
+    Engine engine;
+    std::vector<Engine::Ticket> tickets;
+    for (std::size_t b = 0; b < 8; ++b)
+        tickets.push_back(engine.submit(toy_batch(32, 10.0 * b), KernelFn(toy_kernel)));
+    EXPECT_EQ(engine.in_flight(), 8u);
+    for (std::size_t b = 0; b < 8; ++b) {
+        const auto results = engine.wait(tickets[b]);
+        ASSERT_EQ(results.size(), 32u);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EvalRequest expected{{10.0 * b + static_cast<double>(i),
+                                  0.5 * static_cast<double>(i)}};
+            EXPECT_EQ(results[i].values, toy_kernel(expected));
+        }
+    }
+    EXPECT_EQ(engine.in_flight(), 0u);
+    EXPECT_EQ(engine.counters().requests, 8u * 32u);
+    EXPECT_EQ(engine.counters().evaluations, 8u * 32u);
+}
+
+TEST(AsyncTickets, OutOfOrderWaitRetiresEarlierBatchesFirst) {
+    Engine engine;
+    auto t1 = engine.submit(toy_batch(16), KernelFn(toy_kernel));
+    auto t2 = engine.submit(toy_batch(16, 50.0), KernelFn(toy_kernel));
+    // Waiting the newer ticket retires the older batch first (ledger and
+    // cache updates stay in submission order), then the older ticket's
+    // results are still available.
+    const auto r2 = engine.wait(t2);
+    EXPECT_EQ(engine.in_flight(), 0u);
+    const auto r1 = engine.wait(t1);
+    ASSERT_EQ(r1.size(), 16u);
+    ASSERT_EQ(r2.size(), 16u);
+    EXPECT_EQ(r1.front().values, toy_kernel(EvalRequest{{0.0, 0.0}}));
+    EXPECT_EQ(r2.front().values, toy_kernel(EvalRequest{{50.0, 0.0}}));
+}
+
+TEST(AsyncTickets, CacheVisibilityFollowsRetirementOrder) {
+    // Submitting B after A has *retired* hits the cache like the blocking
+    // path; submitting B while A is still in flight deterministically
+    // re-evaluates (lookups happen at submission, insertions at retirement).
+    Engine sequential;
+    auto a1 = sequential.submit(toy_batch(8), KernelFn(toy_kernel));
+    (void)sequential.wait(a1);
+    auto a2 = sequential.submit(toy_batch(8), KernelFn(toy_kernel));
+    (void)sequential.wait(a2);
+    EXPECT_EQ(sequential.counters().evaluations, 8u);
+    EXPECT_EQ(sequential.counters().cache_hits, 8u);
+
+    Engine overlapped;
+    auto b1 = overlapped.submit(toy_batch(8), KernelFn(toy_kernel));
+    auto b2 = overlapped.submit(toy_batch(8), KernelFn(toy_kernel));
+    (void)overlapped.wait(b1);
+    (void)overlapped.wait(b2);
+    EXPECT_EQ(overlapped.counters().evaluations, 16u);
+    EXPECT_EQ(overlapped.counters().cache_hits, 0u);
+}
+
+TEST(AsyncTickets, KernelErrorSurfacesAtTheFaultyTicketsWait) {
+    Engine engine;
+    auto bad = engine.submit(
+        toy_batch(4), BatchKernelFn([](const std::vector<const EvalRequest*>&) {
+            return std::vector<std::vector<double>>{}; // wrong arity
+        }));
+    auto good = engine.submit(toy_batch(4, 9.0), KernelFn(toy_kernel));
+    EXPECT_THROW((void)engine.wait(bad), InvalidInputError);
+    // The later batch is unaffected by the earlier failure.
+    const auto results = engine.wait(good);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_FALSE(results.front().failed());
+}
+
+TEST(AsyncTickets, ErroredEarlierBatchDoesNotPoisonLaterWait) {
+    Engine engine;
+    auto bad = engine.submit(
+        toy_batch(4), BatchKernelFn([](const std::vector<const EvalRequest*>&) {
+            return std::vector<std::vector<double>>{};
+        }));
+    auto good = engine.submit(toy_batch(4, 9.0), KernelFn(toy_kernel));
+    // Waiting the *later* ticket retires the errored batch on the way; its
+    // error stays parked on its own ticket.
+    const auto results = engine.wait(good);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_THROW((void)engine.wait(bad), InvalidInputError);
+}
+
+TEST(AsyncTickets, TicketMisuseIsRejected) {
+    Engine engine;
+    EXPECT_THROW((void)engine.wait(Engine::Ticket{}), InvalidInputError);
+    auto ticket = engine.submit(toy_batch(4), KernelFn(toy_kernel));
+    auto copy = ticket;
+    (void)engine.wait(ticket);
+    EXPECT_THROW((void)engine.wait(copy), InvalidInputError); // consumed
+}
+
+TEST(AsyncTickets, DestructorDrainsInFlightBatches) {
+    std::atomic<int> calls{0};
+    {
+        Engine engine;
+        auto t1 = engine.submit(toy_batch(64), KernelFn([&calls](const EvalRequest& r) {
+                                    calls.fetch_add(1);
+                                    return toy_kernel(r);
+                                }));
+        auto t2 = engine.submit(toy_batch(64, 7.0), KernelFn([&calls](const EvalRequest& r) {
+                                    calls.fetch_add(1);
+                                    return toy_kernel(r);
+                                }));
+        (void)t1;
+        (void)t2; // dropped without wait(): the engine must drain safely
+    }
+    EXPECT_EQ(calls.load(), 128);
+}
+
+TEST(AsyncTickets, SerialEngineSubmitWaitMatchesBlocking) {
+    EngineConfig serial;
+    serial.parallel = false;
+    Engine blocking(serial), async(serial);
+    std::vector<std::vector<EvalResult>> a, b;
+    for (const EvalBatch& batch : batch_sequence())
+        a.push_back(blocking.evaluate(batch, KernelFn(fail_kernel)));
+    for (const EvalBatch& batch : batch_sequence())
+        b.push_back(async.wait(async.submit(batch, KernelFn(fail_kernel))));
+    expect_same_results(a, b);
+    expect_same_counters(blocking.counters(), async.counters());
+}
+
+// --------------------------------------------------- Monte Carlo bridge
+
+TEST(AsyncMc, SubmitWaitMatchesBlockingRunner) {
+    const auto chunk_fn = mc::ChunkSampleFn(
+        [](std::span<const std::size_t> ids, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> rows;
+            rows.reserve(ids.size());
+            for (std::size_t k = 0; k < ids.size(); ++k)
+                rows.push_back({rngs[k].gauss(10.0, 1.0), rngs[k].uniform01()});
+            return rows;
+        });
+    mc::McConfig config;
+    config.samples = 48;
+
+    Engine e1, e2;
+    Rng r1(9), r2(9);
+    const auto blocking = mc::run_monte_carlo(e1, config, r1, chunk_fn);
+    auto ticket = mc::submit_monte_carlo(e2, config, r2, chunk_fn);
+    EXPECT_TRUE(ticket.valid());
+    const auto async = mc::wait_monte_carlo(e2, std::move(ticket));
+
+    ASSERT_EQ(async.rows.size(), blocking.rows.size());
+    for (std::size_t i = 0; i < blocking.rows.size(); ++i)
+        EXPECT_EQ(async.rows[i], blocking.rows[i]);
+    EXPECT_EQ(async.failed, blocking.failed);
+    expect_same_counters(e1.counters(), e2.counters());
+}
+
+TEST(AsyncMc, OverlappedRunsMatchSequentialRuns) {
+    // Two "Pareto points" with different per-sample behaviour; overlapping
+    // their submissions must not change any row of either run.
+    auto point_fn = [](double mean) {
+        return mc::ChunkSampleFn(
+            [mean](std::span<const std::size_t> ids, std::span<Rng> rngs) {
+                std::vector<std::vector<double>> rows;
+                rows.reserve(ids.size());
+                for (std::size_t k = 0; k < ids.size(); ++k)
+                    rows.push_back({rngs[k].gauss(mean, 2.0)});
+                return rows;
+            });
+    };
+    mc::McConfig config;
+    config.samples = 64;
+
+    Engine sequential;
+    Rng rs(77);
+    const auto s1 = mc::run_monte_carlo(sequential, config, rs, point_fn(1.0));
+    const auto s2 = mc::run_monte_carlo(sequential, config, rs, point_fn(200.0));
+
+    Engine overlapped;
+    Rng ro(77);
+    auto t1 = mc::submit_monte_carlo(overlapped, config, ro, point_fn(1.0));
+    auto t2 = mc::submit_monte_carlo(overlapped, config, ro, point_fn(200.0));
+    const auto o1 = mc::wait_monte_carlo(overlapped, std::move(t1));
+    const auto o2 = mc::wait_monte_carlo(overlapped, std::move(t2));
+
+    EXPECT_EQ(o1.rows, s1.rows);
+    EXPECT_EQ(o2.rows, s2.rows);
+    expect_same_counters(sequential.counters(), overlapped.counters());
+}
+
+TEST(AsyncMc, OverlappedOtaPointsMatchBlockingPoints) {
+    // The real thing at a small scale: two OTA sizings, a handful of
+    // samples each, overlapped vs blocking - rows must be bit-identical.
+    const circuits::OtaEvaluator evaluator;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    circuits::OtaSizing a;
+    circuits::OtaSizing b;
+    b.w1 = 50e-6;
+    constexpr std::size_t samples = 10;
+
+    Engine blocking_engine;
+    Rng rb(5);
+    const auto blocking_a = core::run_ota_monte_carlo(blocking_engine, evaluator,
+                                                      a, sampler, samples, rb);
+    const auto blocking_b = core::run_ota_monte_carlo(blocking_engine, evaluator,
+                                                      b, sampler, samples, rb);
+
+    Engine async_engine;
+    Rng ra(5);
+    auto ta = core::submit_ota_monte_carlo(async_engine, evaluator, a, sampler,
+                                           samples, ra);
+    auto tb = core::submit_ota_monte_carlo(async_engine, evaluator, b, sampler,
+                                           samples, ra);
+    const auto async_a = mc::wait_monte_carlo(async_engine, std::move(ta));
+    const auto async_b = mc::wait_monte_carlo(async_engine, std::move(tb));
+
+    EXPECT_EQ(async_a.rows, blocking_a.rows);
+    EXPECT_EQ(async_b.rows, blocking_b.rows);
+    EXPECT_EQ(async_a.failed, blocking_a.failed);
+    EXPECT_EQ(async_b.failed, blocking_b.failed);
+}
+
+} // namespace

@@ -46,23 +46,23 @@ EvalBatch toy_batch(std::size_t n) {
 TEST(LruCache, FindAfterInsert) {
     LruCache cache(4);
     cache.insert({{1.0, 2.0}, 0, 0}, {42.0});
-    const auto* hit = cache.find({{1.0, 2.0}, 0, 0});
-    ASSERT_NE(hit, nullptr);
+    const auto hit = cache.find({{1.0, 2.0}, 0, 0});
+    ASSERT_TRUE(hit.has_value());
     EXPECT_DOUBLE_EQ((*hit)[0], 42.0);
-    EXPECT_EQ(cache.find({{1.0, 2.0}, 1, 0}), nullptr); // other process point
-    EXPECT_EQ(cache.find({{1.0, 2.0}, 0, 1}), nullptr); // other salt
-    EXPECT_EQ(cache.find({{1.0, 2.1}, 0, 0}), nullptr); // other params
+    EXPECT_FALSE(cache.find({{1.0, 2.0}, 1, 0})); // other process point
+    EXPECT_FALSE(cache.find({{1.0, 2.0}, 0, 1})); // other salt
+    EXPECT_FALSE(cache.find({{1.0, 2.1}, 0, 0})); // other params
 }
 
 TEST(LruCache, EvictsLeastRecentlyUsed) {
     LruCache cache(2);
     cache.insert({{1.0}, 0, 0}, {1.0});
     cache.insert({{2.0}, 0, 0}, {2.0});
-    ASSERT_NE(cache.find({{1.0}, 0, 0}), nullptr); // refresh key 1
-    cache.insert({{3.0}, 0, 0}, {3.0});            // evicts key 2
-    EXPECT_NE(cache.find({{1.0}, 0, 0}), nullptr);
-    EXPECT_EQ(cache.find({{2.0}, 0, 0}), nullptr);
-    EXPECT_NE(cache.find({{3.0}, 0, 0}), nullptr);
+    ASSERT_TRUE(cache.find({{1.0}, 0, 0})); // refresh key 1
+    cache.insert({{3.0}, 0, 0}, {3.0});     // evicts key 2
+    EXPECT_TRUE(cache.find({{1.0}, 0, 0}));
+    EXPECT_FALSE(cache.find({{2.0}, 0, 0}));
+    EXPECT_TRUE(cache.find({{3.0}, 0, 0}));
     EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -70,14 +70,38 @@ TEST(LruCache, ZeroCapacityDisables) {
     LruCache cache(0);
     cache.insert({{1.0}, 0, 0}, {1.0});
     EXPECT_EQ(cache.size(), 0u);
-    EXPECT_EQ(cache.find({{1.0}, 0, 0}), nullptr);
+    EXPECT_FALSE(cache.find({{1.0}, 0, 0}));
 }
 
 TEST(LruCache, BitExactKeying) {
     LruCache cache(4);
     cache.insert({{0.0}, 0, 0}, {1.0});
     // -0.0 == 0.0 as doubles, but the bit patterns differ: no false hit.
-    EXPECT_EQ(cache.find({{-0.0}, 0, 0}), nullptr);
+    EXPECT_FALSE(cache.find({{-0.0}, 0, 0}));
+}
+
+TEST(LruCache, RefreshAtCapacityKeepsSizeAndEvictionOrder) {
+    // Regression test for insert()'s refresh semantics: re-inserting a
+    // present key must replace its values, promote it to MRU and leave
+    // size() alone - never evict to make room for a "new" entry.
+    LruCache cache(2);
+    cache.insert({{1.0}, 0, 0}, {1.0});
+    cache.insert({{2.0}, 0, 0}, {2.0});
+    cache.insert({{1.0}, 0, 0}, {10.0}); // refresh at capacity
+    EXPECT_EQ(cache.size(), 2u);
+    const auto refreshed = cache.find({{1.0}, 0, 0});
+    ASSERT_TRUE(refreshed.has_value());
+    EXPECT_DOUBLE_EQ((*refreshed)[0], 10.0);
+    EXPECT_TRUE(cache.find({{2.0}, 0, 0})); // survived the refresh
+
+    // The refresh moved key 1 to the MRU front, so the next eviction must
+    // take key 2 (LRU), not key 1.
+    cache.insert({{1.0}, 0, 0}, {11.0}); // key 1 MRU again
+    cache.insert({{3.0}, 0, 0}, {3.0});  // evicts key 2
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.find({{1.0}, 0, 0}));
+    EXPECT_FALSE(cache.find({{2.0}, 0, 0}));
+    EXPECT_TRUE(cache.find({{3.0}, 0, 0}));
 }
 
 // ----------------------------------------------------------------- engine
@@ -166,6 +190,67 @@ TEST(Engine, NanFailurePropagates) {
     }
     EXPECT_EQ(failed, 3u);
     EXPECT_EQ(engine.counters().failures, 3u);
+}
+
+TEST(Engine, DedupAliasOfFailedSourcePropagatesFailure) {
+    // Regression test: within-batch dedup used to copy only `values` from
+    // the source item and count every alias as a successful cache hit. A
+    // failed source must mark its aliases failed and charge the ledger once
+    // per alias.
+    Engine engine;
+    EvalBatch batch;
+    for (int rep = 0; rep < 5; ++rep) batch.add({3.0, 4.0});
+    const auto results = engine.evaluate(
+        batch, KernelFn([](const EvalRequest&) -> std::vector<double> {
+            return {nan_v, 1.0};
+        }));
+    ASSERT_EQ(results.size(), 5u);
+    for (const auto& r : results) EXPECT_TRUE(r.failed());
+    EXPECT_EQ(engine.counters().evaluations, 1u);
+    EXPECT_EQ(engine.counters().cache_hits, 4u);
+    EXPECT_EQ(engine.counters().failures, 5u); // source + 4 aliases
+}
+
+TEST(Engine, CacheHitOfFailedPointCountsAsFailure) {
+    // Cross-batch twin of the dedup-alias rule: an LRU hit on a cached NaN
+    // row is a request answered by a known-failed evaluation, so it must be
+    // flagged and charged exactly like a within-batch alias would be.
+    Engine engine;
+    const auto kernel = KernelFn(
+        [](const EvalRequest&) -> std::vector<double> { return {nan_v, 1.0}; });
+    EvalBatch batch;
+    batch.add({6.0, 6.0});
+    (void)engine.evaluate(batch, kernel);
+    const auto hit = engine.evaluate(batch, kernel);
+    EXPECT_TRUE(hit.front().from_cache);
+    EXPECT_TRUE(hit.front().failure);
+    EXPECT_EQ(engine.counters().evaluations, 1u);
+    EXPECT_EQ(engine.counters().cache_hits, 1u);
+    EXPECT_EQ(engine.counters().failures, 2u); // fresh failure + its hit
+}
+
+TEST(Engine, DedupAliasOfEmptyRowFailurePropagates) {
+    // An empty row cannot describe its own failure through the NaN scan, so
+    // the explicit failure flag must carry it to the aliases - and the row
+    // must stay out of the LRU, where it would come back looking healthy.
+    Engine engine;
+    EvalBatch batch;
+    for (int rep = 0; rep < 3; ++rep) batch.add({7.0});
+    const auto kernel =
+        KernelFn([](const EvalRequest&) { return std::vector<double>{}; });
+    const auto results = engine.evaluate(batch, kernel);
+    for (const auto& r : results) EXPECT_TRUE(r.failed());
+    EXPECT_EQ(engine.counters().failures, 3u);
+    EXPECT_EQ(engine.cache_size(), 0u);
+
+    // A later batch on the same point re-evaluates instead of hitting a
+    // cached empty row.
+    EvalBatch again;
+    again.add({7.0});
+    const auto second = engine.evaluate(again, kernel);
+    EXPECT_FALSE(second.front().from_cache);
+    EXPECT_TRUE(second.front().failed());
+    EXPECT_EQ(engine.counters().evaluations, 2u);
 }
 
 TEST(Engine, DeterministicAcrossThreadCounts) {

@@ -174,6 +174,111 @@ TEST(OtaChunk, PrototypeSafeToRebindRepeatedly) {
     expect_perf_identical(evaluator.measure(ab[1]), chunk[1]);
 }
 
+// ---------------------------------------------------------- prototype pool
+
+TEST(PrototypePool, WarmInstanceBitIdenticalToCold) {
+    // The persistent pool hands the same instance to successive chunk
+    // calls; a warm instance (already measured dozens of points) must
+    // answer bit-identically to a cold fresh-build measurement.
+    const circuits::OtaEvaluator evaluator;
+    const auto first = random_sizings(8, 41);
+    const auto second = random_sizings(8, 43);
+
+    const auto cold_rows = evaluator.measure_chunk(first);
+    ASSERT_GE(evaluator.prototype_pool().created(), 1u);
+    const std::size_t created_after_first = evaluator.prototype_pool().created();
+
+    // Second chunk: must reuse the warm instance, not build a new one.
+    const auto warm_rows = evaluator.measure_chunk(second);
+    EXPECT_EQ(evaluator.prototype_pool().created(), created_after_first);
+    EXPECT_GE(evaluator.prototype_pool().idle(), 1u);
+
+    // Warm results equal a *fresh* evaluator's cold results bit-for-bit.
+    const circuits::OtaEvaluator fresh;
+    const auto fresh_rows = fresh.measure_chunk(second);
+    ASSERT_EQ(warm_rows.size(), fresh_rows.size());
+    for (std::size_t i = 0; i < warm_rows.size(); ++i)
+        expect_perf_identical(fresh_rows[i], warm_rows[i]);
+    // ... and the scalar rebuild path agrees too.
+    for (std::size_t i = 0; i < warm_rows.size(); ++i)
+        expect_perf_identical(evaluator.measure(second[i]), warm_rows[i]);
+    (void)cold_rows;
+}
+
+TEST(PrototypePool, WarmReuseAcrossMixedChunkEntryPoints) {
+    // All three OTA chunk entry points lease from one pool: sizing-only,
+    // paired, and one-sizing/many-realisations calls share warm instances.
+    const circuits::OtaEvaluator evaluator;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    const auto sizings = random_sizings(4, 47);
+
+    (void)evaluator.measure_chunk(sizings);
+    const std::size_t created = evaluator.prototype_pool().created();
+
+    Rng rng(3);
+    spice::Circuit tb =
+        circuits::build_ota_testbench(sizings[0], evaluator.config());
+    const auto geometries = tb.mos_geometries();
+    std::vector<process::Realization> reals;
+    for (int i = 0; i < 4; ++i)
+        reals.push_back(sampler.sample(rng, geometries));
+
+    (void)evaluator.measure_chunk(sizings, reals);
+    (void)evaluator.measure_chunk(sizings[0], reals);
+    EXPECT_EQ(evaluator.prototype_pool().created(), created);
+
+    // Re-binding through the warm instance leaks no process state: the
+    // nominal chunk after process-bound chunks equals the scalar path.
+    const auto after = evaluator.measure_chunk(sizings);
+    for (std::size_t i = 0; i < sizings.size(); ++i)
+        expect_perf_identical(evaluator.measure(sizings[i]), after[i]);
+}
+
+TEST(PrototypePool, FilterPoolKeyedByModelKind) {
+    const circuits::FilterEvaluator evaluator{circuits::FilterConfig{},
+                                              circuits::FilterSpecMask{}};
+    Rng rng(53);
+    std::vector<circuits::FilterSizing> sizings;
+    for (int i = 0; i < 4; ++i)
+        sizings.push_back({rng.uniform(2e-12, 60e-12), rng.uniform(2e-12, 60e-12),
+                           rng.uniform(2e-12, 60e-12)});
+
+    // The behavioural and transistor testbenches are structurally different
+    // circuits, so each kind builds (and then reuses) its own prototype.
+    (void)evaluator.measure_chunk(sizings, circuits::OtaModelKind::behavioural);
+    EXPECT_EQ(evaluator.prototype_pool().created(), 1u);
+    (void)evaluator.measure_chunk(sizings, circuits::OtaModelKind::transistor);
+    EXPECT_EQ(evaluator.prototype_pool().created(), 2u);
+    (void)evaluator.measure_chunk(sizings, circuits::OtaModelKind::behavioural);
+    (void)evaluator.measure_chunk(sizings, circuits::OtaModelKind::transistor);
+    EXPECT_EQ(evaluator.prototype_pool().created(), 2u);
+    EXPECT_EQ(evaluator.prototype_pool().idle(), 2u);
+
+    // Warm reuse stays bit-identical to the scalar path for both kinds.
+    for (auto kind : {circuits::OtaModelKind::behavioural,
+                      circuits::OtaModelKind::transistor}) {
+        const auto warm = evaluator.measure_chunk(sizings, kind);
+        for (std::size_t i = 0; i < sizings.size(); ++i) {
+            const auto scalar = evaluator.measure(sizings[i], kind);
+            ASSERT_EQ(scalar.valid, warm[i].valid);
+            if (!scalar.valid) continue;
+            EXPECT_TRUE(bits_equal(scalar.fc, warm[i].fc));
+            EXPECT_TRUE(bits_equal(scalar.worst_passband_dev_db,
+                                   warm[i].worst_passband_dev_db));
+        }
+    }
+}
+
+TEST(PrototypePool, CopiedEvaluatorSharesWarmPool) {
+    const circuits::OtaEvaluator original;
+    (void)original.measure_chunk(random_sizings(2, 59));
+    const std::size_t created = original.prototype_pool().created();
+    const circuits::OtaEvaluator copy = original; // same config -> shares pool
+    (void)copy.measure_chunk(random_sizings(2, 61));
+    EXPECT_EQ(original.prototype_pool().created(), created);
+}
+
 // ----------------------------------------------------------- filter chunks
 
 TEST(FilterChunk, BitIdenticalToScalarBothKinds) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/mathx.hpp"
@@ -277,6 +279,54 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     for (int round = 0; round < 5; ++round)
         pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
     EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, AsyncSubmitterMayLeaveScopeBeforeCompletion) {
+    // Regression test for the use-after-scope bug that blocked async
+    // dispatch: queued jobs used to capture the caller's `fn` by reference,
+    // which was only safe because parallel_for blocked. Here the submitting
+    // scope (including the submitted lambda and the vector it captures)
+    // dies before the gate lets any item run; the pool must run from its
+    // own shared copy of the state.
+    ThreadPool pool(4);
+    std::atomic<bool> gate{false};
+    std::vector<std::atomic<int>> hits(64);
+    ThreadPool::Job job;
+    {
+        std::vector<std::size_t> scope_data(64);
+        for (std::size_t i = 0; i < scope_data.size(); ++i) scope_data[i] = i;
+        job = pool.parallel_for_async(
+            scope_data.size(), [&hits, &gate, scope_data](std::size_t i) {
+                while (!gate.load(std::memory_order_acquire))
+                    std::this_thread::yield();
+                hits[scope_data[i]].fetch_add(1);
+            });
+        // scope_data (the submitted lambda's copy source) dies here, while
+        // every item is still blocked on the gate.
+    }
+    EXPECT_TRUE(job.valid());
+    gate.store(true, std::memory_order_release);
+    job.wait();
+    EXPECT_TRUE(job.done());
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, AsyncJobPropagatesExceptionsAtWait) {
+    ThreadPool pool(2);
+    auto job = pool.parallel_for_async(10, [](std::size_t i) {
+        if (i == 3) throw Error("async boom");
+    });
+    EXPECT_THROW(job.wait(), Error);
+    // wait() is idempotent after consuming the error.
+    job.wait();
+}
+
+TEST(ThreadPool, AsyncZeroItemsIsInvalidNoOpJob) {
+    ThreadPool pool(2);
+    auto job = pool.parallel_for_async(0, [](std::size_t) { FAIL(); });
+    EXPECT_FALSE(job.valid());
+    EXPECT_TRUE(job.done());
+    job.wait(); // no-op
 }
 
 // ------------------------------------------------------------- text table
