@@ -1,0 +1,189 @@
+// Variance-reduction yield bench - the gating experiment for the
+// importance-sampling subsystem (src/yield/).
+//
+// Scenario: the nominal OTA sizing under c35 process variation with a
+// *rare* gain spec placed deep in the lower tail of the Monte Carlo gain
+// population (mean - k*sigma, k = 2.4 by default -> ~1 % failure rate).
+// Exactly the regime where the paper's 500-sample "100 % yield" runs are
+// weakest, and where plain MC needs thousands of samples per CI digit.
+//
+// Three measurements, all deterministic in their seeds:
+//   BM_YieldBruteForceReference - a large plain-MC reference estimate
+//     (YPM_BENCH_YIELD_REF samples, default 50000);
+//   BM_YieldSequentialPlainMc   - the sequential driver with the pilot
+//     disabled (zero shift = plain MC) running to the CI half-width target;
+//   BM_YieldSequentialImportance - the full two-stage pilot + mean-shift
+//     importance-sampling driver running to the same target.
+//
+// The CI gate (bench-smoke job) asserts that the IS driver reaches the
+// target half-width in <= 1/3 of the plain-MC samples and that its estimate
+// overlaps the brute-force reference interval. Both drivers dump their
+// samples-vs-half-width trajectory to <YPM_BENCH_DIR>/yield_is_trajectory.csv
+// for the uploaded artifact.
+//
+// Environment knobs (on top of bench_common.hpp's):
+//   YPM_BENCH_YIELD_REF     brute-force reference samples (default 50000)
+//   YPM_BENCH_YIELD_TARGET  CI half-width target          (default 0.0035)
+//   YPM_BENCH_YIELD_SIGMA   spec depth in sigmas          (default 2.4)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuits/ota.hpp"
+#include "core/ota_mc.hpp"
+#include "eval/engine.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mc/stats.hpp"
+#include "mc/yield.hpp"
+#include "process/sampler.hpp"
+#include "process/variation.hpp"
+#include "util/rng.hpp"
+#include "yield/sequential.hpp"
+
+using namespace ypm;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    return std::strtod(v, nullptr);
+}
+
+eval::Engine make_engine() {
+    eval::EngineConfig config;
+    config.cache_capacity = 0;
+    return eval::Engine(config);
+}
+
+/// The rare-spec scenario, built once: spec calibration from a small MC
+/// population, then the brute-force reference estimate.
+struct Scenario {
+    circuits::OtaEvaluator evaluator;
+    circuits::OtaSizing sizing; // nominal mid-range point
+    process::ProcessSampler sampler{process::ProcessCard::c35(),
+                                    process::VariationSpec::c35()};
+    std::vector<mc::Spec> specs;
+    double target_half_width = 0.0;
+    mc::YieldEstimate reference;
+    std::size_t reference_samples = 0;
+};
+
+const Scenario& scenario() {
+    static const Scenario s = [] {
+        Scenario sc;
+        sc.target_half_width = env_double("YPM_BENCH_YIELD_TARGET", 0.0035);
+
+        // Calibrate the rare spec from the sampled gain population.
+        eval::Engine cal_engine = make_engine();
+        Rng cal_rng(71);
+        const mc::McResult cal = core::run_ota_monte_carlo(
+            cal_engine, sc.evaluator, sc.sizing, sc.sampler, 512, cal_rng);
+        const mc::Summary gain = cal.column_summary(0);
+        const double depth = env_double("YPM_BENCH_YIELD_SIGMA", 2.4);
+        sc.specs = {
+            mc::Spec::at_least("gain_db", gain.mean - depth * gain.stddev),
+            mc::Spec::at_least("pm_deg", 0.0)};
+
+        // Brute-force reference.
+        sc.reference_samples = benchx::env_size("YPM_BENCH_YIELD_REF", 50000);
+        eval::Engine ref_engine = make_engine();
+        Rng ref_rng(72);
+        const mc::McResult ref =
+            core::run_ota_monte_carlo(ref_engine, sc.evaluator, sc.sizing,
+                                      sc.sampler, sc.reference_samples, ref_rng);
+        sc.reference = mc::estimate_yield(ref.rows, sc.specs);
+        return sc;
+    }();
+    return s;
+}
+
+yield::SequentialConfig driver_config(const Scenario& sc, bool importance) {
+    yield::SequentialConfig config;
+    config.pilot_samples = importance ? 256 : 0;
+    config.pilot_scale = 2.0;
+    config.chunk_samples = 128;
+    config.max_samples = 60000;
+    config.min_samples = 256;
+    config.target_half_width = sc.target_half_width;
+    return config;
+}
+
+yield::SequentialYieldResult run_driver(const Scenario& sc, bool importance) {
+    eval::Engine engine = make_engine();
+    yield::SequentialYieldRunner runner(
+        engine, driver_config(sc, importance), sc.specs,
+        core::ota_yield_kernel_factory(sc.evaluator, sc.sizing, sc.sampler),
+        core::ota_yield_dimension(sc.evaluator, sc.sizing), Rng(73));
+    return runner.run();
+}
+
+/// Append one driver's convergence trajectory to the artifact CSV.
+void dump_trajectory(const std::string& driver,
+                     const yield::SequentialYieldResult& result) {
+    namespace fs = std::filesystem;
+    const fs::path dir = benchx::artifact_dir();
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const fs::path csv = dir / "yield_is_trajectory.csv";
+    // First write of this process truncates: a rerun must replace the
+    // artifact, not interleave stale trajectories into it.
+    static bool appending = false;
+    std::ofstream out(csv, appending ? std::ios::app : std::ios::trunc);
+    if (!out) return; // artifact only; never fail the bench on IO
+    if (!appending) out << "driver,samples,ci_half_width\n";
+    appending = true;
+    for (const auto& [samples, half_width] : result.trajectory)
+        out << driver << ',' << samples + result.pilot_samples << ','
+            << half_width << '\n';
+}
+
+void BM_YieldBruteForceReference(benchmark::State& state) {
+    for (auto _ : state) {
+        const Scenario& sc = scenario();
+        benchmark::DoNotOptimize(sc.reference.yield);
+    }
+    const Scenario& sc = scenario();
+    state.counters["samples"] = static_cast<double>(sc.reference_samples);
+    state.counters["yield"] = sc.reference.yield;
+    state.counters["ci_low"] = sc.reference.ci_low;
+    state.counters["ci_high"] = sc.reference.ci_high;
+}
+BENCHMARK(BM_YieldBruteForceReference)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_YieldSequentialPlainMc(benchmark::State& state) {
+    yield::SequentialYieldResult result;
+    for (auto _ : state) result = run_driver(scenario(), false);
+    dump_trajectory("plain_mc", result);
+    state.counters["samples"] = static_cast<double>(result.samples_used);
+    state.counters["yield"] = result.estimate.yield;
+    state.counters["ci_half_width"] = result.estimate.half_width();
+    state.counters["reached_target"] = result.reached_target ? 1.0 : 0.0;
+}
+BENCHMARK(BM_YieldSequentialPlainMc)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_YieldSequentialImportance(benchmark::State& state) {
+    yield::SequentialYieldResult result;
+    for (auto _ : state) result = run_driver(scenario(), true);
+    dump_trajectory("importance", result);
+    state.counters["samples"] =
+        static_cast<double>(result.samples_used + result.pilot_samples);
+    state.counters["yield"] = result.estimate.yield;
+    state.counters["ci_low"] = result.estimate.ci_low;
+    state.counters["ci_high"] = result.estimate.ci_high;
+    state.counters["ci_half_width"] = result.estimate.half_width();
+    state.counters["ess"] = result.estimate.ess;
+    state.counters["shift_norm"] = result.shift.norm();
+    state.counters["reached_target"] = result.reached_target ? 1.0 : 0.0;
+}
+BENCHMARK(BM_YieldSequentialImportance)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

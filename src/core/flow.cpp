@@ -7,6 +7,7 @@
 #include "core/ota_mc.hpp"
 #include "moo/pareto.hpp"
 #include "moo/problem.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace ypm::core {
@@ -50,6 +51,27 @@ std::vector<std::size_t> extract_front_indices(const moo::WbgaResult& result) {
 }
 
 FlowResult YieldFlow::run() const {
+    // Fail fast, before the expensive MOO/MC stages: the OTA yield kernel's
+    // row layout is fixed at {gain_db, pm_deg, log_weight}, so the specs
+    // must match it positionally - a reversed pair would otherwise certify
+    // silently wrong yields.
+    if (!config_.yield_specs.empty()) {
+        if (config_.yield_specs.size() != 2 ||
+            config_.yield_specs[0].name != "gain_db" ||
+            config_.yield_specs[1].name != "pm_deg")
+            throw InvalidInputError(
+                "YieldFlow: yield_specs must be exactly {gain_db, pm_deg}, in "
+                "that order (the OTA yield kernel's column layout)");
+        if (config_.yield_sequential.chunk_samples == 0 ||
+            config_.yield_sequential.max_samples == 0)
+            throw InvalidInputError(
+                "YieldFlow: yield_sequential chunk_samples/max_samples must "
+                "be >= 1");
+        if (!(config_.yield_sequential.pilot_scale > 0.0))
+            throw InvalidInputError(
+                "YieldFlow: yield_sequential.pilot_scale must be > 0");
+    }
+
     const auto t_start = std::chrono::steady_clock::now();
     FlowResult result;
     Rng rng(config_.seed);
@@ -175,7 +197,7 @@ FlowResult YieldFlow::run() const {
 
             const mc::McResult mc_result =
                 mc::wait_monte_carlo(engine, std::move(stage.mc));
-            point.mc_failures = mc_result.failed;
+            point.mc_failures = mc_result.failed();
             if (static_cast<double>(point.mc_failures) >
                 config_.max_front_mc_failure_ratio *
                     static_cast<double>(config_.mc_samples))
@@ -193,6 +215,41 @@ FlowResult YieldFlow::run() const {
             result.front.push_back(point);
         }
         result.timings.mc_seconds = seconds_since(t0);
+
+        // Yield certification: importance-sampled sequential estimation per
+        // surviving point, remaining budget allocated adaptively to the
+        // points with the widest confidence intervals. Rides the same
+        // engine (streamed chunks, warm prototypes, one ledger).
+        if (!config_.yield_specs.empty() && !result.front.empty()) {
+            const auto t1 = std::chrono::steady_clock::now();
+            yield::AdaptiveYieldConfig yield_config;
+            yield_config.sequential = config_.yield_sequential;
+            yield_config.total_samples = config_.yield_total_samples;
+            const std::size_t dimension =
+                ota_yield_dimension(evaluator, result.front.front().sizing);
+            std::vector<yield::YieldPoint> points;
+            points.reserve(result.front.size());
+            for (const FrontPointData& point : result.front) {
+                yield::YieldPoint yp;
+                yp.specs = config_.yield_specs;
+                yp.factory =
+                    ota_yield_kernel_factory(evaluator, point.sizing, sampler);
+                yp.dimension = dimension;
+                points.push_back(std::move(yp));
+            }
+            auto estimates = yield::run_adaptive_yield(engine, yield_config,
+                                                       points, rng.child(3));
+            result.yields.reserve(estimates.size());
+            for (std::size_t i = 0; i < estimates.size(); ++i) {
+                log::info("flow: design ", result.front[i].design_id, " yield ",
+                          estimates[i].estimate.yield, " (",
+                          estimates[i].samples_used, " samples, ESS ",
+                          estimates[i].estimate.ess, ")");
+                result.yields.push_back(
+                    {result.front[i].design_id, std::move(estimates[i])});
+            }
+            result.timings.yield_seconds = seconds_since(t1);
+        }
     }
 
     // Step 5: table model generation.

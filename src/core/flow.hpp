@@ -5,6 +5,8 @@
 ///        2. multi-objective optimisation        (moo::Wbga)
 ///        3. performance model from Pareto front (moo::pareto + sort)
 ///        4. variation model from Monte Carlo    (core::run_ota_monte_carlo)
+///           + optional yield certification via the variance-reduction
+///           yield engine (yield::run_adaptive_yield)
 ///        5. table model generation              (core::write_artifacts)
 
 #include <cstdint>
@@ -14,8 +16,10 @@
 #include "circuits/ota.hpp"
 #include "core/artifacts.hpp"
 #include "eval/engine.hpp"
+#include "mc/yield.hpp"
 #include "moo/wbga.hpp"
 #include "process/variation.hpp"
+#include "yield/sequential.hpp"
 
 namespace ypm::core {
 
@@ -38,11 +42,24 @@ struct FlowConfig {
     double min_front_gain_db = 1.0;
     double max_front_delta_pct = 25.0;
     double max_front_mc_failure_ratio = 0.2;
+
+    /// Yield certification (step 4, after the hygiene filters): when
+    /// non-empty, every surviving front point's parametric yield against
+    /// these specs is estimated with the variance-reduction yield engine
+    /// (pilot + importance sampling + sequential early stop). Spec columns
+    /// are {gain_db, pm_deg}, in that order.
+    std::vector<mc::Spec> yield_specs;
+    /// Per-point pilot/chunk/early-stop settings for the yield stage.
+    yield::SequentialConfig yield_sequential;
+    /// Cross-point sample budget, allocated adaptively to the points with
+    /// the widest confidence intervals (0 = per-point caps only).
+    std::size_t yield_total_samples = 0;
 };
 
 struct FlowTimings {
     double moo_seconds = 0.0;
     double mc_seconds = 0.0;
+    double yield_seconds = 0.0;
     double table_seconds = 0.0;
     double total_seconds = 0.0;
     std::size_t moo_evaluations = 0; ///< points submitted by the optimiser
@@ -55,10 +72,18 @@ struct FlowTimings {
     eval::EngineCounters engine;
 };
 
+/// Yield certificate of one surviving front point.
+struct FrontPointYield {
+    std::size_t design_id = 0; ///< matches FrontPointData::design_id
+    yield::SequentialYieldResult result;
+};
+
 struct FlowResult {
     moo::WbgaResult optimisation;
     std::vector<std::size_t> pareto_indices; ///< into optimisation.archive
     std::vector<FrontPointData> front;       ///< MC-enriched, sorted by gain
+    std::vector<FrontPointYield> yields;     ///< parallel to front; empty
+                                             ///< unless config.yield_specs set
     ModelArtifacts artifacts;                ///< empty paths if no artifact_dir
     FlowTimings timings;
 };

@@ -8,6 +8,7 @@
 #include "mc/monte_carlo.hpp"
 #include "process/sampler.hpp"
 #include "util/rng.hpp"
+#include "yield/sequential.hpp"
 
 namespace ypm::core {
 
@@ -37,5 +38,25 @@ run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
                     const circuits::OtaSizing& sizing,
                     const process::ProcessSampler& sampler, std::size_t samples,
                     Rng& rng, bool parallel = true);
+
+/// Kernel factory for the variance-reduction yield engine
+/// (yield::SequentialYieldRunner): chunks draw process realisations from the
+/// shifted proposal and measure them through the warm prototype pool. Rows
+/// are {gain_db, pm_deg, log_weight}, plus the standardized coordinates when
+/// u recording is requested; a failed simulation keeps its (valid) weight
+/// and fails every spec via NaN performances. With an inactive shift the
+/// performance columns are bit-identical to run_ota_monte_carlo rows.
+/// `evaluator` and `sampler` are captured by reference and must outlive the
+/// run; sizing and geometry are captured by value.
+[[nodiscard]] yield::KernelFactory
+ota_yield_kernel_factory(const circuits::OtaEvaluator& evaluator,
+                         const circuits::OtaSizing& sizing,
+                         const process::ProcessSampler& sampler);
+
+/// Standardized process-space dimension of the factory's u record (the
+/// testbench's MOS inventory; identical for every sizing of one topology).
+[[nodiscard]] std::size_t
+ota_yield_dimension(const circuits::OtaEvaluator& evaluator,
+                    const circuits::OtaSizing& sizing);
 
 } // namespace ypm::core

@@ -15,12 +15,29 @@ bool row_failed(const std::vector<double>& row) {
 } // namespace
 
 void McResult::finalize() {
+    finalized_ = false;
+    ensure_finalized();
+}
+
+void McResult::ensure_finalized() const {
+    if (finalized_ && failure_mask_.size() == rows.size()) return;
     failure_mask_.assign(rows.size(), 0);
-    failed = 0;
+    failed_ = 0;
     for (std::size_t i = 0; i < rows.size(); ++i) {
         failure_mask_[i] = row_failed(rows[i]) ? 1 : 0;
-        if (failure_mask_[i]) ++failed;
+        if (failure_mask_[i]) ++failed_;
     }
+    finalized_ = true;
+}
+
+std::size_t McResult::failed() const {
+    ensure_finalized();
+    return failed_;
+}
+
+const std::vector<char>& McResult::failure_mask() const {
+    ensure_finalized();
+    return failure_mask_;
 }
 
 Summary McResult::column_summary(std::size_t col) const {
@@ -28,11 +45,11 @@ Summary McResult::column_summary(std::size_t col) const {
 }
 
 std::vector<double> McResult::column(std::size_t col) const {
-    const bool has_mask = failure_mask_.size() == rows.size();
+    ensure_finalized();
     std::vector<double> out;
     out.reserve(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i) {
-        if (has_mask ? failure_mask_[i] != 0 : row_failed(rows[i])) continue;
+        if (failure_mask_[i] != 0) continue;
         if (col >= rows[i].size())
             throw InvalidInputError("McResult::column: column out of range");
         out.push_back(rows[i][col]);

@@ -28,32 +28,39 @@ struct McConfig {
 struct McResult {
     /// rows[i] = performance vector of sample i (may contain NaN on failure)
     std::vector<std::vector<double>> rows;
-    std::size_t failed = 0; ///< samples with any NaN performance
 
     /// Scan rows once, recording the per-row failure mask and the failure
-    /// count; every subsequent column query reuses the mask instead of
-    /// re-scanning. run_monte_carlo() calls this; hand-built results may
-    /// call it after filling `rows` (and must re-call it if rows change).
+    /// count. Every run path calls this before returning; hand-built
+    /// results are finalised automatically on first access instead (call
+    /// finalize() again after mutating `rows` - the accessors would
+    /// otherwise keep serving the stale mask).
     void finalize();
 
-    /// The mask recorded by finalize(); empty on a non-finalised result.
-    [[nodiscard]] const std::vector<char>& failure_mask() const {
-        return failure_mask_;
-    }
+    /// Samples with any NaN performance. Finalises on first access.
+    [[nodiscard]] std::size_t failed() const;
+
+    /// Per-row failure mask (1 = failed). Finalises on first access.
+    [[nodiscard]] const std::vector<char>& failure_mask() const;
 
     /// Column-wise summary over the *successful* samples only.
     [[nodiscard]] Summary column_summary(std::size_t column) const;
 
-    /// Column extracted over successful samples. Uses the finalize() mask
-    /// when present, falling back to a per-row scan otherwise (const and
-    /// thread-safe either way).
+    /// Column extracted over successful samples.
     [[nodiscard]] std::vector<double> column(std::size_t column) const;
 
     /// Paper Δ(%) metric for one column.
     [[nodiscard]] VariationMetrics column_variation(std::size_t column) const;
 
 private:
-    std::vector<char> failure_mask_; ///< built by finalize()
+    /// Lazy-finalisation guard for hand-built results. The run paths
+    /// finalise eagerly before a result crosses threads, so first-touch
+    /// here stays single-owner; concurrent readers of a finalised result
+    /// only ever see the cached mask.
+    void ensure_finalized() const;
+
+    mutable std::vector<char> failure_mask_; ///< built by finalize()
+    mutable std::size_t failed_ = 0;
+    mutable bool finalized_ = false;
 };
 
 /// Sample kernel: fn(sample_index, rng) -> performance row. Must be

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 #include "util/mathx.hpp"
@@ -64,9 +65,17 @@ VariationMetrics variation_metrics(const std::vector<double>& data) {
     VariationMetrics m;
     m.summary = summarize(data);
     const double denom = std::fabs(m.summary.mean);
-    if (denom > 0.0) {
-        m.delta_3sigma_pct = 3.0 * m.summary.stddev / denom * 100.0;
-        m.delta_halfrange_pct = 0.5 * (m.summary.max - m.summary.min) / denom * 100.0;
+    const double spread = m.summary.max - m.summary.min;
+    if (spread == 0.0) return m; // constant population: 0 % variation
+    m.delta_3sigma_pct = 3.0 * m.summary.stddev / denom * 100.0;
+    m.delta_halfrange_pct = 0.5 * spread / denom * 100.0;
+    // Degenerate mean: the population varies but the ratio to |mean| is not
+    // representable (zero mean divides to inf/NaN; a subnormal mean can
+    // overflow). Report unbounded relative variation, not a silent 0.
+    if (!std::isfinite(m.delta_3sigma_pct) || !std::isfinite(m.delta_halfrange_pct)) {
+        m.delta_3sigma_pct = std::numeric_limits<double>::infinity();
+        m.delta_halfrange_pct = std::numeric_limits<double>::infinity();
+        m.relative_valid = false;
     }
     return m;
 }

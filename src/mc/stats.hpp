@@ -35,10 +35,19 @@ struct Summary {
 /// mean, in percent:
 ///   delta_3sigma_pct   = 3*sigma / |mean| * 100   (default used in tables)
 ///   delta_halfrange_pct = (max-min)/2 / |mean| * 100 (worst-case variant)
+///
+/// Degenerate-mean contract: a relative metric is meaningless when the
+/// population spreads around zero. If the population varies but |mean| is
+/// too small to carry the ratio (zero, or the division overflows), both
+/// deltas are +infinity and relative_valid is false - "unboundedly large
+/// relative variation", which downstream threshold filters treat as worse
+/// than any finite limit. A constant population (zero spread) reports 0
+/// even at zero mean.
 struct VariationMetrics {
     Summary summary;
     double delta_3sigma_pct = 0.0;
     double delta_halfrange_pct = 0.0;
+    bool relative_valid = true; ///< false = degenerate mean, deltas are +inf
 };
 
 [[nodiscard]] VariationMetrics variation_metrics(const std::vector<double>& data);

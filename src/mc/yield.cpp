@@ -43,15 +43,24 @@ bool Spec::pass(double value) const {
 }
 
 std::pair<double, double> wilson_interval(std::size_t passes, std::size_t samples) {
-    if (samples == 0) return {0.0, 1.0};
-    constexpr double z = 1.959963984540054; // 97.5 percentile of N(0,1)
+    if (samples == 0) return {0.0, 1.0}; // no evidence: the vacuous interval
+    if (passes > samples)
+        throw InvalidInputError("wilson_interval: passes must be <= samples");
+    constexpr double z = kZ95;
     const double n = static_cast<double>(samples);
     const double phat = static_cast<double>(passes) / n;
     const double z2 = z * z;
     const double denom = 1.0 + z2 / n;
     const double centre = phat + z2 / (2.0 * n);
     const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
-    return {(centre - margin) / denom, (centre + margin) / denom};
+    double lo = (centre - margin) / denom;
+    double hi = (centre + margin) / denom;
+    // The edges are exact at the degenerate counts (the sqrt rounds them a
+    // few ulp off): 0 passes has a lower bound of exactly 0, a clean sweep
+    // an upper bound of exactly 1.
+    if (passes == 0) lo = 0.0;
+    if (passes == samples) hi = 1.0;
+    return {lo, hi};
 }
 
 YieldEstimate yield_from_flags(const std::vector<bool>& pass) {

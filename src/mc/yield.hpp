@@ -11,6 +11,11 @@
 
 namespace ypm::mc {
 
+/// 97.5th percentile of the standard normal: the z of every 95 % interval
+/// in this repo (the Wilson interval and the weighted importance-sampling
+/// estimator must stay at the same confidence level).
+inline constexpr double kZ95 = 1.959963984540054;
+
 /// Specification on one performance function.
 struct Spec {
     enum class Kind { at_least, at_most, range };
@@ -46,7 +51,10 @@ struct YieldEstimate {
 estimate_yield(const std::vector<std::vector<double>>& rows,
                const std::vector<Spec>& specs);
 
-/// 95 % Wilson score interval for a binomial proportion.
+/// 95 % Wilson score interval for a binomial proportion. 0 samples return
+/// the vacuous interval {0, 1}; the interval never collapses to a point (a
+/// 0/n or n/n run still cannot claim exactly 0 % or 100 %).
+/// \throws ypm::InvalidInputError when passes > samples.
 [[nodiscard]] std::pair<double, double> wilson_interval(std::size_t passes,
                                                         std::size_t samples);
 

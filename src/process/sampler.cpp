@@ -1,6 +1,7 @@
 #include "process/sampler.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -24,20 +25,93 @@ MosDelta Realization::delta_for(const std::string& name, bool is_pmos) const {
     return d;
 }
 
+double SampleShift::norm() const {
+    double sum = 0.0;
+    for (double m : mu) sum += m * m;
+    return std::sqrt(sum);
+}
+
+bool SampleShift::active() const {
+    if (scale != 1.0) return true;
+    for (double m : mu)
+        if (m != 0.0) return true;
+    return false;
+}
+
 ProcessSampler::ProcessSampler(ProcessCard card, VariationSpec spec)
     : card_(std::move(card)), spec_(spec) {}
 
 Realization ProcessSampler::sample(Rng& rng,
                                    const std::vector<MosGeometry>& devices) const {
-    Realization r;
+    ShiftedDraw draw;
+    sample_impl(rng, devices, nullptr, draw, false);
+    return std::move(draw.realization);
+}
+
+ShiftedDraw ProcessSampler::sample_shifted(Rng& rng,
+                                           const std::vector<MosGeometry>& devices,
+                                           const SampleShift& shift,
+                                           bool record_u) const {
+    ShiftedDraw draw;
+    sample_impl(rng, devices, &shift, draw, record_u);
+    return draw;
+}
+
+void ProcessSampler::sample_impl(Rng& rng, const std::vector<MosGeometry>& devices,
+                                 const SampleShift* shift, ShiftedDraw& out,
+                                 bool record_u) const {
+    const std::size_t dim = SampleShift::dimension(devices.size());
+    const double* mu = nullptr;
+    double scale = 1.0;
+    if (shift != nullptr) {
+        if (!(shift->scale > 0.0))
+            throw InvalidInputError("ProcessSampler: proposal scale must be > 0");
+        if (!shift->mu.empty()) {
+            if (shift->mu.size() != dim)
+                throw InvalidInputError(
+                    "ProcessSampler: shift dimension mismatch (got " +
+                    std::to_string(shift->mu.size()) + ", expected " +
+                    std::to_string(dim) + ")");
+            mu = shift->mu.data();
+        }
+        scale = shift->scale;
+    }
+    if (record_u) out.u.assign(dim, 0.0);
+    out.log_weight = 0.0;
+    const double log_scale = std::log(scale);
+
+    // One underlying standard-normal draw per dimension, in the fixed
+    // dimension order documented on SampleShift. With m == 0 and scale == 1
+    // the value computes as 0.0 + sigma * z, bit-identical to the historic
+    // rng.gauss(0.0, sigma) call, and the log weight is exactly 0.
+    std::size_t next_dim = 0;
+    auto draw = [&](double sigma) {
+        const std::size_t i = next_dim++;
+        const double m = mu != nullptr ? mu[i] : 0.0;
+        const double z = rng.gauss();
+        const double value = m * sigma + (scale * sigma) * z;
+        if (sigma > 0.0) {
+            // u is the standardized coordinate under the nominal density;
+            // the proposal density of u is phi((u - m)/scale)/scale with
+            // (u - m)/scale = z, so
+            //   log w = log phi(u) - log(phi(z)/scale)
+            //         = log(scale) + z^2/2 - u^2/2.
+            const double u = m + scale * z;
+            out.log_weight += log_scale + 0.5 * z * z - 0.5 * u * u;
+            if (record_u) out.u[i] = u;
+        }
+        return value;
+    };
+
+    Realization& r = out.realization;
     const auto& g = spec_.global;
-    r.global.dvth_n = rng.gauss(0.0, g.sigma_vth_n);
-    r.global.dvth_p = rng.gauss(0.0, g.sigma_vth_p);
-    r.global.kp_scale_n = 1.0 + rng.gauss(0.0, g.sigma_kp_rel_n);
-    r.global.kp_scale_p = 1.0 + rng.gauss(0.0, g.sigma_kp_rel_p);
+    r.global.dvth_n = draw(g.sigma_vth_n);
+    r.global.dvth_p = draw(g.sigma_vth_p);
+    r.global.kp_scale_n = 1.0 + draw(g.sigma_kp_rel_n);
+    r.global.kp_scale_p = 1.0 + draw(g.sigma_kp_rel_p);
     // Thinner oxide -> larger Cox; tox and Cox are inversely related, and at
     // 1 % spreads the first-order reciprocal is adequate.
-    r.global.cox_scale = 1.0 / (1.0 + rng.gauss(0.0, g.sigma_tox_rel));
+    r.global.cox_scale = 1.0 / (1.0 + draw(g.sigma_tox_rel));
 
     const auto& mm = spec_.mismatch;
     for (const auto& dev : devices) {
@@ -48,11 +122,10 @@ Realization ProcessSampler::sample(Rng& rng,
         const double a_vt = dev.is_pmos ? mm.a_vt_p : mm.a_vt_n;
         const double a_beta = dev.is_pmos ? mm.a_beta_p : mm.a_beta_n;
         MosDelta d;
-        d.dvth = rng.gauss(0.0, a_vt * inv_sqrt_area);
-        d.kp_scale = 1.0 + rng.gauss(0.0, a_beta * inv_sqrt_area);
+        d.dvth = draw(a_vt * inv_sqrt_area);
+        d.kp_scale = 1.0 + draw(a_beta * inv_sqrt_area);
         r.local[dev.name] = d;
     }
-    return r;
 }
 
 Realization ProcessSampler::corner(Corner c) const {

@@ -1,8 +1,11 @@
 #pragma once
 /// \file sampler.hpp
 /// \brief Draws process realisations (global + per-device mismatch deltas)
-///        for Monte Carlo analysis and worst-case corners.
+///        for Monte Carlo analysis, worst-case corners and importance-sampled
+///        yield estimation (shifted/widened proposal distributions with exact
+///        log likelihood ratios).
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +54,47 @@ public:
     std::unordered_map<std::string, MosDelta> local; ///< per-instance mismatch
 };
 
+/// Mean shift (and optional widening) of the sampling distribution in the
+/// *standardized* process space: every underlying Gaussian draw u_i ~ N(0,1)
+/// of a realisation is replaced by u_i ~ N(mu_i, scale^2). Used as the
+/// proposal distribution for importance-sampled yield estimation; the
+/// default-constructed shift is the nominal distribution.
+///
+/// Dimension layout (must match the draw order of ProcessSampler::sample):
+///   0 dvth_n global   1 dvth_p global   2 kp_n global   3 kp_p global
+///   4 tox global      5+2k dvth mismatch of devices[k]
+///                     6+2k beta mismatch of devices[k]
+struct SampleShift {
+    /// Per-dimension mean shift in nominal-sigma units. Empty = all zero;
+    /// otherwise the size must equal dimension(devices.size()).
+    std::vector<double> mu;
+    /// Proposal sigma multiplier (> 0). 1 keeps the nominal spread; pilot
+    /// runs widen it to locate failure regions faster.
+    double scale = 1.0;
+
+    /// Number of standardized dimensions for a device list.
+    [[nodiscard]] static std::size_t dimension(std::size_t device_count) {
+        return 5 + 2 * device_count;
+    }
+
+    /// Euclidean norm of the mean shift (0 for an empty mu).
+    [[nodiscard]] double norm() const;
+
+    /// True when this shift changes the sampling distribution at all.
+    [[nodiscard]] bool active() const;
+};
+
+/// One draw from a shifted proposal: the realisation, the exact log
+/// likelihood ratio log(p_nominal(u) / p_proposal(u)) for importance
+/// weighting (the estimator lives in yield/weighted.hpp), and (optionally)
+/// the standardized coordinates u themselves for shift fitting. log_weight
+/// is exactly 0 for the nominal proposal (zero mu, scale 1).
+struct ShiftedDraw {
+    Realization realization;
+    double log_weight = 0.0;
+    std::vector<double> u; ///< filled only when record_u was requested
+};
+
 /// Sampler bound to a card + statistical spec.
 class ProcessSampler {
 public:
@@ -61,6 +105,17 @@ public:
     [[nodiscard]] Realization sample(Rng& rng,
                                      const std::vector<MosGeometry>& devices) const;
 
+    /// Draw from the shifted proposal distribution. Consumes the RNG stream
+    /// exactly like sample() (same draws, same order), and with an inactive
+    /// shift the realisation is bit-identical to sample() with log_weight
+    /// exactly 0 - the zero-shift importance-sampling path reduces to plain
+    /// Monte Carlo. \throws ypm::InvalidInputError on a mu dimension
+    /// mismatch or non-positive scale.
+    [[nodiscard]] ShiftedDraw sample_shifted(Rng& rng,
+                                             const std::vector<MosGeometry>& devices,
+                                             const SampleShift& shift,
+                                             bool record_u = false) const;
+
     /// Global-only realisation for a worst-case corner (no mismatch).
     [[nodiscard]] Realization corner(Corner c) const;
 
@@ -70,6 +125,10 @@ public:
 private:
     ProcessCard card_;
     VariationSpec spec_;
+
+    void sample_impl(Rng& rng, const std::vector<MosGeometry>& devices,
+                     const SampleShift* shift, ShiftedDraw& out,
+                     bool record_u) const;
 };
 
 } // namespace ypm::process

@@ -1,0 +1,231 @@
+#include "yield/sequential.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ypm::yield {
+
+SequentialYieldRunner::SequentialYieldRunner(eval::Engine& engine,
+                                             SequentialConfig config,
+                                             std::vector<mc::Spec> specs,
+                                             KernelFactory factory,
+                                             std::size_t dimension, Rng rng)
+    : engine_(engine), config_(config), specs_(std::move(specs)),
+      factory_(std::move(factory)), dimension_(dimension), rng_(rng) {
+    if (specs_.empty())
+        throw InvalidInputError("SequentialYieldRunner: need >= 1 spec");
+    if (!factory_)
+        throw InvalidInputError("SequentialYieldRunner: null kernel factory");
+    if (config_.chunk_samples == 0)
+        throw InvalidInputError("SequentialYieldRunner: chunk_samples must be >= 1");
+    if (config_.max_samples == 0)
+        throw InvalidInputError("SequentialYieldRunner: max_samples must be >= 1");
+    if (config_.inflight == 0) config_.inflight = 1;
+    // Zero retired samples must report the vacuous interval [0, 1], not a
+    // default-constructed point interval [0, 0] pretending certainty (a
+    // budget-starved point in a multi-point campaign hits this).
+    estimate_ = weighted_yield_from_flags({}, {});
+    pilot_estimate_ = estimate_;
+}
+
+void SequentialYieldRunner::submit_pilot() {
+    if (pilot_submitted_ || config_.pilot_samples == 0) return;
+    process::SampleShift pilot_shift;
+    pilot_shift.scale = config_.pilot_scale;
+    mc::McConfig cfg;
+    cfg.samples = config_.pilot_samples;
+    pilot_ticket_ =
+        mc::submit_monte_carlo(engine_, cfg, rng_, factory_(pilot_shift, true));
+    pilot_submitted_ = true;
+}
+
+void SequentialYieldRunner::finish_pilot() {
+    if (pilot_finished_) return;
+    if (pilot_submitted_) {
+        const mc::McResult pilot = mc::wait_monte_carlo(engine_, pilot_ticket_);
+        // Pilot estimate: the pilot proposal is widened, so it is itself a
+        // (low-accuracy) importance-sampled estimate - a useful sanity
+        // diagnostic next to the main stage.
+        std::vector<bool> flags;
+        std::vector<double> log_weights;
+        append_flags_and_weights(pilot.rows, specs_,
+                                 specs_.size() + 1 + dimension_, flags,
+                                 log_weights);
+        pilot_estimate_ = weighted_yield_from_flags(flags, log_weights);
+        fit_ = fit_shift(pilot.rows, specs_, dimension_, config_.shift_fit);
+    }
+    // No pilot (or no pilot failures): fit_.shift stays the zero shift and
+    // the main stage is plain Monte Carlo with unit weights.
+    main_kernel_ = factory_(fit_.shift, false);
+    pilot_finished_ = true;
+}
+
+bool SequentialYieldRunner::done() const {
+    if (retired_samples_ == 0) return false;
+    if (retired_samples_ >= config_.max_samples) return true;
+    return target_met();
+}
+
+bool SequentialYieldRunner::target_met() const {
+    // A weighted run with zero observed failures reports the clean-sweep
+    // Wilson fallback CI, whose "conservative" argument assumes the shift
+    // actually points at the failure region - a misaimed proposal that
+    // undersamples failures must not early-certify on it. Keep sampling
+    // until failure evidence (ess > 0) or the cap.
+    return config_.target_half_width > 0.0 && retired_samples_ > 0 &&
+           retired_samples_ >= config_.min_samples &&
+           estimate_.half_width() <= config_.target_half_width &&
+           (!estimate_.weighted || estimate_.ess > 0.0);
+}
+
+std::size_t SequentialYieldRunner::submit_chunk(std::size_t limit) {
+    if (!pilot_finished_)
+        throw InvalidInputError(
+            "SequentialYieldRunner: finish_pilot() must run before chunks");
+    const std::size_t left = config_.max_samples - std::min(submitted_samples_,
+                                                            config_.max_samples);
+    const std::size_t size = std::min({config_.chunk_samples, left, limit});
+    if (size == 0) return 0;
+    mc::McConfig cfg;
+    cfg.samples = size;
+    tickets_.emplace_back(mc::submit_monte_carlo(engine_, cfg, rng_, main_kernel_),
+                          size);
+    submitted_samples_ += size;
+    return size;
+}
+
+bool SequentialYieldRunner::retire_chunk() {
+    if (tickets_.empty()) return false;
+    auto [ticket, size] = std::move(tickets_.front());
+    tickets_.pop_front();
+    fold_rows(mc::wait_monte_carlo(engine_, std::move(ticket)));
+    (void)size;
+    return true;
+}
+
+void SequentialYieldRunner::fold_rows(const mc::McResult& result) {
+    append_flags_and_weights(result.rows, specs_, specs_.size() + 1, flags_,
+                             log_weights_);
+    retired_samples_ += result.rows.size();
+    estimate_ = weighted_yield_from_flags(flags_, log_weights_);
+    trajectory_.emplace_back(retired_samples_, estimate_.half_width());
+}
+
+std::size_t SequentialYieldRunner::drain_overshoot() {
+    std::size_t drained = 0;
+    while (!tickets_.empty()) {
+        auto [ticket, size] = std::move(tickets_.front());
+        tickets_.pop_front();
+        (void)mc::wait_monte_carlo(engine_, std::move(ticket));
+        drained += size;
+    }
+    discarded_samples_ += drained;
+    return drained;
+}
+
+SequentialYieldResult SequentialYieldRunner::finish() {
+    // Drain the overshoot: chunks submitted past the stop decision stay out
+    // of the estimate so the result is identical for any inflight window.
+    (void)drain_overshoot();
+    SequentialYieldResult result;
+    result.estimate = estimate_;
+    result.pilot = pilot_estimate_;
+    result.shift = fit_.shift;
+    result.shift_pilot_failures = fit_.pilot_failures;
+    result.samples_used = retired_samples_;
+    result.pilot_samples = pilot_submitted_ ? config_.pilot_samples : 0;
+    result.discarded_samples = discarded_samples_;
+    result.reached_target = target_met();
+    result.trajectory = std::move(trajectory_);
+    return result;
+}
+
+SequentialYieldResult SequentialYieldRunner::run() {
+    submit_pilot();
+    finish_pilot();
+    while (!done()) {
+        while (tickets_.size() < config_.inflight && submit_chunk() > 0) {
+        }
+        if (!retire_chunk()) break;
+    }
+    return finish();
+}
+
+std::vector<SequentialYieldResult>
+run_adaptive_yield(eval::Engine& engine, const AdaptiveYieldConfig& config,
+                   const std::vector<YieldPoint>& points, Rng rng) {
+    std::vector<std::unique_ptr<SequentialYieldRunner>> runners;
+    runners.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        runners.push_back(std::make_unique<SequentialYieldRunner>(
+            engine, config.sequential, points[i].specs, points[i].factory,
+            points[i].dimension, rng.child(i + 1)));
+
+    std::size_t used = 0;
+    const auto remaining = [&]() -> std::size_t {
+        if (config.total_samples == 0) return static_cast<std::size_t>(-1);
+        return config.total_samples > used ? config.total_samples - used : 0;
+    };
+
+    // Pilots first, streamed together: every pilot chunk is in flight before
+    // the first is retired, so they overlap on the engine's pool.
+    for (auto& r : runners) {
+        if (config.sequential.pilot_samples > 0 &&
+            remaining() >= config.sequential.pilot_samples) {
+            r->submit_pilot();
+            used += config.sequential.pilot_samples;
+        }
+    }
+    for (auto& r : runners) r->finish_pilot();
+
+    // One initial chunk each (streamed the same way), so every point has an
+    // estimate for the adaptive ranking.
+    for (auto& r : runners) used += r->submit_chunk(remaining());
+    for (auto& r : runners) (void)r->retire_chunk();
+
+    // Adaptive rounds: each round the single unfinished point with the
+    // widest confidence interval gets the next `inflight` chunks (streamed,
+    // then retired, then re-ranked) - giving one chunk each to the top-K
+    // would degenerate to round-robin whenever K covers the candidates.
+    // Deterministic: ties break toward the lower point index.
+    while (true) {
+        std::size_t widest = runners.size();
+        for (std::size_t i = 0; i < runners.size(); ++i) {
+            if (runners[i]->done() || runners[i]->exhausted() || remaining() == 0)
+                continue;
+            if (widest == runners.size() ||
+                runners[i]->estimate().half_width() >
+                    runners[widest]->estimate().half_width())
+                widest = i;
+        }
+        if (widest == runners.size()) break;
+        SequentialYieldRunner& runner = *runners[widest];
+        const std::size_t window =
+            std::max<std::size_t>(config.sequential.inflight, 1);
+        for (std::size_t k = 0; k < window && !runner.exhausted(); ++k) {
+            const std::size_t submitted = runner.submit_chunk(remaining());
+            if (submitted == 0) break;
+            used += submitted;
+        }
+        // Stop folding the moment the runner is done, and refund the
+        // drained overshoot to the budget (total_samples caps useful
+        // samples; overshoot is wasted compute, not budget). Note the
+        // window is also the allocation granularity: a pick folds up to
+        // `inflight` chunks before the next re-ranking, so unlike the
+        // single-point runner the *allocation* is only deterministic per
+        // configuration, not invariant across window sizes.
+        while (!runner.done() && runner.retire_chunk()) {
+        }
+        if (runner.done()) used -= std::min(used, runner.drain_overshoot());
+    }
+
+    std::vector<SequentialYieldResult> results;
+    results.reserve(runners.size());
+    for (auto& r : runners) results.push_back(r->finish());
+    return results;
+}
+
+} // namespace ypm::yield

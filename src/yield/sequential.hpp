@@ -1,0 +1,201 @@
+#pragma once
+/// \file sequential.hpp
+/// \brief Sequential importance-sampled yield estimation over the streaming
+///        dispatch seam.
+///
+/// The driver runs the two-stage ISLE recipe per design point:
+///
+///  1. pilot: a Monte Carlo chunk drawn from a *widened* proposal (scale > 1)
+///     locates the failure region; the mean shift of the main proposal is
+///     fitted at the center of gravity of the failing realisations
+///     (yield::fit_shift);
+///  2. main: fixed-size chunks drawn from the shifted proposal stream
+///     through eval::Engine::submit()/wait() - reusing the stochastic chunk
+///     kernels and the warm PrototypePool - and the run stops early once the
+///     95 % confidence half-width of the weighted estimate (the unnormalized
+///     fail-side form, see yield/weighted.hpp) reaches the target.
+///
+/// Determinism: every chunk's RNG streams derive from the runner's own Rng
+/// in submission order, exactly as mc::submit_monte_carlo derives them, so
+/// the retired estimate and samples_used are bit-identical for any inflight
+/// window (overshoot chunks submitted past the stop decision are drained
+/// and discarded, never mixed into the estimate). With a zero shift and one
+/// chunk the sampled rows are bit-identical to mc::run_monte_carlo.
+///
+/// run_adaptive_yield() drives many design points at once, allocating the
+/// remaining sample budget to whichever point currently has the widest
+/// confidence interval - the Pareto-front yield stage of core::YieldFlow.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "eval/engine.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mc/yield.hpp"
+#include "process/sampler.hpp"
+#include "yield/shift.hpp"
+#include "yield/weighted.hpp"
+
+namespace ypm::yield {
+
+/// Builds the chunk kernel for one proposal distribution. Rows must be
+/// {perf_0..perf_{k-1}, log_weight} for k specs, plus the `dimension`
+/// standardized coordinates u_0..u_{dim-1} appended when record_u is true
+/// (the pilot needs them for shift fitting). Kernels are copied into the
+/// engine; anything captured by reference must outlive the run.
+using KernelFactory =
+    std::function<mc::ChunkSampleFn(const process::SampleShift&, bool record_u)>;
+
+struct SequentialConfig {
+    std::size_t pilot_samples = 128; ///< 0 disables the pilot (zero shift)
+    double pilot_scale = 2.0;        ///< widened pilot proposal (sigma units)
+    std::size_t chunk_samples = 64;  ///< main-stage chunk size
+    std::size_t max_samples = 4096;  ///< main-stage cap (excludes the pilot)
+    std::size_t min_samples = 128;   ///< floor before early stop is allowed
+    /// Stop once the 95 % CI half-width of the estimate is <= this target;
+    /// 0 runs to max_samples unconditionally.
+    double target_half_width = 0.0;
+    /// Chunks submitted ahead of retirement (>= 1). 1 is the blocking path;
+    /// larger windows overlap chunk evaluation with the stop decision. In a
+    /// single-point run the window never changes the estimate (see file
+    /// comment), only the overshoot; in run_adaptive_yield it is also the
+    /// per-pick allocation granularity (see its contract).
+    std::size_t inflight = 2;
+    ShiftFitConfig shift_fit; ///< clamp for the fitted shift
+};
+
+/// Result of one sequential run.
+struct SequentialYieldResult {
+    WeightedYieldEstimate estimate; ///< main-stage importance-sampled estimate
+    WeightedYieldEstimate pilot;    ///< pilot diagnostic (weighted: the pilot
+                                    ///< proposal is widened, not nominal)
+    process::SampleShift shift;     ///< fitted main-stage proposal
+    std::size_t shift_pilot_failures = 0; ///< failing pilot samples behind the fit
+    std::size_t samples_used = 0;   ///< main-stage samples in the estimate
+    std::size_t pilot_samples = 0;
+    std::size_t discarded_samples = 0; ///< drained overshoot past the stop
+    bool reached_target = false;
+    /// (cumulative samples, CI half-width) after each retired chunk - the
+    /// convergence trajectory the bench artifact plots.
+    std::vector<std::pair<std::size_t, double>> trajectory;
+};
+
+/// Streams one design point's yield estimation through a shared engine.
+/// Single-threaded driver (the engine parallelises the chunks underneath);
+/// the incremental submit/retire API exists so a multi-point allocator can
+/// interleave several runners on one engine.
+class SequentialYieldRunner {
+public:
+    /// \param dimension standardized process-space dimension of the kernel's
+    ///        u record (process::SampleShift::dimension of the device count).
+    SequentialYieldRunner(eval::Engine& engine, SequentialConfig config,
+                          std::vector<mc::Spec> specs, KernelFactory factory,
+                          std::size_t dimension, Rng rng);
+
+    /// Pilot stage. submit_pilot() enqueues the pilot chunk (no-op when
+    /// pilot_samples == 0); finish_pilot() blocks on it and fits the shift.
+    /// Both must be called (in order) before any main-stage call.
+    void submit_pilot();
+    void finish_pilot();
+
+    /// True once the run should stop: early-stop criterion met (target > 0,
+    /// >= min_samples retired, half-width <= target) or max_samples retired.
+    [[nodiscard]] bool done() const;
+
+    /// True once max_samples has been submitted (nothing left to enqueue).
+    [[nodiscard]] bool exhausted() const {
+        return submitted_samples_ >= config_.max_samples;
+    }
+
+    /// Enqueue the next main-stage chunk, at most `limit` samples (budget
+    /// caps of a multi-point campaign). Returns the number of samples
+    /// submitted; 0 when max_samples is already in flight or limit is 0.
+    std::size_t submit_chunk(std::size_t limit = static_cast<std::size_t>(-1));
+
+    /// Block on the oldest in-flight chunk and fold it into the estimate;
+    /// false when nothing is in flight.
+    bool retire_chunk();
+
+    /// Block on every in-flight chunk *without* folding it (counted as
+    /// discarded overshoot); returns the number of samples drained. Used
+    /// once the stop decision is made, so the folded prefix - and with it
+    /// the estimate - is invariant to the inflight window.
+    std::size_t drain_overshoot();
+
+    [[nodiscard]] const WeightedYieldEstimate& estimate() const { return estimate_; }
+    [[nodiscard]] std::size_t samples_used() const { return retired_samples_; }
+    [[nodiscard]] std::size_t in_flight() const { return tickets_.size(); }
+
+    /// Drain any in-flight overshoot (discarding it) and build the result.
+    [[nodiscard]] SequentialYieldResult finish();
+
+    /// The one-call blocking driver: pilot, then submit/retire chunks with
+    /// config.inflight chunks in the air, then finish().
+    [[nodiscard]] SequentialYieldResult run();
+
+private:
+    void fold_rows(const mc::McResult& result);
+    /// The single early-stop criterion, shared by done() and the
+    /// reached_target report so the two can never drift apart.
+    [[nodiscard]] bool target_met() const;
+
+    eval::Engine& engine_;
+    SequentialConfig config_;
+    std::vector<mc::Spec> specs_;
+    KernelFactory factory_;
+    std::size_t dimension_;
+    Rng rng_;
+
+    bool pilot_submitted_ = false;
+    bool pilot_finished_ = false;
+    mc::McTicket pilot_ticket_;
+    WeightedYieldEstimate pilot_estimate_;
+    ShiftFit fit_;
+
+    mc::ChunkSampleFn main_kernel_;
+    std::deque<std::pair<mc::McTicket, std::size_t>> tickets_; ///< in-flight
+    std::size_t submitted_samples_ = 0;
+    std::size_t retired_samples_ = 0;
+    std::size_t discarded_samples_ = 0;
+    std::vector<bool> flags_;
+    std::vector<double> log_weights_;
+    WeightedYieldEstimate estimate_;
+    std::vector<std::pair<std::size_t, double>> trajectory_;
+};
+
+/// One design point of a multi-point yield campaign.
+struct YieldPoint {
+    std::vector<mc::Spec> specs;
+    KernelFactory factory;
+    std::size_t dimension = 0;
+};
+
+struct AdaptiveYieldConfig {
+    SequentialConfig sequential;
+    /// Cross-point budget of *useful* samples: pilots plus main-stage
+    /// samples folded into an estimate. Overshoot drained past a point's
+    /// stop decision is wasted compute but refunded, so the allocation
+    /// (and every estimate) stays invariant to the inflight window.
+    /// 0 = only the per-point caps apply. Points whose budget runs out
+    /// before their first chunk report a 0-sample estimate - size the
+    /// budget above points * (pilot + min_samples).
+    std::size_t total_samples = 0;
+};
+
+/// Estimate every point's yield on one engine, streaming pilots and chunks
+/// together and allocating the remaining budget adaptively: each round
+/// gives the next window of chunks (up to sequential.inflight, the
+/// allocation granularity) to the unfinished point with the widest
+/// confidence interval, ties broken by point index. Fully deterministic
+/// for a fixed configuration; across *different* inflight settings the
+/// per-point sample split may differ by up to a window (each runner's
+/// folded prefix is still chunk-ordered, and drained overshoot is
+/// refunded to the budget). Point i derives its RNG as rng.child(i + 1).
+[[nodiscard]] std::vector<SequentialYieldResult>
+run_adaptive_yield(eval::Engine& engine, const AdaptiveYieldConfig& config,
+                   const std::vector<YieldPoint>& points, Rng rng);
+
+} // namespace ypm::yield

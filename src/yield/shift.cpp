@@ -1,0 +1,71 @@
+#include "yield/shift.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ypm::yield {
+
+ShiftFit fit_shift(const std::vector<std::vector<double>>& pilot_rows,
+                   const std::vector<mc::Spec>& specs, std::size_t dimension,
+                   const ShiftFitConfig& config) {
+    const std::size_t arity = specs.size() + 1 + dimension;
+
+    ShiftFit fit;
+    fit.per_spec.resize(specs.size());
+    fit.spec_failures.assign(specs.size(), 0);
+
+    // Per-spec center of gravity over the standardized coordinates of the
+    // samples failing that spec.
+    std::vector<std::vector<double>> cog(specs.size(),
+                                         std::vector<double>(dimension, 0.0));
+    for (const auto& row : pilot_rows) {
+        if (row.size() != arity)
+            throw InvalidInputError(
+                "fit_shift: pilot row arity mismatch (expected specs + 1 + "
+                "dimension columns)");
+        const double* u = row.data() + specs.size() + 1;
+        bool any_fail = false;
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+            if (specs[s].pass(row[s])) continue;
+            any_fail = true;
+            ++fit.spec_failures[s];
+            for (std::size_t d = 0; d < dimension; ++d) cog[s][d] += u[d];
+        }
+        if (any_fail) ++fit.pilot_failures;
+    }
+
+    std::size_t total_failures = 0;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        if (fit.spec_failures[s] == 0) continue;
+        total_failures += fit.spec_failures[s];
+        const double inv = 1.0 / static_cast<double>(fit.spec_failures[s]);
+        for (double& c : cog[s]) c *= inv;
+        fit.per_spec[s].mu = cog[s];
+    }
+    if (total_failures == 0) return fit; // no failures: keep the zero shift
+
+    // Combined proposal: failure-count-weighted average of the per-spec
+    // centers. With one failing spec this is exactly its center of gravity;
+    // with several it points at the dominant failure mode (a single
+    // mean-shift proposal cannot cover disjoint regions - the weighted
+    // estimator stays unbiased either way, only its variance suffers).
+    std::vector<double> combined(dimension, 0.0);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        if (fit.spec_failures[s] == 0) continue;
+        const double w = static_cast<double>(fit.spec_failures[s]) /
+                         static_cast<double>(total_failures);
+        for (std::size_t d = 0; d < dimension; ++d)
+            combined[d] += w * fit.per_spec[s].mu[d];
+    }
+
+    fit.shift.mu = std::move(combined);
+    const double norm = fit.shift.norm();
+    if (config.max_norm > 0.0 && norm > config.max_norm) {
+        const double k = config.max_norm / norm;
+        for (double& c : fit.shift.mu) c *= k;
+    }
+    return fit;
+}
+
+} // namespace ypm::yield

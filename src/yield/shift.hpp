@@ -1,0 +1,49 @@
+#pragma once
+/// \file shift.hpp
+/// \brief Two-stage adaptive shift fitting (ISLE-style): a pilot Monte Carlo
+///        chunk locates the failure region and the mean shift of the
+///        importance-sampling proposal is placed at the center of gravity of
+///        the failing realisations, fitted per spec and combined.
+
+#include <cstddef>
+#include <vector>
+
+#include "mc/yield.hpp"
+#include "process/sampler.hpp"
+
+namespace ypm::yield {
+
+struct ShiftFitConfig {
+    /// Clamp on the Euclidean norm of the fitted mean shift (in sigma
+    /// units). Pilot chunks drawn from a widened proposal find failures
+    /// farther out than the dominant failure boundary; the clamp keeps the
+    /// main-stage proposal from overshooting into weight collapse.
+    double max_norm = 4.0;
+};
+
+/// Fitted proposal for the main importance-sampling stage.
+struct ShiftFit {
+    /// Combined shift: failure-count-weighted average of the per-spec
+    /// centers of gravity, norm-clamped. Empty mu when the pilot saw no
+    /// failures (the main stage then degenerates to plain MC).
+    process::SampleShift shift;
+    /// Center of gravity of the samples failing spec s (empty mu when spec
+    /// s never failed in the pilot). Unclamped.
+    std::vector<process::SampleShift> per_spec;
+    /// Pilot samples failing spec s.
+    std::vector<std::size_t> spec_failures;
+    /// Pilot samples failing any spec.
+    std::size_t pilot_failures = 0;
+};
+
+/// Fit from pilot rows of the form {perf_0..perf_{k-1}, log_weight,
+/// u_0..u_{dim-1}} where k = specs.size() (the layout produced by a yield
+/// kernel with u recording on). NaN performances count as failures - a
+/// non-converging realisation is a failing die. \throws
+/// ypm::InvalidInputError on arity mismatch.
+[[nodiscard]] ShiftFit fit_shift(const std::vector<std::vector<double>>& pilot_rows,
+                                 const std::vector<mc::Spec>& specs,
+                                 std::size_t dimension,
+                                 const ShiftFitConfig& config = {});
+
+} // namespace ypm::yield

@@ -334,7 +334,7 @@ TEST(AsyncMc, SubmitWaitMatchesBlockingRunner) {
     ASSERT_EQ(async.rows.size(), blocking.rows.size());
     for (std::size_t i = 0; i < blocking.rows.size(); ++i)
         EXPECT_EQ(async.rows[i], blocking.rows[i]);
-    EXPECT_EQ(async.failed, blocking.failed);
+    EXPECT_EQ(async.failed(), blocking.failed());
     expect_same_counters(e1.counters(), e2.counters());
 }
 
@@ -400,8 +400,8 @@ TEST(AsyncMc, OverlappedOtaPointsMatchBlockingPoints) {
 
     EXPECT_EQ(async_a.rows, blocking_a.rows);
     EXPECT_EQ(async_b.rows, blocking_b.rows);
-    EXPECT_EQ(async_a.failed, blocking_a.failed);
-    EXPECT_EQ(async_b.failed, blocking_b.failed);
+    EXPECT_EQ(async_a.failed(), blocking_a.failed());
+    EXPECT_EQ(async_b.failed(), blocking_b.failed());
 }
 
 } // namespace

@@ -148,7 +148,7 @@ TEST(OtaMc, VariationInPaperBallpark) {
     Rng rng(3);
     const auto mc = run_ota_monte_carlo(ev, circuits::OtaSizing{}, sampler, 80, rng);
     EXPECT_EQ(mc.rows.size(), 80u);
-    EXPECT_LT(mc.failed, 4u);
+    EXPECT_LT(mc.failed(), 4u);
     const auto gv = mc.column_variation(0);
     const auto pv = mc.column_variation(1);
     // Paper Table 2: Δgain ~ 0.4-0.6 %, Δpm ~ 1.5-1.7 %; our substrate lands
@@ -175,6 +175,25 @@ TEST(Flow, ExtractFrontFromArchive) {
     // Sorted by gain.
     EXPECT_EQ(front[0], 0u);
     EXPECT_EQ(front[1], 1u);
+}
+
+TEST(Flow, RejectsMalformedYieldSpecs) {
+    // The OTA yield kernel's row layout is positional ({gain_db, pm_deg}),
+    // so the flow must fail fast - before the expensive MOO stage - on
+    // reordered or wrong-arity specs rather than certify wrong yields.
+    circuits::OtaConfig ota;
+    FlowConfig cfg;
+    cfg.ga.population = 4;
+    cfg.ga.generations = 1;
+
+    FlowConfig reversed = cfg;
+    reversed.yield_specs = {mc::Spec::at_least("pm_deg", 60.0),
+                            mc::Spec::at_least("gain_db", 30.0)};
+    EXPECT_THROW((void)YieldFlow(ota, reversed).run(), InvalidInputError);
+
+    FlowConfig single = cfg;
+    single.yield_specs = {mc::Spec::at_least("gain_db", 30.0)};
+    EXPECT_THROW((void)YieldFlow(ota, single).run(), InvalidInputError);
 }
 
 TEST(Verify, ModelVsTransistorErrorsSmallOnFrontPoint) {

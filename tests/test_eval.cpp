@@ -477,7 +477,7 @@ TEST(McBridge, FailureMaskReusedAcrossColumnQueries) {
     config.samples = 12;
     Rng rng(1);
     const auto result = mc::run_monte_carlo(config, rng, fn);
-    EXPECT_EQ(result.failed, 4u);
+    EXPECT_EQ(result.failed(), 4u);
     EXPECT_EQ(result.failure_mask().size(), 12u);
     EXPECT_EQ(result.column(0).size(), 8u);
     EXPECT_EQ(result.column(1).size(), 8u);

@@ -31,6 +31,14 @@ protected:
         cfg.seed = 2024;
         cfg.artifact_dir =
             (std::filesystem::temp_directory_path() / "ypm_e2e_artifacts").string();
+        // Yield certification stage, scaled down: interior specs most
+        // designs meet, tiny pilot/chunk budgets.
+        cfg.yield_specs = {mc::Spec::at_least("gain_db", 30.0),
+                           mc::Spec::at_least("pm_deg", 15.0)};
+        cfg.yield_sequential.pilot_samples = 24;
+        cfg.yield_sequential.chunk_samples = 24;
+        cfg.yield_sequential.max_samples = 48;
+        cfg.yield_sequential.min_samples = 24;
         static const YieldFlow flow(ota, cfg);
         static const FlowResult result = flow.run();
         result_ = &result;
@@ -85,6 +93,22 @@ TEST_F(PipelineTest, TimingsAccountedFor) {
     EXPECT_GT(result_->timings.mc_seconds, 0.0);
     EXPECT_GE(result_->timings.total_seconds,
               result_->timings.moo_seconds + result_->timings.mc_seconds);
+}
+
+TEST_F(PipelineTest, YieldStageCertifiesEveryFrontPoint) {
+    ASSERT_EQ(result_->yields.size(), result_->front.size());
+    EXPECT_GT(result_->timings.yield_seconds, 0.0);
+    for (std::size_t i = 0; i < result_->yields.size(); ++i) {
+        const auto& y = result_->yields[i];
+        EXPECT_EQ(y.design_id, result_->front[i].design_id);
+        EXPECT_GT(y.result.samples_used, 0u);
+        EXPECT_GE(y.result.estimate.yield, 0.0);
+        EXPECT_LE(y.result.estimate.yield, 1.0);
+        EXPECT_LE(y.result.estimate.ci_low, y.result.estimate.yield);
+        EXPECT_GE(y.result.estimate.ci_high, y.result.estimate.yield);
+        // Interior specs: these designs overwhelmingly pass.
+        EXPECT_GE(y.result.estimate.yield, 0.8);
+    }
 }
 
 TEST_F(PipelineTest, YieldTargetedSizingVerifies) {

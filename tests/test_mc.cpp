@@ -69,6 +69,29 @@ TEST(Stats, VariationMetricsMatchPaperDefinition) {
                 0.5 * (m.summary.max - m.summary.min) / 50.0 * 100.0, 1e-12);
 }
 
+TEST(Stats, VariationMetricsDegenerateMean) {
+    // Population varying around a zero mean: the relative Δ% is undefined.
+    // Contract: both deltas report +inf (worse than any finite threshold,
+    // so hygiene filters drop such points) and relative_valid flags it.
+    const VariationMetrics zero_mean = variation_metrics({-1.0, 1.0});
+    EXPECT_FALSE(zero_mean.relative_valid);
+    EXPECT_TRUE(std::isinf(zero_mean.delta_3sigma_pct));
+    EXPECT_TRUE(std::isinf(zero_mean.delta_halfrange_pct));
+    EXPECT_GT(zero_mean.delta_3sigma_pct, 0.0);
+
+    // Tiny-but-nonzero mean whose ratio overflows: same degenerate contract
+    // (this used to silently return +/-inf-ish garbage via the raw divide).
+    const VariationMetrics tiny_mean = variation_metrics({-1.0, 1.0 + 1e-300});
+    EXPECT_FALSE(tiny_mean.relative_valid);
+    EXPECT_TRUE(std::isinf(tiny_mean.delta_3sigma_pct));
+
+    // A constant population has no variation at all - 0 %, even at mean 0.
+    const VariationMetrics constant = variation_metrics({0.0, 0.0, 0.0});
+    EXPECT_TRUE(constant.relative_valid);
+    EXPECT_EQ(constant.delta_3sigma_pct, 0.0);
+    EXPECT_EQ(constant.delta_halfrange_pct, 0.0);
+}
+
 TEST(Stats, CorrelationKnownCases) {
     const std::vector<double> x = {1, 2, 3, 4, 5};
     const std::vector<double> y = {2, 4, 6, 8, 10};
@@ -132,6 +155,39 @@ TEST(Yield, WilsonIntervalKnownValue) {
     EXPECT_NEAR(hi, 0.596, 0.005);
 }
 
+TEST(Yield, WilsonIntervalEdgeCases) {
+    // 0 samples: no evidence, the vacuous interval.
+    const auto [lo0, hi0] = wilson_interval(0, 0);
+    EXPECT_EQ(lo0, 0.0);
+    EXPECT_EQ(hi0, 1.0);
+
+    // 0 passes out of n: the lower edge is exactly 0, the upper edge is
+    // strictly positive (0/50 cannot claim exactly 0 %).
+    const auto [lo_none, hi_none] = wilson_interval(0, 50);
+    EXPECT_EQ(lo_none, 0.0);
+    EXPECT_GT(hi_none, 0.0);
+    EXPECT_LT(hi_none, 0.15);
+
+    // All passes: mirror image - upper edge exactly 1, lower edge < 1.
+    const auto [lo_all, hi_all] = wilson_interval(50, 50);
+    EXPECT_EQ(hi_all, 1.0);
+    EXPECT_LT(lo_all, 1.0);
+    EXPECT_GT(lo_all, 0.85);
+
+    // Symmetry of the two one-sided cases.
+    EXPECT_NEAR(lo_all, 1.0 - hi_none, 1e-12);
+
+    // passes > samples is a caller bug, not a statistics question.
+    EXPECT_THROW((void)wilson_interval(2, 1), InvalidInputError);
+
+    // yield_from_flags on an empty population stays consistent with it.
+    const YieldEstimate empty = yield_from_flags({});
+    EXPECT_EQ(empty.samples, 0u);
+    EXPECT_EQ(empty.yield, 0.0);
+    EXPECT_EQ(empty.ci_low, 0.0);
+    EXPECT_EQ(empty.ci_high, 1.0);
+}
+
 // -------------------------------------------------------------- MC runner
 
 TEST(McRunner, DeterministicAcrossThreadCounts) {
@@ -174,7 +230,7 @@ TEST(McRunner, TracksFailures) {
     cfg.samples = 16;
     Rng rng(1);
     const McResult r = run_monte_carlo(cfg, rng, fn);
-    EXPECT_EQ(r.failed, 4u);
+    EXPECT_EQ(r.failed(), 4u);
     EXPECT_EQ(r.column(0).size(), 12u); // failed rows excluded
 }
 
@@ -191,6 +247,25 @@ TEST(McRunner, ColumnSummaryGaussian) {
     EXPECT_NEAR(s.stddev, 0.1, 0.01);
     const VariationMetrics v = r.column_variation(0);
     EXPECT_NEAR(v.delta_3sigma_pct, 3.0 * 0.1 / 50.0 * 100.0, 0.08);
+}
+
+TEST(McRunner, HandBuiltResultAutoFinalizes) {
+    // Regression: a hand-built McResult (rows filled directly, finalize()
+    // never called) used to silently fall back to per-row scans with a
+    // stale `failed` count of 0. The accessors now finalise on first touch.
+    McResult hand_built;
+    hand_built.rows = {{1.0, 2.0}, {nan_v, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(hand_built.failed(), 1u);
+    ASSERT_EQ(hand_built.failure_mask().size(), 3u);
+    EXPECT_EQ(hand_built.failure_mask()[1], 1);
+    EXPECT_EQ(hand_built.column(0).size(), 2u); // failed row excluded
+    EXPECT_EQ(hand_built.column(1).size(), 2u);
+
+    // Mutating rows requires an explicit re-finalize, per the contract.
+    hand_built.rows.push_back({nan_v, nan_v});
+    hand_built.finalize();
+    EXPECT_EQ(hand_built.failed(), 2u);
+    EXPECT_EQ(hand_built.failure_mask().size(), 4u);
 }
 
 TEST(McRunner, RejectsZeroSamples) {

@@ -1,0 +1,692 @@
+// Unit tests for the variance-reduction yield engine: shifted process
+// sampling with exact likelihood ratios, the unnormalized fail-side weighted
+// estimator, ISLE-style shift fitting, and the sequential streaming driver
+// (zero-shift bit-identity with plain MC, early-stop determinism across
+// inflight windows, importance sampling beating plain MC on a rare spec,
+// adaptive multi-point budget allocation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "circuits/ota.hpp"
+#include "core/ota_mc.hpp"
+#include "eval/engine.hpp"
+#include "mc/monte_carlo.hpp"
+#include "mc/yield.hpp"
+#include "process/process_card.hpp"
+#include "process/sampler.hpp"
+#include "process/variation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "yield/sequential.hpp"
+#include "yield/shift.hpp"
+#include "yield/weighted.hpp"
+
+namespace {
+
+using namespace ypm;
+
+eval::Engine make_engine(bool parallel = true) {
+    eval::EngineConfig config;
+    config.parallel = parallel;
+    config.cache_capacity = 0;
+    return eval::Engine(config);
+}
+
+// Synthetic 1-D yield kernel: value = mean + sigma * u with u drawn from the
+// proposal N(shift, scale^2) exactly like ProcessSampler::sample_shifted
+// draws a dimension. At zero shift the value computes as mean + sigma * z,
+// bit-identical to a plain `mean + sigma * rng.gauss()` kernel.
+yield::KernelFactory synthetic_factory(double mean, double sigma) {
+    return [=](const process::SampleShift& shift,
+               bool record_u) -> mc::ChunkSampleFn {
+        const double m = shift.mu.empty() ? 0.0 : shift.mu[0];
+        const double s = shift.scale;
+        return [=](std::span<const std::size_t>, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> rows;
+            rows.reserve(rngs.size());
+            for (Rng& rng : rngs) {
+                const double z = rng.gauss();
+                const double u = m + s * z;
+                const double log_w = std::log(s) + 0.5 * z * z - 0.5 * u * u;
+                const double value = mean + sigma * u;
+                if (record_u)
+                    rows.push_back({value, log_w, u});
+                else
+                    rows.push_back({value, log_w});
+            }
+            return rows;
+        };
+    };
+}
+
+// --------------------------------------------------------- shifted sampler
+
+std::vector<process::MosGeometry> two_devices() {
+    return {{"m1", false, 20e-6, 1e-6}, {"m2", true, 30e-6, 2e-6}};
+}
+
+TEST(ShiftedSampler, ZeroShiftBitIdenticalToPlainSample) {
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    const auto devices = two_devices();
+
+    Rng plain_rng(42), shifted_rng(42);
+    const process::Realization plain = sampler.sample(plain_rng, devices);
+    const process::ShiftedDraw draw =
+        sampler.sample_shifted(shifted_rng, devices, process::SampleShift{}, true);
+
+    EXPECT_EQ(draw.log_weight, 0.0); // exactly zero, not approximately
+    EXPECT_EQ(plain.global.dvth_n, draw.realization.global.dvth_n);
+    EXPECT_EQ(plain.global.dvth_p, draw.realization.global.dvth_p);
+    EXPECT_EQ(plain.global.kp_scale_n, draw.realization.global.kp_scale_n);
+    EXPECT_EQ(plain.global.kp_scale_p, draw.realization.global.kp_scale_p);
+    EXPECT_EQ(plain.global.cox_scale, draw.realization.global.cox_scale);
+    for (const auto& dev : devices) {
+        const auto& a = plain.local.at(dev.name);
+        const auto& b = draw.realization.local.at(dev.name);
+        EXPECT_EQ(a.dvth, b.dvth);
+        EXPECT_EQ(a.kp_scale, b.kp_scale);
+    }
+    // Stream-consumption parity: the next draw must match too.
+    EXPECT_EQ(plain_rng.uniform01(), shifted_rng.uniform01());
+    // u record has the documented dimension.
+    EXPECT_EQ(draw.u.size(), process::SampleShift::dimension(devices.size()));
+}
+
+TEST(ShiftedSampler, ShiftMovesTheRealizationMean) {
+    const process::VariationSpec spec = process::VariationSpec::c35();
+    const process::ProcessSampler sampler(process::ProcessCard::c35(), spec);
+    process::SampleShift shift;
+    shift.mu.assign(process::SampleShift::dimension(0), 0.0);
+    shift.mu[0] = 2.0; // dvth_n global, in sigma units
+
+    Rng rng(7);
+    double mean = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        mean += sampler.sample_shifted(rng, {}, shift).realization.global.dvth_n;
+    mean /= n;
+    EXPECT_NEAR(mean, 2.0 * spec.global.sigma_vth_n,
+                4.0 * spec.global.sigma_vth_n / std::sqrt(double(n)));
+}
+
+TEST(ShiftedSampler, LikelihoodRatioIntegratesToOne) {
+    // E_q[w] = 1 for any proposal q absolutely continuous w.r.t. p.
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    process::SampleShift shift;
+    shift.mu = {1.0, -0.5, 0.0, 0.8, -1.0};
+    shift.scale = 1.5;
+
+    Rng rng(11);
+    double w_sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        w_sum += std::exp(sampler.sample_shifted(rng, {}, shift).log_weight);
+    EXPECT_NEAR(w_sum / n, 1.0, 0.05);
+}
+
+TEST(ShiftedSampler, RejectsBadShift) {
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    Rng rng(1);
+    process::SampleShift wrong_dim;
+    wrong_dim.mu = {1.0, 2.0}; // device-free spaces have 5 dims
+    EXPECT_THROW((void)sampler.sample_shifted(rng, {}, wrong_dim),
+                 InvalidInputError);
+    process::SampleShift bad_scale;
+    bad_scale.scale = 0.0;
+    EXPECT_THROW((void)sampler.sample_shifted(rng, {}, bad_scale),
+                 InvalidInputError);
+}
+
+// ------------------------------------------------------ weighted estimator
+
+TEST(WeightedYield, UnityWeightsReduceToWilsonBitIdentically) {
+    const std::vector<bool> flags = {true, true, false, true, true,
+                                     true, false, true, true, true};
+    const mc::YieldEstimate plain = mc::yield_from_flags(flags);
+    for (const auto& log_weights :
+         {std::vector<double>{}, std::vector<double>(flags.size(), 0.0)}) {
+        const yield::WeightedYieldEstimate w =
+            yield::weighted_yield_from_flags(flags, log_weights);
+        EXPECT_FALSE(w.weighted);
+        EXPECT_EQ(w.samples, plain.samples);
+        EXPECT_EQ(w.passes, plain.passes);
+        EXPECT_EQ(w.yield, plain.yield);
+        EXPECT_EQ(w.ci_low, plain.ci_low);
+        EXPECT_EQ(w.ci_high, plain.ci_high);
+        EXPECT_EQ(w.ess, double(flags.size()));
+    }
+}
+
+TEST(WeightedYield, HandComputedWeights) {
+    // Four samples, fail-side weights {0.5, 0.5} (the pass weights never
+    // enter): phat_fail = (0.5 + 0.5) / 4 = 0.25, yield = 0.75,
+    // fail-side ESS = 1^2 / 0.5 = 2, max share = 0.5.
+    const yield::WeightedYieldEstimate e = yield::weighted_yield_from_flags(
+        {false, false, true, true},
+        {std::log(0.5), std::log(0.5), std::log(3.0), 0.0});
+    EXPECT_TRUE(e.weighted);
+    EXPECT_EQ(e.samples, 4u);
+    EXPECT_EQ(e.passes, 2u);
+    EXPECT_NEAR(e.yield, 0.75, 1e-12);
+    EXPECT_NEAR(e.ess, 2.0, 1e-12);
+    EXPECT_NEAR(e.max_weight_share, 0.5, 1e-12);
+    EXPECT_GE(e.ci_low, 0.0);
+    EXPECT_LE(e.ci_high, 1.0);
+    EXPECT_LT(e.ci_low, e.yield);
+    EXPECT_GT(e.ci_high, e.yield);
+}
+
+TEST(WeightedYield, EstimatesGaussianTailProbability) {
+    // P(Z > 3) = 1.3499e-3, estimated with a mean-3 proposal: the classic
+    // importance-sampling correctness check.
+    const double p_true = 1.349898e-3;
+    Rng rng(17);
+    const double m = 3.0;
+    std::vector<bool> pass;
+    std::vector<double> log_w;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.gauss();
+        const double u = m + z;
+        pass.push_back(!(u > 3.0)); // "yield" = 1 - tail probability
+        log_w.push_back(0.5 * z * z - 0.5 * u * u);
+    }
+    const yield::WeightedYieldEstimate e =
+        yield::weighted_yield_from_flags(pass, log_w);
+    EXPECT_TRUE(e.weighted);
+    EXPECT_NEAR(1.0 - e.yield, p_true, 0.1 * p_true);
+    // The weighted CI must cover the truth and be far tighter than plain
+    // MC's at the same sample count (~2 orders of magnitude in variance).
+    EXPECT_LE(e.ci_low, 1.0 - p_true + 1e-12);
+    EXPECT_GE(e.ci_high, 1.0 - p_true - 1e-12);
+    const double plain_hw = 1.96 * std::sqrt(p_true * (1 - p_true) / n);
+    EXPECT_LT(e.half_width(), plain_hw / 3.0);
+}
+
+TEST(WeightedYield, LargeShiftDegradesEss) {
+    // An overdone shift concentrates the weight on few samples: ESS and the
+    // max-weight share must flag it.
+    Rng rng(23);
+    const double m = 6.0;
+    std::vector<bool> pass;
+    std::vector<double> log_w;
+    for (int i = 0; i < 2000; ++i) {
+        const double z = rng.gauss();
+        const double u = m + z;
+        pass.push_back(!(u > 3.0));
+        log_w.push_back(0.5 * z * z - 0.5 * u * u);
+    }
+    const yield::WeightedYieldEstimate e =
+        yield::weighted_yield_from_flags(pass, log_w);
+    EXPECT_LT(e.ess, 0.2 * 2000.0);
+    EXPECT_GT(e.max_weight_share, 0.01);
+}
+
+TEST(WeightedYield, ZeroObservedFailuresKeepsNonDegenerateCi) {
+    // Regression: an active shift with no observed failures used to report
+    // the point interval [1, 1] - certifying exactly 100 % yield on absence
+    // of evidence - which let the sequential driver early-stop instantly.
+    // Contract: fall back to the clean-sweep Wilson bound (conservative
+    // under a failure-directed proposal) and flag ESS = 0.
+    const yield::WeightedYieldEstimate e = yield::weighted_yield_from_flags(
+        std::vector<bool>(200, true), std::vector<double>(200, 0.1));
+    EXPECT_TRUE(e.weighted);
+    EXPECT_EQ(e.yield, 1.0);
+    EXPECT_EQ(e.ci_high, 1.0);
+    EXPECT_LT(e.ci_low, 1.0); // never a point interval
+    EXPECT_GT(e.ci_low, 0.97);
+    EXPECT_GT(e.half_width(), 0.0);
+    EXPECT_EQ(e.ess, 0.0);
+    EXPECT_EQ(e.max_weight_share, 0.0);
+}
+
+TEST(WeightedYield, RejectsBadInput) {
+    EXPECT_THROW((void)yield::weighted_yield_from_flags({true}, {0.0, 0.0}),
+                 InvalidInputError);
+    EXPECT_THROW((void)yield::weighted_yield_from_flags(
+                     {true}, {std::numeric_limits<double>::quiet_NaN()}),
+                 InvalidInputError);
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("g", 0.0)};
+    EXPECT_THROW(
+        (void)yield::estimate_weighted_yield({{1.0, 0.0, 7.0}}, specs),
+        InvalidInputError);
+}
+
+TEST(WeightedYield, NanPerformanceFailsTheSample) {
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("g", 0.0)};
+    constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+    const yield::WeightedYieldEstimate e =
+        yield::estimate_weighted_yield({{1.0, 0.0}, {nan_v, 0.0}}, specs);
+    EXPECT_EQ(e.passes, 1u);
+    EXPECT_EQ(e.samples, 2u);
+}
+
+// -------------------------------------------------------------- shift fit
+
+TEST(ShiftFit, RecoversFailureCenterOfGravity) {
+    // One spec over column 0, dimension 2: failures sit around u = (2, -1).
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
+    std::vector<std::vector<double>> rows;
+    // Passing samples scattered near the origin (u should not matter).
+    rows.push_back({1.0, 0.0, 0.3, 0.2});
+    rows.push_back({2.0, 0.0, -0.4, 0.1});
+    // Failing samples.
+    rows.push_back({-1.0, 0.0, 1.8, -0.9});
+    rows.push_back({-2.0, 0.0, 2.2, -1.1});
+    const yield::ShiftFit fit = yield::fit_shift(rows, specs, 2);
+    ASSERT_EQ(fit.shift.mu.size(), 2u);
+    EXPECT_NEAR(fit.shift.mu[0], 2.0, 1e-12);
+    EXPECT_NEAR(fit.shift.mu[1], -1.0, 1e-12);
+    EXPECT_EQ(fit.pilot_failures, 2u);
+    EXPECT_EQ(fit.spec_failures[0], 2u);
+}
+
+TEST(ShiftFit, PerSpecCentersAndNormClamp) {
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("a", 0.0),
+                                         mc::Spec::at_most("b", 10.0)};
+    // Row arity: 2 specs + 1 log weight + 2 dims = 5.
+    std::vector<std::vector<double>> rows;
+    rows.push_back({-1.0, 0.0, 0.0, 4.0, 0.0});  // fails spec 0, u = (4, 0)
+    rows.push_back({1.0, 20.0, 0.0, 0.0, 4.0});  // fails spec 1, u = (0, 4)
+    rows.push_back({1.0, 0.0, 0.0, 0.1, -0.1}); // passes both
+    yield::ShiftFitConfig config;
+    config.max_norm = 2.0;
+    const yield::ShiftFit fit = yield::fit_shift(rows, specs, 2, config);
+    ASSERT_EQ(fit.per_spec.size(), 2u);
+    EXPECT_NEAR(fit.per_spec[0].mu[0], 4.0, 1e-12);
+    EXPECT_NEAR(fit.per_spec[1].mu[1], 4.0, 1e-12);
+    // Combined = (2, 2) before the clamp, then scaled to norm 2.
+    EXPECT_NEAR(fit.shift.norm(), 2.0, 1e-12);
+    EXPECT_NEAR(fit.shift.mu[0], fit.shift.mu[1], 1e-12);
+}
+
+TEST(ShiftFit, NoFailuresKeepsZeroShift) {
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
+    const yield::ShiftFit fit =
+        yield::fit_shift({{1.0, 0.0, 0.5}, {2.0, 0.0, -0.5}}, specs, 1);
+    EXPECT_TRUE(fit.shift.mu.empty());
+    EXPECT_FALSE(fit.shift.active());
+    EXPECT_EQ(fit.pilot_failures, 0u);
+}
+
+// ------------------------------------------------------ sequential driver
+
+TEST(SequentialYield, ZeroShiftBitIdenticalToPlainMonteCarlo) {
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 45.0)};
+    const std::size_t n = 96;
+
+    // Reference: the plain chunked MC runner + the plain estimator.
+    eval::Engine plain_engine = make_engine();
+    Rng plain_rng(31);
+    mc::McConfig cfg;
+    cfg.samples = n;
+    const mc::McResult plain = mc::run_monte_carlo(
+        plain_engine, cfg, plain_rng,
+        mc::ChunkSampleFn([](std::span<const std::size_t>, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> rows;
+            for (Rng& rng : rngs) rows.push_back({50.0 + 2.0 * rng.gauss()});
+            return rows;
+        }));
+    const mc::YieldEstimate plain_yield = mc::estimate_yield(plain.rows, specs);
+
+    // The sequential driver with the pilot disabled (zero shift), one chunk.
+    eval::Engine engine = make_engine();
+    yield::SequentialConfig config;
+    config.pilot_samples = 0;
+    config.chunk_samples = n;
+    config.max_samples = n;
+    config.min_samples = n;
+    yield::SequentialYieldRunner runner(engine, config, specs,
+                                        synthetic_factory(50.0, 2.0), 1, Rng(31));
+    const yield::SequentialYieldResult result = runner.run();
+
+    EXPECT_FALSE(result.estimate.weighted);
+    EXPECT_EQ(result.samples_used, n);
+    EXPECT_EQ(result.estimate.samples, plain_yield.samples);
+    EXPECT_EQ(result.estimate.passes, plain_yield.passes);
+    EXPECT_EQ(result.estimate.yield, plain_yield.yield);
+    EXPECT_EQ(result.estimate.ci_low, plain_yield.ci_low);
+    EXPECT_EQ(result.estimate.ci_high, plain_yield.ci_high);
+}
+
+TEST(SequentialYield, EarlyStopDeterministicAcrossInflightWindows) {
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 48.0)};
+    auto run_with_inflight = [&](std::size_t inflight) {
+        eval::Engine engine = make_engine();
+        yield::SequentialConfig config;
+        config.pilot_samples = 64;
+        config.pilot_scale = 1.5;
+        config.chunk_samples = 64;
+        config.max_samples = 8192;
+        config.min_samples = 128;
+        config.target_half_width = 0.04;
+        config.inflight = inflight;
+        yield::SequentialYieldRunner runner(
+            engine, config, specs, synthetic_factory(50.0, 2.0), 1, Rng(77));
+        return runner.run();
+    };
+    const auto a = run_with_inflight(1);
+    const auto b = run_with_inflight(4);
+
+    EXPECT_TRUE(a.reached_target);
+    EXPECT_LT(a.samples_used, 8192u);
+    // Identical retired prefix regardless of the streaming window.
+    EXPECT_EQ(a.samples_used, b.samples_used);
+    EXPECT_EQ(a.estimate.yield, b.estimate.yield);
+    EXPECT_EQ(a.estimate.ci_low, b.estimate.ci_low);
+    EXPECT_EQ(a.estimate.ci_high, b.estimate.ci_high);
+    EXPECT_EQ(a.trajectory.size(), b.trajectory.size());
+    // The wider window may have drained overshoot, never folded it.
+    EXPECT_EQ(a.discarded_samples, 0u);
+}
+
+TEST(SequentialYield, ImportanceSamplingBeatsPlainMcOnRareSpec) {
+    // Rare failure: value = u fails when u > 3 (p = 1.35e-3). Both drivers
+    // run to the same CI target; IS must get there in far fewer samples.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_most("v", 3.0)};
+    const double target = 5e-4;
+    const double p_true = 1.349898e-3;
+
+    yield::SequentialConfig config;
+    config.chunk_samples = 128;
+    config.max_samples = 60000;
+    config.min_samples = 256;
+    config.target_half_width = target;
+
+    eval::Engine plain_engine = make_engine();
+    yield::SequentialConfig plain_config = config;
+    plain_config.pilot_samples = 0; // zero shift: plain sequential MC
+    yield::SequentialYieldRunner plain_runner(
+        plain_engine, plain_config, specs, synthetic_factory(0.0, 1.0), 1, Rng(5));
+    const auto plain = plain_runner.run();
+
+    eval::Engine is_engine = make_engine();
+    yield::SequentialConfig is_config = config;
+    is_config.pilot_samples = 256;
+    is_config.pilot_scale = 2.5;
+    yield::SequentialYieldRunner is_runner(
+        is_engine, is_config, specs, synthetic_factory(0.0, 1.0), 1, Rng(5));
+    const auto is = is_runner.run();
+
+    ASSERT_TRUE(plain.reached_target);
+    ASSERT_TRUE(is.reached_target);
+    EXPECT_TRUE(is.estimate.weighted);
+    EXPECT_GT(is.shift.norm(), 1.0); // the pilot found the failure region
+    // >= 3x sample reduction (the bench gates the same on the OTA).
+    EXPECT_LE(3 * (is.samples_used + is.pilot_samples), plain.samples_used);
+    // And the estimate is actually right.
+    EXPECT_NEAR(1.0 - is.estimate.yield, p_true, 3.0 * target);
+    EXPECT_GT(is.estimate.ess, 10.0);
+}
+
+TEST(SequentialYield, AdaptiveAllocatorFocusesBudgetOnWidestCi) {
+    // Point 0: p ~ 0.5 (high per-sample variance). Point 1: p ~ 0.98.
+    // Under one shared budget the allocator must spend more on point 0.
+    std::vector<yield::YieldPoint> points(2);
+    points[0].specs = {mc::Spec::at_least("v", 50.0)};
+    points[0].factory = synthetic_factory(50.0, 2.0);
+    points[0].dimension = 1;
+    points[1].specs = {mc::Spec::at_least("v", 45.9)};
+    points[1].factory = synthetic_factory(50.0, 2.0);
+    points[1].dimension = 1;
+
+    yield::AdaptiveYieldConfig config;
+    config.sequential.pilot_samples = 64;
+    config.sequential.chunk_samples = 64;
+    config.sequential.max_samples = 100000;
+    config.sequential.min_samples = 64;
+    config.sequential.target_half_width = 1e-4; // unreachable in budget
+    config.total_samples = 4096;
+
+    eval::Engine engine = make_engine();
+    const auto results = yield::run_adaptive_yield(engine, config, points, Rng(3));
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[0].samples_used, results[1].samples_used);
+    // total_samples caps the useful samples (pilots + folded chunks);
+    // drained overshoot is refunded.
+    std::size_t charged = 0;
+    for (const auto& r : results) charged += r.samples_used + r.pilot_samples;
+    EXPECT_LE(charged, config.total_samples);
+    // Both points got at least one chunk despite the skew.
+    EXPECT_GT(results[1].samples_used, 0u);
+}
+
+TEST(SequentialYield, AdaptiveAllocatorDeterministicAndNeverFoldsPastDone) {
+    // The multi-point contract: fully deterministic for a fixed
+    // configuration (rerun equality), stop decisions never fold a window's
+    // overshoot (regression: retire_chunk used to be called unconditionally
+    // past done()), and refunded overshoot keeps the useful-sample budget
+    // honest. Cross-window invariance is deliberately NOT claimed - the
+    // window is the allocation granularity (see run_adaptive_yield's doc).
+    auto run_once = [](std::size_t inflight) {
+        std::vector<yield::YieldPoint> points(2);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            points[i].specs = {mc::Spec::at_least("v", 46.0 + 2.0 * double(i))};
+            points[i].factory = synthetic_factory(50.0, 2.0);
+            points[i].dimension = 1;
+        }
+        yield::AdaptiveYieldConfig config;
+        config.sequential.pilot_samples = 32;
+        config.sequential.chunk_samples = 32;
+        config.sequential.max_samples = 8192;
+        config.sequential.min_samples = 64;
+        config.sequential.target_half_width = 0.03;
+        config.sequential.inflight = inflight;
+        config.total_samples = 6144;
+        eval::Engine engine = make_engine();
+        return yield::run_adaptive_yield(engine, config, points, Rng(41));
+    };
+    const auto a = run_once(4);
+    const auto b = run_once(4);
+    ASSERT_EQ(a.size(), b.size());
+    std::size_t charged = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].samples_used, b[i].samples_used);
+        EXPECT_EQ(a[i].estimate.yield, b[i].estimate.yield);
+        EXPECT_EQ(a[i].estimate.ci_low, b[i].estimate.ci_low);
+        EXPECT_EQ(a[i].estimate.ci_high, b[i].estimate.ci_high);
+        EXPECT_TRUE(a[i].reached_target);
+        // No window chunk may be folded past the stop: the folded samples
+        // stay a multiple of the chunk size reached at or before done.
+        EXPECT_EQ(a[i].samples_used % 32, 0u);
+        charged += a[i].samples_used + a[i].pilot_samples;
+    }
+    EXPECT_LE(charged, 6144u);
+}
+
+TEST(SequentialYield, BudgetStarvedPointReportsVacuousInterval) {
+    // Regression: a point whose budget ran out before its first chunk used
+    // to report the default point interval [0, 0] - certain 0 % yield on no
+    // evidence. Contract: the vacuous interval [0, 1] and 0 samples.
+    std::vector<yield::YieldPoint> points(2);
+    for (auto& p : points) {
+        p.specs = {mc::Spec::at_least("v", 45.0)};
+        p.factory = synthetic_factory(50.0, 2.0);
+        p.dimension = 1;
+    }
+    yield::AdaptiveYieldConfig config;
+    config.sequential.pilot_samples = 32;
+    config.sequential.chunk_samples = 32;
+    config.sequential.max_samples = 256;
+    config.sequential.min_samples = 32;
+    config.total_samples = 64; // both pilots fit, no chunk ever does
+    eval::Engine engine = make_engine();
+    const auto results = yield::run_adaptive_yield(engine, config, points, Rng(8));
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto& r : results) {
+        EXPECT_EQ(r.samples_used, 0u);
+        EXPECT_EQ(r.estimate.samples, 0u);
+        EXPECT_EQ(r.estimate.ci_low, 0.0);
+        EXPECT_EQ(r.estimate.ci_high, 1.0); // never a point interval
+    }
+}
+
+TEST(SequentialYield, StreamingDriverOnParallelEngine) {
+    // Concurrency smoke for the TSan leg: several points, chunks in flight
+    // on the shared pool, adaptive retirement.
+    std::vector<yield::YieldPoint> points(3);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i].specs = {mc::Spec::at_least("v", 44.0 + double(i))};
+        points[i].factory = synthetic_factory(50.0, 2.0);
+        points[i].dimension = 1;
+    }
+    yield::AdaptiveYieldConfig config;
+    config.sequential.pilot_samples = 32;
+    config.sequential.chunk_samples = 32;
+    config.sequential.max_samples = 512;
+    config.sequential.min_samples = 64;
+    config.sequential.target_half_width = 0.02;
+    config.sequential.inflight = 3;
+
+    eval::Engine engine = make_engine(true);
+    const auto results = yield::run_adaptive_yield(engine, config, points, Rng(9));
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto& r : results) {
+        EXPECT_GT(r.samples_used, 0u);
+        EXPECT_GE(r.estimate.yield, 0.0);
+        EXPECT_LE(r.estimate.yield, 1.0);
+    }
+}
+
+TEST(SequentialYield, OtaKernelZeroShiftBitIdenticalToOtaMonteCarlo) {
+    // The acceptance pin on the real testbench: the OTA yield kernel at zero
+    // shift must reproduce run_ota_monte_carlo's rows bit-exactly, and the
+    // estimator must collapse to mc::estimate_yield.
+    const circuits::OtaEvaluator evaluator;
+    const circuits::OtaSizing sizing; // nominal mid-range sizing
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+    const std::size_t n = 48;
+
+    eval::Engine plain_engine = make_engine();
+    Rng plain_rng(2026);
+    const mc::McResult plain = core::run_ota_monte_carlo(
+        plain_engine, evaluator, sizing, sampler, n, plain_rng);
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("gain_db", 40.0),
+                                         mc::Spec::at_least("pm_deg", 50.0)};
+    const mc::YieldEstimate plain_yield = mc::estimate_yield(plain.rows, specs);
+
+    eval::Engine engine = make_engine();
+    yield::SequentialConfig config;
+    config.pilot_samples = 0;
+    config.chunk_samples = n;
+    config.max_samples = n;
+    config.min_samples = n;
+    yield::SequentialYieldRunner runner(
+        engine, config, specs,
+        core::ota_yield_kernel_factory(evaluator, sizing, sampler),
+        core::ota_yield_dimension(evaluator, sizing), Rng(2026));
+    const yield::SequentialYieldResult result = runner.run();
+
+    EXPECT_FALSE(result.estimate.weighted);
+    EXPECT_EQ(result.estimate.samples, plain_yield.samples);
+    EXPECT_EQ(result.estimate.passes, plain_yield.passes);
+    EXPECT_EQ(result.estimate.yield, plain_yield.yield);
+    EXPECT_EQ(result.estimate.ci_low, plain_yield.ci_low);
+    EXPECT_EQ(result.estimate.ci_high, plain_yield.ci_high);
+}
+
+TEST(SequentialYield, OtaImportanceSamplingMatchesPlainEstimate) {
+    // Cross-check on the real testbench at a moderate spec: the shifted
+    // estimator must agree with a plain MC reference within joint CIs.
+    const circuits::OtaEvaluator evaluator;
+    const circuits::OtaSizing sizing;
+    const process::ProcessSampler sampler(evaluator.config().card,
+                                          process::VariationSpec::c35());
+
+    eval::Engine plain_engine = make_engine();
+    Rng plain_rng(7);
+    const mc::McResult plain = core::run_ota_monte_carlo(
+        plain_engine, evaluator, sizing, sampler, 600, plain_rng);
+    // Put the spec in the lower tail of the sampled gain population.
+    const auto gain = plain.column(0);
+    const mc::Summary s = mc::summarize(gain);
+    // Rows carry {gain_db, pm_deg}; the pm spec is an always-pass
+    // placeholder so the arity matches on both estimators.
+    const std::vector<mc::Spec> specs = {
+        mc::Spec::at_least("gain_db", s.mean - 2.0 * s.stddev),
+        mc::Spec::at_least("pm_deg", -1e9)};
+    const mc::YieldEstimate reference = mc::estimate_yield(plain.rows, specs);
+
+    eval::Engine engine = make_engine();
+    yield::SequentialConfig config;
+    config.pilot_samples = 96;
+    config.pilot_scale = 2.0;
+    config.chunk_samples = 96;
+    config.max_samples = 384;
+    config.min_samples = 96;
+    yield::SequentialYieldRunner runner(
+        engine, config, specs,
+        core::ota_yield_kernel_factory(evaluator, sizing, sampler),
+        core::ota_yield_dimension(evaluator, sizing), Rng(13));
+    const auto result = runner.run();
+
+    EXPECT_TRUE(result.estimate.weighted); // the pilot found failures
+    EXPECT_GT(result.shift.norm(), 0.0);
+    // CI overlap between the two independent estimates.
+    EXPECT_LE(result.estimate.ci_low, reference.ci_high);
+    EXPECT_GE(result.estimate.ci_high, reference.ci_low);
+}
+
+TEST(SequentialYield, NoEarlyStopOnZeroFailureEvidenceUnderActiveWeights) {
+    // Regression: a weighted run that observes no failures reports the
+    // clean-sweep Wilson fallback CI; if the proposal is misaimed (it
+    // undersamples the failure region), stopping on that CI would certify
+    // a bound the sampling never supported. The runner must keep sampling
+    // until it sees failure evidence (ess > 0) or hits the cap.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
+    // Kernel with active weights but no failures ever observed.
+    const yield::KernelFactory factory =
+        [](const process::SampleShift&, bool) -> mc::ChunkSampleFn {
+        return [](std::span<const std::size_t>, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> rows;
+            for (Rng& rng : rngs) {
+                (void)rng.gauss();
+                rows.push_back({1.0, 0.1}); // always passes, log weight 0.1
+            }
+            return rows;
+        };
+    };
+    eval::Engine engine = make_engine();
+    yield::SequentialConfig config;
+    config.pilot_samples = 0;
+    config.chunk_samples = 64;
+    config.max_samples = 512;
+    config.min_samples = 64;
+    config.target_half_width = 0.05; // Wilson fallback would meet this early
+    yield::SequentialYieldRunner runner(engine, config, specs, factory, 1,
+                                        Rng(19));
+    const auto result = runner.run();
+    EXPECT_EQ(result.samples_used, 512u); // ran to the cap
+    EXPECT_FALSE(result.reached_target);
+    EXPECT_EQ(result.estimate.ess, 0.0);
+    EXPECT_EQ(result.estimate.ci_high, 1.0);
+    EXPECT_LT(result.estimate.ci_low, 1.0);
+}
+
+TEST(SequentialYield, RunnerValidatesConfig) {
+    eval::Engine engine = make_engine();
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
+    yield::SequentialConfig bad;
+    bad.chunk_samples = 0;
+    EXPECT_THROW(yield::SequentialYieldRunner(engine, bad, specs,
+                                              synthetic_factory(0.0, 1.0), 1,
+                                              Rng(1)),
+                 InvalidInputError);
+    yield::SequentialConfig ok;
+    EXPECT_THROW(yield::SequentialYieldRunner(engine, ok, {},
+                                              synthetic_factory(0.0, 1.0), 1,
+                                              Rng(1)),
+                 InvalidInputError);
+}
+
+} // namespace
