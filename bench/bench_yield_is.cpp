@@ -1,30 +1,46 @@
-// Variance-reduction yield bench - the gating experiment for the
+// Variance-reduction yield bench - the gating experiments for the
 // importance-sampling subsystem (src/yield/).
 //
-// Scenario: the nominal OTA sizing under c35 process variation with a
-// *rare* gain spec placed deep in the lower tail of the Monte Carlo gain
-// population (mean - k*sigma, k = 2.4 by default -> ~1 % failure rate).
-// Exactly the regime where the paper's 500-sample "100 % yield" runs are
-// weakest, and where plain MC needs thousands of samples per CI digit.
+// Scenario 1 (rare spec): the nominal OTA sizing under c35 process
+// variation with a *rare* gain spec placed deep in the lower tail of the
+// Monte Carlo gain population (mean - k*sigma, k = 2.4 by default -> ~1 %
+// failure rate). Exactly the regime where the paper's 500-sample "100 %
+// yield" runs are weakest, and where plain MC needs thousands of samples
+// per CI digit.
 //
-// Three measurements, all deterministic in their seeds:
 //   BM_YieldBruteForceReference - a large plain-MC reference estimate
 //     (YPM_BENCH_YIELD_REF samples, default 50000);
 //   BM_YieldSequentialPlainMc   - the sequential driver with the pilot
 //     disabled (zero shift = plain MC) running to the CI half-width target;
-//   BM_YieldSequentialImportance - the full two-stage pilot + mean-shift
-//     importance-sampling driver running to the same target.
+//   BM_YieldSequentialImportance - the two-stage pilot + *single* mean
+//     shift (legacy ISLE proposal mode) running to the same target.
 //
-// The CI gate (bench-smoke job) asserts that the IS driver reaches the
-// target half-width in <= 1/3 of the plain-MC samples and that its estimate
-// overlaps the brute-force reference interval. Both drivers dump their
-// samples-vs-half-width trajectory to <YPM_BENCH_DIR>/yield_is_trajectory.csv
-// for the uploaded artifact.
+// Scenario 2 (bimodal two-spec): a low-tail gain spec plus a high-tail
+// phase-margin spec (gain and PM are positively correlated under c35
+// variation, so the two ~1 % failure modes sit in well-separated
+// directions of the standardized process space). A single fitted mean
+// shift points *between* the modes and its fail-side ESS collapses; the
+// defensive mixture (nominal + per-spec components, cross-entropy refined)
+// covers both.
+//
+//   BM_YieldBimodalReference   - plain-MC reference
+//     (YPM_BENCH_YIELD_BIMODAL_REF samples, default 30000);
+//   BM_YieldBimodalSingleShift - the single-shift driver (ESS collapse);
+//   BM_YieldBimodalMixture     - the defensive mixture + one CE refinement.
+//
+// The CI gates (bench-smoke job) assert that the single-shift IS driver
+// reaches the rare-spec target in <= 1/3 of the plain-MC samples, that on
+// the bimodal scenario the single shift's fail-side ESS collapses below
+// 10 % of its samples while the mixture reaches the same target in fewer
+// samples, and that every estimate overlaps its brute-force reference
+// interval. All drivers dump their samples-vs-half-width trajectory to
+// <YPM_BENCH_DIR>/yield_is_trajectory.csv for the uploaded artifact.
 //
 // Environment knobs (on top of bench_common.hpp's):
-//   YPM_BENCH_YIELD_REF     brute-force reference samples (default 50000)
-//   YPM_BENCH_YIELD_TARGET  CI half-width target          (default 0.0035)
-//   YPM_BENCH_YIELD_SIGMA   spec depth in sigmas          (default 2.4)
+//   YPM_BENCH_YIELD_REF         rare-spec reference samples (default 50000)
+//   YPM_BENCH_YIELD_TARGET      CI half-width target        (default 0.0035)
+//   YPM_BENCH_YIELD_SIGMA       spec depth in sigmas        (default 2.4)
+//   YPM_BENCH_YIELD_BIMODAL_REF bimodal reference samples   (default 30000)
 
 #include <benchmark/benchmark.h>
 
@@ -112,6 +128,10 @@ yield::SequentialConfig driver_config(const Scenario& sc, bool importance) {
     config.max_samples = 60000;
     config.min_samples = 256;
     config.target_half_width = sc.target_half_width;
+    // The rare-spec scenario benchmarks the legacy single-shift (ISLE)
+    // proposal - one failure mode, where the mixture's defensive mass only
+    // costs samples. The bimodal scenario below is the mixture's gate.
+    config.mixture_proposal = false;
     return config;
 }
 
@@ -119,6 +139,77 @@ yield::SequentialYieldResult run_driver(const Scenario& sc, bool importance) {
     eval::Engine engine = make_engine();
     yield::SequentialYieldRunner runner(
         engine, driver_config(sc, importance), sc.specs,
+        core::ota_yield_kernel_factory(sc.evaluator, sc.sizing, sc.sampler),
+        core::ota_yield_dimension(sc.evaluator, sc.sizing), Rng(73));
+    return runner.run();
+}
+
+/// The bimodal two-spec scenario: low-gain tail + high-PM tail, both at
+/// the same sigma depth, with its own brute-force reference.
+struct BimodalScenario {
+    circuits::OtaEvaluator evaluator;
+    circuits::OtaSizing sizing;
+    process::ProcessSampler sampler{process::ProcessCard::c35(),
+                                    process::VariationSpec::c35()};
+    std::vector<mc::Spec> specs;
+    double target_half_width = 0.0;
+    mc::YieldEstimate reference;
+    std::size_t reference_samples = 0;
+};
+
+const BimodalScenario& bimodal_scenario() {
+    static const BimodalScenario s = [] {
+        BimodalScenario sc;
+        sc.target_half_width = env_double("YPM_BENCH_YIELD_TARGET", 0.0035);
+
+        eval::Engine cal_engine = make_engine();
+        Rng cal_rng(71);
+        const mc::McResult cal = core::run_ota_monte_carlo(
+            cal_engine, sc.evaluator, sc.sizing, sc.sampler, 512, cal_rng);
+        const mc::Summary gain = cal.column_summary(0);
+        const mc::Summary pm = cal.column_summary(1);
+        const double depth = env_double("YPM_BENCH_YIELD_SIGMA", 2.4);
+        // Gain and PM move together under c35 variation (corr ~ +0.4), so
+        // the low-gain and *high*-PM tails are two well-separated failure
+        // modes in the standardized space - the case a single mean shift
+        // cannot cover.
+        sc.specs = {
+            mc::Spec::at_least("gain_db", gain.mean - depth * gain.stddev),
+            mc::Spec::at_most("pm_deg", pm.mean + depth * pm.stddev)};
+
+        sc.reference_samples =
+            benchx::env_size("YPM_BENCH_YIELD_BIMODAL_REF", 30000);
+        eval::Engine ref_engine = make_engine();
+        Rng ref_rng(72);
+        const mc::McResult ref =
+            core::run_ota_monte_carlo(ref_engine, sc.evaluator, sc.sizing,
+                                      sc.sampler, sc.reference_samples, ref_rng);
+        sc.reference = mc::estimate_yield(ref.rows, sc.specs);
+        return sc;
+    }();
+    return s;
+}
+
+yield::SequentialYieldResult run_bimodal_driver(const BimodalScenario& sc,
+                                                bool mixture) {
+    eval::Engine engine = make_engine();
+    yield::SequentialConfig config;
+    config.pilot_samples = 256;
+    config.pilot_scale = 2.0;
+    config.chunk_samples = 128;
+    config.max_samples = 12000;
+    config.min_samples = 256;
+    config.target_half_width = sc.target_half_width;
+    config.mixture_proposal = mixture;
+    if (mixture) {
+        // One cross-entropy refinement once two chunks of failing records
+        // accumulated: the pilot centers are re-fitted from main-stage
+        // failures under the nominal density.
+        config.refine_after_chunks = 2;
+        config.max_refits = 1;
+    }
+    yield::SequentialYieldRunner runner(
+        engine, config, sc.specs,
         core::ota_yield_kernel_factory(sc.evaluator, sc.sizing, sc.sampler),
         core::ota_yield_dimension(sc.evaluator, sc.sizing), Rng(73));
     return runner.run();
@@ -183,6 +274,59 @@ void BM_YieldSequentialImportance(benchmark::State& state) {
     state.counters["reached_target"] = result.reached_target ? 1.0 : 0.0;
 }
 BENCHMARK(BM_YieldSequentialImportance)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_YieldBimodalReference(benchmark::State& state) {
+    for (auto _ : state) {
+        const BimodalScenario& sc = bimodal_scenario();
+        benchmark::DoNotOptimize(sc.reference.yield);
+    }
+    const BimodalScenario& sc = bimodal_scenario();
+    state.counters["samples"] = static_cast<double>(sc.reference_samples);
+    state.counters["yield"] = sc.reference.yield;
+    state.counters["ci_low"] = sc.reference.ci_low;
+    state.counters["ci_high"] = sc.reference.ci_high;
+}
+BENCHMARK(BM_YieldBimodalReference)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// Shared counter block of the two bimodal drivers. `pilot_skipped` is
+/// logged for the artifact record; these drivers run their own pilots
+/// directly, so it is 0 here - the flag is set by run_adaptive_yield when
+/// a cross-point budget starves a pilot.
+void bimodal_counters(benchmark::State& state,
+                      const yield::SequentialYieldResult& result) {
+    state.counters["samples"] =
+        static_cast<double>(result.samples_used + result.pilot_samples);
+    state.counters["yield"] = result.estimate.yield;
+    state.counters["ci_low"] = result.estimate.ci_low;
+    state.counters["ci_high"] = result.estimate.ci_high;
+    state.counters["ci_half_width"] = result.estimate.half_width();
+    state.counters["ess"] = result.estimate.ess;
+    state.counters["ess_per_sample"] =
+        result.samples_used > 0
+            ? result.estimate.ess / static_cast<double>(result.samples_used)
+            : 0.0;
+    state.counters["components"] =
+        static_cast<double>(result.proposal.components.size());
+    state.counters["refinements"] = static_cast<double>(result.refinements);
+    state.counters["reached_target"] = result.reached_target ? 1.0 : 0.0;
+    state.counters["pilot_skipped"] = result.pilot_skipped ? 1.0 : 0.0;
+}
+
+void BM_YieldBimodalSingleShift(benchmark::State& state) {
+    yield::SequentialYieldResult result;
+    for (auto _ : state) result = run_bimodal_driver(bimodal_scenario(), false);
+    dump_trajectory("bimodal_single_shift", result);
+    bimodal_counters(state, result);
+}
+BENCHMARK(BM_YieldBimodalSingleShift)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_YieldBimodalMixture(benchmark::State& state) {
+    yield::SequentialYieldResult result;
+    for (auto _ : state) result = run_bimodal_driver(bimodal_scenario(), true);
+    dump_trajectory("bimodal_mixture", result);
+    bimodal_counters(state, result);
+}
+BENCHMARK(BM_YieldBimodalMixture)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -70,6 +70,16 @@ FlowResult YieldFlow::run() const {
         if (!(config_.yield_sequential.pilot_scale > 0.0))
             throw InvalidInputError(
                 "YieldFlow: yield_sequential.pilot_scale must be > 0");
+        if (config_.yield_sequential.min_samples >
+            config_.yield_sequential.max_samples)
+            throw InvalidInputError(
+                "YieldFlow: yield_sequential.min_samples exceeds max_samples "
+                "(the early stop would be unreachable)");
+        if (!(config_.yield_sequential.shift_fit.defensive_weight >= 0.0 &&
+              config_.yield_sequential.shift_fit.defensive_weight < 1.0))
+            throw InvalidInputError(
+                "YieldFlow: yield_sequential.shift_fit.defensive_weight must "
+                "be in [0, 1)");
     }
 
     const auto t_start = std::chrono::steady_clock::now();

@@ -49,7 +49,10 @@ struct FlowConfig {
     /// (pilot + importance sampling + sequential early stop). Spec columns
     /// are {gain_db, pm_deg}, in that order.
     std::vector<mc::Spec> yield_specs;
-    /// Per-point pilot/chunk/early-stop settings for the yield stage.
+    /// Per-point pilot/chunk/early-stop settings for the yield stage,
+    /// including the proposal-family knobs: `mixture_proposal` (defensive
+    /// mixture vs legacy single shift), `refine_after_chunks`/`max_refits`
+    /// (cross-entropy refinement) and `shift_fit.defensive_weight`.
     yield::SequentialConfig yield_sequential;
     /// Cross-point sample budget, allocated adaptively to the points with
     /// the widest confidence intervals (0 = per-point caps only).

@@ -63,9 +63,9 @@ ota_yield_kernel_factory(const circuits::OtaEvaluator& evaluator,
     auto geometries = proto.mos_geometries();
 
     return [&evaluator, &sampler, sizing, geometries = std::move(geometries)](
-               const process::SampleShift& shift,
+               const process::ProposalMixture& proposal,
                bool record_u) -> mc::ChunkSampleFn {
-        return [&evaluator, &sampler, sizing, geometries, shift, record_u](
+        return [&evaluator, &sampler, sizing, geometries, proposal, record_u](
                    std::span<const std::size_t>, std::span<Rng> rngs) {
             constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
             std::vector<process::Realization> reals;
@@ -76,7 +76,7 @@ ota_yield_kernel_factory(const circuits::OtaEvaluator& evaluator,
             if (record_u) us.reserve(rngs.size());
             for (Rng& sample_rng : rngs) {
                 process::ShiftedDraw draw =
-                    sampler.sample_shifted(sample_rng, geometries, shift, record_u);
+                    sampler.sample_mixture(sample_rng, geometries, proposal, record_u);
                 reals.push_back(std::move(draw.realization));
                 log_weights.push_back(draw.log_weight);
                 if (record_u) us.push_back(std::move(draw.u));

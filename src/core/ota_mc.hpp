@@ -41,13 +41,14 @@ run_ota_monte_carlo(const circuits::OtaEvaluator& evaluator,
 
 /// Kernel factory for the variance-reduction yield engine
 /// (yield::SequentialYieldRunner): chunks draw process realisations from the
-/// shifted proposal and measure them through the warm prototype pool. Rows
-/// are {gain_db, pm_deg, log_weight}, plus the standardized coordinates when
-/// u recording is requested; a failed simulation keeps its (valid) weight
-/// and fails every spec via NaN performances. With an inactive shift the
+/// defensive mixture proposal (process::ProcessSampler::sample_mixture) and
+/// measure them through the warm prototype pool. Rows are {gain_db, pm_deg,
+/// log_weight}, plus the standardized coordinates when u recording is
+/// requested; a failed simulation keeps its (valid) weight and fails every
+/// spec via NaN performances. With a one-component inactive mixture the
 /// performance columns are bit-identical to run_ota_monte_carlo rows.
 /// `evaluator` and `sampler` are captured by reference and must outlive the
-/// run; sizing and geometry are captured by value.
+/// run; sizing, geometry and the mixture are captured by value.
 [[nodiscard]] yield::KernelFactory
 ota_yield_kernel_factory(const circuits::OtaEvaluator& evaluator,
                          const circuits::OtaSizing& sizing,

@@ -1,5 +1,6 @@
 #include "process/sampler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -38,6 +39,107 @@ bool SampleShift::active() const {
     return false;
 }
 
+ProposalMixture ProposalMixture::nominal() {
+    ProposalMixture mix;
+    mix.components.emplace_back();
+    return mix;
+}
+
+ProposalMixture ProposalMixture::single(SampleShift shift) {
+    ProposalMixture mix;
+    ProposalComponent comp;
+    comp.mu = std::move(shift.mu);
+    comp.scale = shift.scale;
+    mix.components.push_back(std::move(comp));
+    return mix;
+}
+
+bool ProposalMixture::active() const {
+    if (components.size() > 1) return true;
+    for (const ProposalComponent& c : components) {
+        SampleShift shift;
+        shift.mu = c.mu;
+        shift.scale = c.scale;
+        if (shift.active()) return true;
+    }
+    return false;
+}
+
+std::size_t ProposalMixture::pick_component(double u01) const {
+    if (components.empty())
+        throw InvalidInputError("ProposalMixture: cannot pick from an empty mixture");
+    double total = 0.0;
+    for (const ProposalComponent& c : components) total += c.weight;
+    double cum = 0.0;
+    for (std::size_t k = 0; k + 1 < components.size(); ++k) {
+        cum += components[k].weight / total;
+        if (u01 < cum) return k;
+    }
+    return components.size() - 1;
+}
+
+void ProposalMixture::validate(std::size_t dimension) const {
+    for (const ProposalComponent& c : components) {
+        if (!(c.weight > 0.0) || !std::isfinite(c.weight))
+            throw InvalidInputError(
+                "ProposalMixture: component weights must be finite and > 0");
+        if (!(c.scale > 0.0) || !std::isfinite(c.scale))
+            throw InvalidInputError(
+                "ProposalMixture: component scales must be finite and > 0");
+        if (!c.mu.empty() && c.mu.size() != dimension)
+            throw InvalidInputError(
+                "ProposalMixture: component dimension mismatch (got " +
+                std::to_string(c.mu.size()) + ", expected " +
+                std::to_string(dimension) + ")");
+        for (double m : c.mu)
+            if (!std::isfinite(m))
+                throw InvalidInputError(
+                    "ProposalMixture: non-finite component mean entry");
+    }
+}
+
+namespace {
+
+/// log sum_k exp(terms[k]) without overflow; terms must be non-empty.
+double log_sum_exp(const std::vector<double>& terms) {
+    const double peak = *std::max_element(terms.begin(), terms.end());
+    if (!std::isfinite(peak)) return peak; // all -inf (or a NaN poisoning)
+    double sum = 0.0;
+    for (double t : terms) sum += std::exp(t - peak);
+    return peak + std::log(sum);
+}
+
+/// Mixture log density of the standardized vector given the per-component
+/// log products (each already summed over the active dimensions, without
+/// the -dim/2*log(2*pi) constant - it cancels against log phi(u)).
+double log_mixture_density(const std::vector<ProposalComponent>& components,
+                           std::vector<double>& log_q) {
+    double total = 0.0;
+    for (const ProposalComponent& c : components) total += c.weight;
+    for (std::size_t k = 0; k < components.size(); ++k)
+        log_q[k] += std::log(components[k].weight / total);
+    return log_sum_exp(log_q);
+}
+
+} // namespace
+
+double ProposalMixture::log_weight_of(const std::vector<double>& u) const {
+    validate(u.size());
+    if (components.empty()) return 0.0; // nominal: w = 1 exactly
+    double log_p = 0.0;
+    std::vector<double> log_q(components.size(), 0.0);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+        log_p += -0.5 * u[i] * u[i];
+        for (std::size_t k = 0; k < components.size(); ++k) {
+            const ProposalComponent& c = components[k];
+            const double m = c.mu.empty() ? 0.0 : c.mu[i];
+            const double t = (u[i] - m) / c.scale;
+            log_q[k] += -0.5 * t * t - std::log(c.scale);
+        }
+    }
+    return log_p - log_mixture_density(components, log_q);
+}
+
 ProcessSampler::ProcessSampler(ProcessCard card, VariationSpec spec)
     : card_(std::move(card)), spec_(spec) {}
 
@@ -56,6 +158,42 @@ ShiftedDraw ProcessSampler::sample_shifted(Rng& rng,
     sample_impl(rng, devices, &shift, draw, record_u);
     return draw;
 }
+
+namespace {
+
+/// The one definition of the standardized dimension order (documented on
+/// SampleShift): fills a realisation by calling draw(sigma) once per
+/// dimension. Every sampling path - plain, single shift, mixture - walks
+/// this exact sequence so their RNG consumption stays aligned.
+template <typename DrawFn>
+void fill_realization(const VariationSpec& spec,
+                      const std::vector<MosGeometry>& devices, DrawFn&& draw,
+                      Realization& r) {
+    const auto& g = spec.global;
+    r.global.dvth_n = draw(g.sigma_vth_n);
+    r.global.dvth_p = draw(g.sigma_vth_p);
+    r.global.kp_scale_n = 1.0 + draw(g.sigma_kp_rel_n);
+    r.global.kp_scale_p = 1.0 + draw(g.sigma_kp_rel_p);
+    // Thinner oxide -> larger Cox; tox and Cox are inversely related, and at
+    // 1 % spreads the first-order reciprocal is adequate.
+    r.global.cox_scale = 1.0 / (1.0 + draw(g.sigma_tox_rel));
+
+    const auto& mm = spec.mismatch;
+    for (const auto& dev : devices) {
+        if (dev.w <= 0.0 || dev.l <= 0.0)
+            throw InvalidInputError("ProcessSampler: non-positive geometry for '" +
+                                    dev.name + "'");
+        const double inv_sqrt_area = 1.0 / std::sqrt(dev.w * dev.l);
+        const double a_vt = dev.is_pmos ? mm.a_vt_p : mm.a_vt_n;
+        const double a_beta = dev.is_pmos ? mm.a_beta_p : mm.a_beta_n;
+        MosDelta d;
+        d.dvth = draw(a_vt * inv_sqrt_area);
+        d.kp_scale = 1.0 + draw(a_beta * inv_sqrt_area);
+        r.local[dev.name] = d;
+    }
+}
+
+} // namespace
 
 void ProcessSampler::sample_impl(Rng& rng, const std::vector<MosGeometry>& devices,
                                  const SampleShift* shift, ShiftedDraw& out,
@@ -83,7 +221,10 @@ void ProcessSampler::sample_impl(Rng& rng, const std::vector<MosGeometry>& devic
     // One underlying standard-normal draw per dimension, in the fixed
     // dimension order documented on SampleShift. With m == 0 and scale == 1
     // the value computes as 0.0 + sigma * z, bit-identical to the historic
-    // rng.gauss(0.0, sigma) call, and the log weight is exactly 0.
+    // rng.gauss(0.0, sigma) call, and the log weight is exactly 0. The
+    // per-dimension incremental accumulation is valid because a single
+    // Gaussian proposal is product-form across dimensions (a mixture is
+    // not - see sample_mixture).
     std::size_t next_dim = 0;
     auto draw = [&](double sigma) {
         const std::size_t i = next_dim++;
@@ -102,30 +243,70 @@ void ProcessSampler::sample_impl(Rng& rng, const std::vector<MosGeometry>& devic
         }
         return value;
     };
+    fill_realization(spec_, devices, draw, out.realization);
+}
 
-    Realization& r = out.realization;
-    const auto& g = spec_.global;
-    r.global.dvth_n = draw(g.sigma_vth_n);
-    r.global.dvth_p = draw(g.sigma_vth_p);
-    r.global.kp_scale_n = 1.0 + draw(g.sigma_kp_rel_n);
-    r.global.kp_scale_p = 1.0 + draw(g.sigma_kp_rel_p);
-    // Thinner oxide -> larger Cox; tox and Cox are inversely related, and at
-    // 1 % spreads the first-order reciprocal is adequate.
-    r.global.cox_scale = 1.0 / (1.0 + draw(g.sigma_tox_rel));
+ShiftedDraw ProcessSampler::sample_mixture(Rng& rng,
+                                           const std::vector<MosGeometry>& devices,
+                                           const ProposalMixture& mixture,
+                                           bool record_u) const {
+    const std::size_t dim = SampleShift::dimension(devices.size());
+    mixture.validate(dim);
 
-    const auto& mm = spec_.mismatch;
-    for (const auto& dev : devices) {
-        if (dev.w <= 0.0 || dev.l <= 0.0)
-            throw InvalidInputError("ProcessSampler: non-positive geometry for '" +
-                                    dev.name + "'");
-        const double inv_sqrt_area = 1.0 / std::sqrt(dev.w * dev.l);
-        const double a_vt = dev.is_pmos ? mm.a_vt_p : mm.a_vt_n;
-        const double a_beta = dev.is_pmos ? mm.a_beta_p : mm.a_beta_n;
-        MosDelta d;
-        d.dvth = draw(a_vt * inv_sqrt_area);
-        d.kp_scale = 1.0 + draw(a_beta * inv_sqrt_area);
-        r.local[dev.name] = d;
+    // Zero or one component: the single-shift path, bit-identical RNG
+    // consumption to sample() (no component-selection draw), and with an
+    // inactive component bit-identical realisations with log_weight
+    // exactly 0.
+    if (mixture.components.size() <= 1) {
+        SampleShift shift;
+        if (!mixture.components.empty()) {
+            shift.mu = mixture.components.front().mu;
+            shift.scale = mixture.components.front().scale;
+        }
+        ShiftedDraw draw = sample_shifted(rng, devices, shift, record_u);
+        draw.component = 0;
+        return draw;
     }
+
+    // Defensive mixture: one uniform picks the component, then the
+    // per-dimension Gaussians are drawn from it in the standard order. The
+    // mixture density is not product-form across dimensions, so the log
+    // weight cannot be accumulated per dimension under one formula;
+    // instead every component's log density of the *whole* standardized
+    // vector u is accumulated and combined once at the end:
+    //   log w = log phi(u) - logsumexp_k(log p_k + log q_k(u)).
+    // Zero-sigma dimensions are deterministic under every component and
+    // drop out of both densities.
+    const std::size_t chosen = mixture.pick_component(rng.uniform01());
+    const ProposalComponent& comp = mixture.components[chosen];
+
+    ShiftedDraw out;
+    out.component = chosen;
+    if (record_u) out.u.assign(dim, 0.0);
+    double log_p = 0.0; // log phi(u) over active dims, constants dropped
+    std::vector<double> log_q(mixture.components.size(), 0.0);
+    std::size_t next_dim = 0;
+    auto draw = [&](double sigma) {
+        const std::size_t i = next_dim++;
+        const double m = comp.mu.empty() ? 0.0 : comp.mu[i];
+        const double z = rng.gauss();
+        const double value = m * sigma + (comp.scale * sigma) * z;
+        if (sigma > 0.0) {
+            const double u = m + comp.scale * z;
+            log_p += -0.5 * u * u;
+            for (std::size_t k = 0; k < mixture.components.size(); ++k) {
+                const ProposalComponent& c = mixture.components[k];
+                const double mk = c.mu.empty() ? 0.0 : c.mu[i];
+                const double t = (u - mk) / c.scale;
+                log_q[k] += -0.5 * t * t - std::log(c.scale);
+            }
+            if (record_u) out.u[i] = u;
+        }
+        return value;
+    };
+    fill_realization(spec_, devices, draw, out.realization);
+    out.log_weight = log_p - log_mixture_density(mixture.components, log_q);
+    return out;
 }
 
 Realization ProcessSampler::corner(Corner c) const {

@@ -84,6 +84,57 @@ struct SampleShift {
     [[nodiscard]] bool active() const;
 };
 
+/// One component of a Gaussian mixture proposal: a translated/widened
+/// standard normal in the standardized process space (same layout and
+/// semantics as SampleShift) plus a relative mixture weight.
+struct ProposalComponent {
+    std::vector<double> mu; ///< empty = zero shift; else one entry per dim
+    double scale = 1.0;     ///< sigma multiplier (> 0)
+    double weight = 1.0;    ///< relative (unnormalized) mixture weight (> 0)
+};
+
+/// Defensive Gaussian-mixture proposal for importance-sampled yield
+/// estimation: q(u) = sum_k p_k * prod_i phi((u_i - mu_k_i)/s_k)/s_k with
+/// p_k the normalized component weights. A single mean-shift proposal
+/// cannot cover the disjoint failure regions of a multi-spec problem; the
+/// standard cure (Jonsson/Lelong-style defensive IS) is one component per
+/// failure mode plus a nominal component that bounds the weights near the
+/// bulk. An empty component list - the default - is the nominal
+/// distribution, and a one-component mixture reduces exactly to the single
+/// SampleShift path (no component-selection draw is consumed).
+struct ProposalMixture {
+    std::vector<ProposalComponent> components;
+
+    /// The nominal (plain Monte Carlo) proposal as an explicit single
+    /// component.
+    [[nodiscard]] static ProposalMixture nominal();
+
+    /// Wrap one SampleShift as a one-component mixture (the legacy ISLE
+    /// single-shift proposal).
+    [[nodiscard]] static ProposalMixture single(SampleShift shift);
+
+    /// True when sampling from this mixture differs from the nominal
+    /// distribution (any shifted/widened component, or >= 2 components).
+    [[nodiscard]] bool active() const;
+
+    /// Component index selected by a uniform [0, 1) variate against the
+    /// cumulative normalized weights. \throws ypm::InvalidInputError on an
+    /// empty mixture.
+    [[nodiscard]] std::size_t pick_component(double u01) const;
+
+    /// Exact log likelihood ratio log(phi(u) / q_mix(u)) for standardized
+    /// coordinates u with *unit* nominal sigmas - the brute-force mixture
+    /// density evaluation used by synthetic yield kernels and tests (the
+    /// process sampler computes the same quantity internally, skipping
+    /// zero-sigma dimensions). Exactly 0 for an inactive mixture.
+    [[nodiscard]] double log_weight_of(const std::vector<double>& u) const;
+
+    /// \throws ypm::InvalidInputError when any component has a non-positive
+    /// or non-finite weight/scale, a non-finite mu entry, or a mu dimension
+    /// that is neither empty nor `dimension`.
+    void validate(std::size_t dimension) const;
+};
+
 /// One draw from a shifted proposal: the realisation, the exact log
 /// likelihood ratio log(p_nominal(u) / p_proposal(u)) for importance
 /// weighting (the estimator lives in yield/weighted.hpp), and (optionally)
@@ -93,6 +144,7 @@ struct ShiftedDraw {
     Realization realization;
     double log_weight = 0.0;
     std::vector<double> u; ///< filled only when record_u was requested
+    std::size_t component = 0; ///< mixture component the draw came from
 };
 
 /// Sampler bound to a card + statistical spec.
@@ -114,6 +166,21 @@ public:
     [[nodiscard]] ShiftedDraw sample_shifted(Rng& rng,
                                              const std::vector<MosGeometry>& devices,
                                              const SampleShift& shift,
+                                             bool record_u = false) const;
+
+    /// Draw from a defensive mixture proposal. With zero or one component
+    /// this delegates to the single-shift path (same RNG consumption as
+    /// sample(); an inactive component is bit-identical to sample() with
+    /// log_weight exactly 0). With >= 2 components one uniform draw picks
+    /// the component, then the per-dimension Gaussians are drawn exactly
+    /// like sample_shifted's; because a mixture density is not
+    /// product-form across dimensions, the log weight is computed over the
+    /// whole standardized vector: log w = log phi(u) - log q_mix(u).
+    /// \throws ypm::InvalidInputError on an invalid mixture (see
+    /// ProposalMixture::validate).
+    [[nodiscard]] ShiftedDraw sample_mixture(Rng& rng,
+                                             const std::vector<MosGeometry>& devices,
+                                             const ProposalMixture& mixture,
                                              bool record_u = false) const;
 
     /// Global-only realisation for a worst-case corner (no mismatch).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace ypm::yield {
 
@@ -23,7 +24,21 @@ SequentialYieldRunner::SequentialYieldRunner(eval::Engine& engine,
         throw InvalidInputError("SequentialYieldRunner: chunk_samples must be >= 1");
     if (config_.max_samples == 0)
         throw InvalidInputError("SequentialYieldRunner: max_samples must be >= 1");
+    if (config_.min_samples > config_.max_samples)
+        throw InvalidInputError(
+            "SequentialYieldRunner: min_samples exceeds max_samples - the "
+            "early stop would be silently unreachable and every run would "
+            "burn the full sample cap");
+    if (!(config_.shift_fit.defensive_weight >= 0.0 &&
+          config_.shift_fit.defensive_weight < 1.0))
+        throw InvalidInputError(
+            "SequentialYieldRunner: shift_fit.defensive_weight must be in "
+            "[0, 1)");
     if (config_.inflight == 0) config_.inflight = 1;
+    // CE refinement needs u records on the main stage and at least one
+    // failing record per refit.
+    record_main_u_ = config_.refine_after_chunks > 0 && config_.max_refits > 0;
+    if (config_.refit_min_failures == 0) config_.refit_min_failures = 1;
     // Zero retired samples must report the vacuous interval [0, 1], not a
     // default-constructed point interval [0, 0] pretending certainty (a
     // budget-starved point in a multi-point campaign hits this).
@@ -37,8 +52,9 @@ void SequentialYieldRunner::submit_pilot() {
     pilot_shift.scale = config_.pilot_scale;
     mc::McConfig cfg;
     cfg.samples = config_.pilot_samples;
-    pilot_ticket_ =
-        mc::submit_monte_carlo(engine_, cfg, rng_, factory_(pilot_shift, true));
+    pilot_ticket_ = mc::submit_monte_carlo(
+        engine_, cfg, rng_,
+        factory_(process::ProposalMixture::single(pilot_shift), true));
     pilot_submitted_ = true;
 }
 
@@ -56,11 +72,20 @@ void SequentialYieldRunner::finish_pilot() {
                                  log_weights);
         pilot_estimate_ = weighted_yield_from_flags(flags, log_weights);
         fit_ = fit_shift(pilot.rows, specs_, dimension_, config_.shift_fit);
+        pilot_failures_ = fit_.pilot_failures;
     }
-    // No pilot (or no pilot failures): fit_.shift stays the zero shift and
-    // the main stage is plain Monte Carlo with unit weights.
-    main_kernel_ = factory_(fit_.shift, false);
+    // No pilot (or no pilot failures): the fitted proposal stays nominal
+    // and the main stage is plain Monte Carlo with unit weights.
+    bind_main_kernel(fit_);
     pilot_finished_ = true;
+}
+
+void SequentialYieldRunner::bind_main_kernel(const ShiftFit& fit) {
+    main_proposal_ = config_.mixture_proposal
+                         ? fit.mixture
+                         : process::ProposalMixture::single(fit.shift);
+    main_arity_ = specs_.size() + 1 + (record_main_u_ ? dimension_ : 0);
+    main_kernel_ = factory_(main_proposal_, record_main_u_);
 }
 
 bool SequentialYieldRunner::done() const {
@@ -89,41 +114,98 @@ std::size_t SequentialYieldRunner::submit_chunk(std::size_t limit) {
                                                             config_.max_samples);
     const std::size_t size = std::min({config_.chunk_samples, left, limit});
     if (size == 0) return 0;
+    InflightChunk chunk{mc::McTicket{}, size, rng_};
     mc::McConfig cfg;
     cfg.samples = size;
-    tickets_.emplace_back(mc::submit_monte_carlo(engine_, cfg, rng_, main_kernel_),
-                          size);
+    chunk.ticket = mc::submit_monte_carlo(engine_, cfg, rng_, main_kernel_);
+    tickets_.push_back(std::move(chunk));
     submitted_samples_ += size;
     return size;
 }
 
 bool SequentialYieldRunner::retire_chunk() {
     if (tickets_.empty()) return false;
-    auto [ticket, size] = std::move(tickets_.front());
+    InflightChunk chunk = std::move(tickets_.front());
     tickets_.pop_front();
-    fold_rows(mc::wait_monte_carlo(engine_, std::move(ticket)));
-    (void)size;
+    fold_rows(mc::wait_monte_carlo(engine_, std::move(chunk.ticket)));
+    maybe_refit();
     return true;
 }
 
 void SequentialYieldRunner::fold_rows(const mc::McResult& result) {
-    append_flags_and_weights(result.rows, specs_, specs_.size() + 1, flags_,
+    const std::size_t first = flags_.size();
+    append_flags_and_weights(result.rows, specs_, main_arity_, flags_,
                              log_weights_);
+    if (record_main_u_) {
+        // Accumulate the failing records (with their exact per-proposal log
+        // weights) for the cross-entropy refit.
+        for (std::size_t k = 0; k < result.rows.size(); ++k)
+            if (!flags_[first + k]) fail_rows_.push_back(result.rows[k]);
+    }
     retired_samples_ += result.rows.size();
-    estimate_ = weighted_yield_from_flags(flags_, log_weights_);
+    ++stage_chunks_;
+    update_estimate();
     trajectory_.emplace_back(retired_samples_, estimate_.half_width());
+}
+
+void SequentialYieldRunner::update_estimate() {
+    if (stages_.empty()) {
+        estimate_ = weighted_yield_from_flags(flags_, log_weights_);
+        return;
+    }
+    std::vector<WeightedYieldEstimate> all = stages_;
+    all.push_back(weighted_yield_from_flags(flags_, log_weights_));
+    estimate_ = combine_stage_estimates(all);
+}
+
+void SequentialYieldRunner::maybe_refit() {
+    if (!record_main_u_ || refits_done_ >= config_.max_refits) return;
+    if (stage_chunks_ < config_.refine_after_chunks) return;
+    if (done()) return; // the stop decision wins over a refit
+    if (fail_rows_.size() < config_.refit_min_failures) return;
+
+    // Chunks in flight were drawn from the proposal being replaced: drain
+    // them as discarded overshoot and rewind the RNG/submission state to
+    // the retired prefix, so the post-refit stream - and with it the whole
+    // run - depends only on folded chunks, never on the inflight window.
+    rewind_inflight();
+
+    fit_ = refit_shift(fail_rows_, specs_, dimension_, config_.shift_fit);
+    bind_main_kernel(fit_);
+
+    // Close the current stage: its samples were drawn from the old
+    // proposal, so its estimate is combined per-stage with the stages to
+    // come (never re-pooled under the new proposal's weights).
+    stages_.push_back(weighted_yield_from_flags(flags_, log_weights_));
+    flags_.clear();
+    log_weights_.clear();
+    stage_chunks_ = 0;
+    ++refits_done_;
+}
+
+void SequentialYieldRunner::rewind_inflight() {
+    if (tickets_.empty()) return;
+    rng_ = tickets_.front().rng_before;
+    const std::size_t drained = drain_overshoot();
+    submitted_samples_ -= std::min(drained, submitted_samples_);
 }
 
 std::size_t SequentialYieldRunner::drain_overshoot() {
     std::size_t drained = 0;
     while (!tickets_.empty()) {
-        auto [ticket, size] = std::move(tickets_.front());
+        InflightChunk chunk = std::move(tickets_.front());
         tickets_.pop_front();
-        (void)mc::wait_monte_carlo(engine_, std::move(ticket));
-        drained += size;
+        (void)mc::wait_monte_carlo(engine_, std::move(chunk.ticket));
+        drained += chunk.samples;
     }
     discarded_samples_ += drained;
     return drained;
+}
+
+std::size_t SequentialYieldRunner::take_refund() {
+    const std::size_t refund = discarded_samples_ - refunded_samples_;
+    refunded_samples_ = discarded_samples_;
+    return refund;
 }
 
 SequentialYieldResult SequentialYieldRunner::finish() {
@@ -134,11 +216,18 @@ SequentialYieldResult SequentialYieldRunner::finish() {
     result.estimate = estimate_;
     result.pilot = pilot_estimate_;
     result.shift = fit_.shift;
-    result.shift_pilot_failures = fit_.pilot_failures;
+    result.proposal = main_proposal_;
+    result.stage_estimates = stages_;
+    if (!flags_.empty())
+        result.stage_estimates.push_back(
+            weighted_yield_from_flags(flags_, log_weights_));
+    result.refinements = refits_done_;
+    result.shift_pilot_failures = pilot_failures_;
     result.samples_used = retired_samples_;
     result.pilot_samples = pilot_submitted_ ? config_.pilot_samples : 0;
     result.discarded_samples = discarded_samples_;
     result.reached_target = target_met();
+    result.pilot_skipped = pilot_skipped_;
     result.trajectory = std::move(trajectory_);
     return result;
 }
@@ -171,12 +260,18 @@ run_adaptive_yield(eval::Engine& engine, const AdaptiveYieldConfig& config,
     };
 
     // Pilots first, streamed together: every pilot chunk is in flight before
-    // the first is retired, so they overlap on the engine's pool.
-    for (auto& r : runners) {
-        if (config.sequential.pilot_samples > 0 &&
-            remaining() >= config.sequential.pilot_samples) {
-            r->submit_pilot();
+    // the first is retired, so they overlap on the engine's pool. A point
+    // whose pilot no longer fits the budget is flagged, not silently
+    // degraded to plain MC.
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+        if (config.sequential.pilot_samples == 0) continue;
+        if (remaining() >= config.sequential.pilot_samples) {
+            runners[i]->submit_pilot();
             used += config.sequential.pilot_samples;
+        } else {
+            runners[i]->mark_pilot_skipped();
+            log::warn("adaptive yield: budget cannot cover the pilot of "
+                      "point ", i, " - it runs on plain MC (pilot_skipped)");
         }
     }
     for (auto& r : runners) r->finish_pilot();
@@ -184,7 +279,10 @@ run_adaptive_yield(eval::Engine& engine, const AdaptiveYieldConfig& config,
     // One initial chunk each (streamed the same way), so every point has an
     // estimate for the adaptive ranking.
     for (auto& r : runners) used += r->submit_chunk(remaining());
-    for (auto& r : runners) (void)r->retire_chunk();
+    for (auto& r : runners) {
+        (void)r->retire_chunk();
+        used -= std::min(used, r->take_refund());
+    }
 
     // Adaptive rounds: each round the single unfinished point with the
     // widest confidence interval gets the next `inflight` chunks (streamed,
@@ -212,14 +310,16 @@ run_adaptive_yield(eval::Engine& engine, const AdaptiveYieldConfig& config,
         }
         // Stop folding the moment the runner is done, and refund the
         // drained overshoot to the budget (total_samples caps useful
-        // samples; overshoot is wasted compute, not budget). Note the
-        // window is also the allocation granularity: a pick folds up to
-        // `inflight` chunks before the next re-ranking, so unlike the
-        // single-point runner the *allocation* is only deterministic per
-        // configuration, not invariant across window sizes.
+        // samples; overshoot - from stop decisions and mid-run CE refits
+        // alike - is wasted compute, not budget). Note the window is also
+        // the allocation granularity: a pick folds up to `inflight` chunks
+        // before the next re-ranking, so unlike the single-point runner the
+        // *allocation* is only deterministic per configuration, not
+        // invariant across window sizes.
         while (!runner.done() && runner.retire_chunk()) {
         }
-        if (runner.done()) used -= std::min(used, runner.drain_overshoot());
+        if (runner.done()) (void)runner.drain_overshoot();
+        used -= std::min(used, runner.take_refund());
     }
 
     std::vector<SequentialYieldResult> results;

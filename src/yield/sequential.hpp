@@ -3,24 +3,35 @@
 /// \brief Sequential importance-sampled yield estimation over the streaming
 ///        dispatch seam.
 ///
-/// The driver runs the two-stage ISLE recipe per design point:
+/// The driver runs an adaptive multi-stage recipe per design point:
 ///
 ///  1. pilot: a Monte Carlo chunk drawn from a *widened* proposal (scale > 1)
-///     locates the failure region; the mean shift of the main proposal is
-///     fitted at the center of gravity of the failing realisations
-///     (yield::fit_shift);
-///  2. main: fixed-size chunks drawn from the shifted proposal stream
+///     locates the failure region(s); yield::fit_shift turns the failing
+///     realisations into a defensive mixture proposal (nominal + one
+///     component per failing spec) or, in the legacy mode, a single
+///     combined mean shift;
+///  2. main: fixed-size chunks drawn from the fitted proposal stream
 ///     through eval::Engine::submit()/wait() - reusing the stochastic chunk
 ///     kernels and the warm PrototypePool - and the run stops early once the
 ///     95 % confidence half-width of the weighted estimate (the unnormalized
-///     fail-side form, see yield/weighted.hpp) reaches the target.
+///     fail-side form, see yield/weighted.hpp) reaches the target;
+///  3. optional cross-entropy refinement: every `refine_after_chunks`
+///     retired chunks the proposal is re-fitted from the accumulated
+///     main-stage failing records (yield::refit_shift) and a new stage
+///     begins. Stages drawn from different proposals are combined
+///     *per-stage* (yield::combine_stage_estimates pools their exact
+///     fail-side moments); samples are never re-weighted under one
+///     proposal's formula.
 ///
 /// Determinism: every chunk's RNG streams derive from the runner's own Rng
 /// in submission order, exactly as mc::submit_monte_carlo derives them, so
 /// the retired estimate and samples_used are bit-identical for any inflight
-/// window (overshoot chunks submitted past the stop decision are drained
-/// and discarded, never mixed into the estimate). With a zero shift and one
-/// chunk the sampled rows are bit-identical to mc::run_monte_carlo.
+/// window. Chunks submitted past a stop or refit decision are drained and
+/// discarded, never folded; at a refit the runner additionally rewinds its
+/// RNG and submission count to the retired prefix, so the post-refit stream
+/// too depends only on folded chunks and never on the window. With a zero
+/// shift and one chunk the sampled rows are bit-identical to
+/// mc::run_monte_carlo.
 ///
 /// run_adaptive_yield() drives many design points at once, allocating the
 /// remaining sample budget to whichever point currently has the widest
@@ -41,20 +52,24 @@
 
 namespace ypm::yield {
 
-/// Builds the chunk kernel for one proposal distribution. Rows must be
-/// {perf_0..perf_{k-1}, log_weight} for k specs, plus the `dimension`
-/// standardized coordinates u_0..u_{dim-1} appended when record_u is true
-/// (the pilot needs them for shift fitting). Kernels are copied into the
-/// engine; anything captured by reference must outlive the run.
-using KernelFactory =
-    std::function<mc::ChunkSampleFn(const process::SampleShift&, bool record_u)>;
+/// Builds the chunk kernel for one proposal distribution (a defensive
+/// mixture; the pilot and the legacy single-shift mode pass one-component
+/// mixtures, whose draw path must be bit-identical to the plain
+/// single-shift sampler). Rows must be {perf_0..perf_{k-1}, log_weight}
+/// for k specs, plus the `dimension` standardized coordinates
+/// u_0..u_{dim-1} appended when record_u is true (shift fitting and CE
+/// refinement need them). Kernels are copied into the engine; anything
+/// captured by reference must outlive the run.
+using KernelFactory = std::function<mc::ChunkSampleFn(
+    const process::ProposalMixture&, bool record_u)>;
 
 struct SequentialConfig {
     std::size_t pilot_samples = 128; ///< 0 disables the pilot (zero shift)
     double pilot_scale = 2.0;        ///< widened pilot proposal (sigma units)
     std::size_t chunk_samples = 64;  ///< main-stage chunk size
     std::size_t max_samples = 4096;  ///< main-stage cap (excludes the pilot)
-    std::size_t min_samples = 128;   ///< floor before early stop is allowed
+    std::size_t min_samples = 128;   ///< floor before early stop is allowed;
+                                     ///< must be <= max_samples
     /// Stop once the 95 % CI half-width of the estimate is <= this target;
     /// 0 runs to max_samples unconditionally.
     double target_half_width = 0.0;
@@ -64,20 +79,45 @@ struct SequentialConfig {
     /// comment), only the overshoot; in run_adaptive_yield it is also the
     /// per-pick allocation granularity (see its contract).
     std::size_t inflight = 2;
-    ShiftFitConfig shift_fit; ///< clamp for the fitted shift
+    /// Main-stage proposal family: the defensive mixture fitted by the
+    /// pilot (default - covers disjoint multi-spec failure regions) or the
+    /// legacy single combined mean shift (ISLE).
+    bool mixture_proposal = true;
+    /// Cross-entropy refinement period, in retired main-stage chunks; 0
+    /// disables refinement. When enabled the main kernels record u (the
+    /// rows grow by `dimension` columns) and every failing record is
+    /// accumulated for refit_shift.
+    std::size_t refine_after_chunks = 0;
+    std::size_t max_refits = 1; ///< refinement rounds allowed per run
+    /// A refit without evidence would aim the proposal at noise: skip the
+    /// refinement until at least this many failing records accumulated.
+    std::size_t refit_min_failures = 8;
+    ShiftFitConfig shift_fit; ///< clamp + defensive weight for the fits
 };
 
 /// Result of one sequential run.
 struct SequentialYieldResult {
-    WeightedYieldEstimate estimate; ///< main-stage importance-sampled estimate
+    WeightedYieldEstimate estimate; ///< main-stage estimate (per-stage
+                                    ///< combination when CE refinement ran)
     WeightedYieldEstimate pilot;    ///< pilot diagnostic (weighted: the pilot
                                     ///< proposal is widened, not nominal)
-    process::SampleShift shift;     ///< fitted main-stage proposal
+    process::SampleShift shift;     ///< combined single shift of the last fit
+    process::ProposalMixture proposal; ///< final main-stage proposal
+    /// One estimate per proposal stage (a single entry when no refinement
+    /// ran; empty for a budget-starved point that never got a chunk). The
+    /// `estimate` above is their combination.
+    std::vector<WeightedYieldEstimate> stage_estimates;
+    std::size_t refinements = 0;    ///< CE refits actually applied
     std::size_t shift_pilot_failures = 0; ///< failing pilot samples behind the fit
     std::size_t samples_used = 0;   ///< main-stage samples in the estimate
     std::size_t pilot_samples = 0;
-    std::size_t discarded_samples = 0; ///< drained overshoot past the stop
+    std::size_t discarded_samples = 0; ///< drained overshoot past stop/refit
     bool reached_target = false;
+    /// True when the allocator skipped this point's pilot because the
+    /// cross-point budget could not cover it: the point ran (if at all) on
+    /// plain MC with no failure-directed proposal. Size the budget above
+    /// points * (pilot + min_samples) to avoid it.
+    bool pilot_skipped = false;
     /// (cumulative samples, CI half-width) after each retired chunk - the
     /// convergence trajectory the bench artifact plots.
     std::vector<std::pair<std::size_t, double>> trajectory;
@@ -91,15 +131,23 @@ class SequentialYieldRunner {
 public:
     /// \param dimension standardized process-space dimension of the kernel's
     ///        u record (process::SampleShift::dimension of the device count).
+    /// \throws ypm::InvalidInputError on an empty spec list, a null factory,
+    ///         zero chunk/max samples, or min_samples > max_samples (which
+    ///         would silently make the early stop unreachable and burn the
+    ///         full cap on every run).
     SequentialYieldRunner(eval::Engine& engine, SequentialConfig config,
                           std::vector<mc::Spec> specs, KernelFactory factory,
                           std::size_t dimension, Rng rng);
 
     /// Pilot stage. submit_pilot() enqueues the pilot chunk (no-op when
-    /// pilot_samples == 0); finish_pilot() blocks on it and fits the shift.
-    /// Both must be called (in order) before any main-stage call.
+    /// pilot_samples == 0); finish_pilot() blocks on it and fits the
+    /// proposal. Both must be called (in order) before any main-stage call.
     void submit_pilot();
     void finish_pilot();
+
+    /// Record that the allocator skipped this point's pilot for budget
+    /// reasons (surfaced as SequentialYieldResult::pilot_skipped).
+    void mark_pilot_skipped() { pilot_skipped_ = true; }
 
     /// True once the run should stop: early-stop criterion met (target > 0,
     /// >= min_samples retired, half-width <= target) or max_samples retired.
@@ -116,7 +164,9 @@ public:
     std::size_t submit_chunk(std::size_t limit = static_cast<std::size_t>(-1));
 
     /// Block on the oldest in-flight chunk and fold it into the estimate;
-    /// false when nothing is in flight.
+    /// false when nothing is in flight. May trigger a CE refit (see
+    /// SequentialConfig::refine_after_chunks), which drains the remaining
+    /// in-flight chunks as discarded overshoot.
     bool retire_chunk();
 
     /// Block on every in-flight chunk *without* folding it (counted as
@@ -124,6 +174,11 @@ public:
     /// once the stop decision is made, so the folded prefix - and with it
     /// the estimate - is invariant to the inflight window.
     std::size_t drain_overshoot();
+
+    /// Discarded samples since the last call - the overshoot drained by
+    /// stop decisions *and* mid-run refits. A budgeted allocator refunds
+    /// these (they are wasted compute, not useful samples).
+    [[nodiscard]] std::size_t take_refund();
 
     [[nodiscard]] const WeightedYieldEstimate& estimate() const { return estimate_; }
     [[nodiscard]] std::size_t samples_used() const { return retired_samples_; }
@@ -137,7 +192,23 @@ public:
     [[nodiscard]] SequentialYieldResult run();
 
 private:
+    struct InflightChunk {
+        mc::McTicket ticket;
+        std::size_t samples = 0;
+        Rng rng_before; ///< runner RNG state before this submission - a
+                        ///< refit rewinds to the oldest drained chunk's
+                        ///< state so the post-refit stream is
+                        ///< window-invariant
+    };
+
+    void bind_main_kernel(const ShiftFit& fit);
     void fold_rows(const mc::McResult& result);
+    /// CE refinement trigger, checked after each fold.
+    void maybe_refit();
+    /// Drain all in-flight chunks and rewind rng/submission state to the
+    /// retired prefix (refit path - the run continues afterwards).
+    void rewind_inflight();
+    void update_estimate();
     /// The single early-stop criterion, shared by done() and the
     /// reached_target report so the two can never drift apart.
     [[nodiscard]] bool target_met() const;
@@ -151,17 +222,27 @@ private:
 
     bool pilot_submitted_ = false;
     bool pilot_finished_ = false;
+    bool pilot_skipped_ = false;
     mc::McTicket pilot_ticket_;
     WeightedYieldEstimate pilot_estimate_;
     ShiftFit fit_;
+    std::size_t pilot_failures_ = 0;
 
     mc::ChunkSampleFn main_kernel_;
-    std::deque<std::pair<mc::McTicket, std::size_t>> tickets_; ///< in-flight
+    process::ProposalMixture main_proposal_;
+    bool record_main_u_ = false;
+    std::size_t main_arity_ = 0;
+    std::deque<InflightChunk> tickets_; ///< in-flight
     std::size_t submitted_samples_ = 0;
     std::size_t retired_samples_ = 0;
     std::size_t discarded_samples_ = 0;
-    std::vector<bool> flags_;
+    std::size_t refunded_samples_ = 0;
+    std::vector<bool> flags_;            ///< current stage accumulators
     std::vector<double> log_weights_;
+    std::size_t stage_chunks_ = 0;
+    std::vector<WeightedYieldEstimate> stages_; ///< closed CE stages
+    std::vector<std::vector<double>> fail_rows_; ///< failing u records (CE)
+    std::size_t refits_done_ = 0;
     WeightedYieldEstimate estimate_;
     std::vector<std::pair<std::size_t, double>> trajectory_;
 };
@@ -177,11 +258,13 @@ struct AdaptiveYieldConfig {
     SequentialConfig sequential;
     /// Cross-point budget of *useful* samples: pilots plus main-stage
     /// samples folded into an estimate. Overshoot drained past a point's
-    /// stop decision is wasted compute but refunded, so the allocation
-    /// (and every estimate) stays invariant to the inflight window.
-    /// 0 = only the per-point caps apply. Points whose budget runs out
-    /// before their first chunk report a 0-sample estimate - size the
-    /// budget above points * (pilot + min_samples).
+    /// stop or refit decision is wasted compute but refunded, so the
+    /// allocation (and every estimate) stays invariant to the inflight
+    /// window. 0 = only the per-point caps apply. Points whose budget runs
+    /// out before their pilot run on plain MC and are flagged
+    /// (SequentialYieldResult::pilot_skipped); points that never get a
+    /// chunk report a 0-sample estimate - size the budget above
+    /// points * (pilot + min_samples).
     std::size_t total_samples = 0;
 };
 

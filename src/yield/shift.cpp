@@ -6,66 +6,130 @@
 
 namespace ypm::yield {
 
-ShiftFit fit_shift(const std::vector<std::vector<double>>& pilot_rows,
-                   const std::vector<mc::Spec>& specs, std::size_t dimension,
-                   const ShiftFitConfig& config) {
+namespace {
+
+/// Clamp a mean vector to the configured norm in place.
+void clamp_norm(std::vector<double>& mu, double max_norm) {
+    if (max_norm <= 0.0) return;
+    double sum = 0.0;
+    for (double m : mu) sum += m * m;
+    const double norm = std::sqrt(sum);
+    if (norm <= max_norm) return;
+    const double k = max_norm / norm;
+    for (double& m : mu) m *= k;
+}
+
+/// Shared fitting machinery: per-spec (optionally importance-weighted)
+/// centers of gravity of the failing rows, each norm-clamped; a combined
+/// single shift; and the defensive mixture.
+ShiftFit fit_impl(const std::vector<std::vector<double>>& rows,
+                  const std::vector<mc::Spec>& specs, std::size_t dimension,
+                  const ShiftFitConfig& config, bool importance_weighted) {
+    if (!(config.defensive_weight >= 0.0 && config.defensive_weight < 1.0))
+        throw InvalidInputError(
+            "fit_shift: defensive_weight must be in [0, 1)");
     const std::size_t arity = specs.size() + 1 + dimension;
 
     ShiftFit fit;
     fit.per_spec.resize(specs.size());
+    for (process::SampleShift& s : fit.per_spec) s.mu.assign(dimension, 0.0);
     fit.spec_failures.assign(specs.size(), 0);
 
     // Per-spec center of gravity over the standardized coordinates of the
-    // samples failing that spec.
+    // samples failing that spec; `mass` is the (weighted) failure mass the
+    // center averages over and the mixture weights split by.
     std::vector<std::vector<double>> cog(specs.size(),
                                          std::vector<double>(dimension, 0.0));
-    for (const auto& row : pilot_rows) {
+    std::vector<double> mass(specs.size(), 0.0);
+    for (const auto& row : rows) {
         if (row.size() != arity)
             throw InvalidInputError(
-                "fit_shift: pilot row arity mismatch (expected specs + 1 + "
+                "fit_shift: row arity mismatch (expected specs + 1 + "
                 "dimension columns)");
+        double w = 1.0;
+        if (importance_weighted) {
+            const double lw = row[specs.size()];
+            if (!std::isfinite(lw))
+                throw InvalidInputError("refit_shift: non-finite log weight");
+            w = std::exp(lw);
+        }
         const double* u = row.data() + specs.size() + 1;
         bool any_fail = false;
         for (std::size_t s = 0; s < specs.size(); ++s) {
             if (specs[s].pass(row[s])) continue;
             any_fail = true;
             ++fit.spec_failures[s];
-            for (std::size_t d = 0; d < dimension; ++d) cog[s][d] += u[d];
+            mass[s] += w;
+            for (std::size_t d = 0; d < dimension; ++d) cog[s][d] += w * u[d];
         }
         if (any_fail) ++fit.pilot_failures;
     }
 
-    std::size_t total_failures = 0;
+    double total_mass = 0.0;
     for (std::size_t s = 0; s < specs.size(); ++s) {
-        if (fit.spec_failures[s] == 0) continue;
-        total_failures += fit.spec_failures[s];
-        const double inv = 1.0 / static_cast<double>(fit.spec_failures[s]);
+        if (!(mass[s] > 0.0)) continue;
+        total_mass += mass[s];
+        const double inv = 1.0 / mass[s];
         for (double& c : cog[s]) c *= inv;
         fit.per_spec[s].mu = cog[s];
+        // Each component is a proposal mean in its own right: clamp it, not
+        // just the combined shift (an unclamped per-spec center from a
+        // widened pilot overshoots into weight collapse exactly like the
+        // combined one would).
+        clamp_norm(fit.per_spec[s].mu, config.max_norm);
     }
-    if (total_failures == 0) return fit; // no failures: keep the zero shift
+    if (total_mass == 0.0) {
+        // No failures: zero shift, single-nominal mixture - the main stage
+        // degenerates to plain MC.
+        fit.mixture = process::ProposalMixture::nominal();
+        return fit;
+    }
 
-    // Combined proposal: failure-count-weighted average of the per-spec
-    // centers. With one failing spec this is exactly its center of gravity;
-    // with several it points at the dominant failure mode (a single
-    // mean-shift proposal cannot cover disjoint regions - the weighted
-    // estimator stays unbiased either way, only its variance suffers).
+    // Combined single shift (legacy proposal mode and reporting): the
+    // failure-mass-weighted average of the clamped per-spec centers. With
+    // one failing spec this is exactly its center of gravity; with several
+    // it points between the modes - a single mean-shift proposal cannot
+    // cover disjoint regions, which is what the mixture below is for.
     std::vector<double> combined(dimension, 0.0);
     for (std::size_t s = 0; s < specs.size(); ++s) {
-        if (fit.spec_failures[s] == 0) continue;
-        const double w = static_cast<double>(fit.spec_failures[s]) /
-                         static_cast<double>(total_failures);
+        if (!(mass[s] > 0.0)) continue;
+        const double w = mass[s] / total_mass;
         for (std::size_t d = 0; d < dimension; ++d)
             combined[d] += w * fit.per_spec[s].mu[d];
     }
-
+    clamp_norm(combined, config.max_norm);
     fit.shift.mu = std::move(combined);
-    const double norm = fit.shift.norm();
-    if (config.max_norm > 0.0 && norm > config.max_norm) {
-        const double k = config.max_norm / norm;
-        for (double& c : fit.shift.mu) c *= k;
+
+    // Defensive mixture: nominal component + one component per failing
+    // spec, the shifted mass split in proportion to the spec failure mass.
+    if (config.defensive_weight > 0.0) {
+        process::ProposalComponent nominal;
+        nominal.weight = config.defensive_weight;
+        fit.mixture.components.push_back(std::move(nominal));
+    }
+    const double shifted_mass = 1.0 - config.defensive_weight;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        if (!(mass[s] > 0.0)) continue;
+        process::ProposalComponent comp;
+        comp.mu = fit.per_spec[s].mu;
+        comp.weight = shifted_mass * mass[s] / total_mass;
+        fit.mixture.components.push_back(std::move(comp));
     }
     return fit;
+}
+
+} // namespace
+
+ShiftFit fit_shift(const std::vector<std::vector<double>>& pilot_rows,
+                   const std::vector<mc::Spec>& specs, std::size_t dimension,
+                   const ShiftFitConfig& config) {
+    return fit_impl(pilot_rows, specs, dimension, config, false);
+}
+
+ShiftFit refit_shift(const std::vector<std::vector<double>>& rows,
+                     const std::vector<mc::Spec>& specs, std::size_t dimension,
+                     const ShiftFitConfig& config) {
+    return fit_impl(rows, specs, dimension, config, true);
 }
 
 } // namespace ypm::yield

@@ -63,6 +63,16 @@ struct WeightedYieldEstimate {
     double max_weight_share = 0.0;
     /// False when every log weight was exactly 0 (plain MC reduction).
     bool weighted = false;
+    /// Raw fail-side moments behind the estimate: sum of w_i*fail_i, sum of
+    /// (w_i*fail_i)^2 and the largest single fail-side weight (the failure
+    /// count, the failure count and 1/0 under unit weights). These are what
+    /// combine_stage_estimates pools - per-stage estimates from different
+    /// proposals are each exact under their own density, so their moments
+    /// add, while re-weighting all samples under one proposal's formula
+    /// would be wrong.
+    double fail_weight_sum = 0.0;
+    double fail_weight_sq_sum = 0.0;
+    double fail_weight_max = 0.0;
 
     [[nodiscard]] double half_width() const {
         return 0.5 * (ci_high - ci_low);
@@ -72,10 +82,34 @@ struct WeightedYieldEstimate {
 /// Estimate from per-sample pass flags and log likelihood ratios
 /// (log_weights[i] = log of nominal density over proposal density at sample
 /// i). Sizes must match; an empty log_weights vector means all-zero.
+///
+/// Degenerate-evidence fallbacks (weighted path): with zero observed
+/// failures the delta-method CI would collapse to the point [1, 1], so the
+/// clean-sweep Wilson interval is reported instead; with exactly *one*
+/// observed failure the sample variance is estimated from a single nonzero
+/// term and the delta-method CI can be spuriously tight, so the interval is
+/// widened to [clamp(yield - hw), 1] with hw at least the one-failure
+/// Wilson half-width - the CI only trusts the delta method once >= 2
+/// fail-side samples are seen.
 /// \throws ypm::InvalidInputError on size mismatch or non-finite log weight.
 [[nodiscard]] WeightedYieldEstimate
 weighted_yield_from_flags(const std::vector<bool>& pass,
                           const std::vector<double>& log_weights);
+
+/// Combine per-stage estimates of the *same* failure probability drawn
+/// from different proposal distributions (the cross-entropy refinement
+/// loop closes a stage every time it re-fits the proposal). Each stage's
+/// weights are exact under its own proposal, so the pooled fail-side
+/// moments give an unbiased sample-count-weighted estimate; stages are
+/// never re-pooled under one weight formula. Zero-sample stages are
+/// skipped; a single surviving stage is returned unchanged (bit-identical
+/// to no refinement), no stage at all returns the vacuous [0, 1] estimate.
+/// The pooled CI carries the same degenerate-evidence fallbacks as
+/// weighted_yield_from_flags; with adaptively-chosen stage lengths it is
+/// approximate (the stage boundaries are data-dependent), which the
+/// sequential driver accepts the same way it accepts adaptive stopping.
+[[nodiscard]] WeightedYieldEstimate
+combine_stage_estimates(const std::vector<WeightedYieldEstimate>& stages);
 
 /// Estimate from a performance matrix whose rows carry the log weight as the
 /// trailing column: row arity must be specs.size() + 1. A sample passes only

@@ -194,6 +194,23 @@ TEST(Flow, RejectsMalformedYieldSpecs) {
     FlowConfig single = cfg;
     single.yield_specs = {mc::Spec::at_least("gain_db", 30.0)};
     EXPECT_THROW((void)YieldFlow(ota, single).run(), InvalidInputError);
+
+    const std::vector<mc::Spec> good_specs = {
+        mc::Spec::at_least("gain_db", 30.0), mc::Spec::at_least("pm_deg", 15.0)};
+
+    // min_samples > max_samples would make the yield stage's early stop
+    // silently unreachable; fail before the MOO stage, not inside it.
+    FlowConfig inverted = cfg;
+    inverted.yield_specs = good_specs;
+    inverted.yield_sequential.min_samples = 512;
+    inverted.yield_sequential.max_samples = 256;
+    EXPECT_THROW((void)YieldFlow(ota, inverted).run(), InvalidInputError);
+
+    // Same for a defensive mixture weight outside [0, 1).
+    FlowConfig bad_dw = cfg;
+    bad_dw.yield_specs = good_specs;
+    bad_dw.yield_sequential.shift_fit.defensive_weight = 1.0;
+    EXPECT_THROW((void)YieldFlow(ota, bad_dw).run(), InvalidInputError);
 }
 
 TEST(Verify, ModelVsTransistorErrorsSmallOnFrontPoint) {

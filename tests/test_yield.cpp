@@ -38,27 +38,79 @@ eval::Engine make_engine(bool parallel = true) {
     return eval::Engine(config);
 }
 
-// Synthetic 1-D yield kernel: value = mean + sigma * u with u drawn from the
-// proposal N(shift, scale^2) exactly like ProcessSampler::sample_shifted
-// draws a dimension. At zero shift the value computes as mean + sigma * z,
+// Draw one standardized coordinate vector from a mixture proposal the way
+// the synthetic kernels below do: zero/one component replays the
+// single-shift incremental formula (bit-identical to a plain gauss() draw
+// at zero shift, log weight exactly 0), >= 2 components consume one
+// uniform for the component pick and compute the log weight against the
+// brute-force mixture density.
+std::vector<double> draw_mixture_u(Rng& rng, const process::ProposalMixture& mix,
+                                   std::size_t dim, double& log_w) {
+    std::vector<double> u(dim, 0.0);
+    if (mix.components.size() <= 1) {
+        const process::ProposalComponent* c =
+            mix.components.empty() ? nullptr : &mix.components.front();
+        const double s = c != nullptr ? c->scale : 1.0;
+        log_w = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double m = (c != nullptr && !c->mu.empty()) ? c->mu[i] : 0.0;
+            const double z = rng.gauss();
+            u[i] = m + s * z;
+            log_w += std::log(s) + 0.5 * z * z - 0.5 * u[i] * u[i];
+        }
+        return u;
+    }
+    const std::size_t k = mix.pick_component(rng.uniform01());
+    const process::ProposalComponent& c = mix.components[k];
+    for (std::size_t i = 0; i < dim; ++i) {
+        const double m = c.mu.empty() ? 0.0 : c.mu[i];
+        u[i] = m + c.scale * rng.gauss();
+    }
+    log_w = mix.log_weight_of(u);
+    return u;
+}
+
+// Synthetic 1-D yield kernel: value = mean + sigma * u with u drawn from
+// the mixture proposal exactly like ProcessSampler::sample_mixture draws a
+// dimension. At zero shift the value computes as mean + sigma * z,
 // bit-identical to a plain `mean + sigma * rng.gauss()` kernel.
 yield::KernelFactory synthetic_factory(double mean, double sigma) {
-    return [=](const process::SampleShift& shift,
+    return [=](const process::ProposalMixture& mix,
                bool record_u) -> mc::ChunkSampleFn {
-        const double m = shift.mu.empty() ? 0.0 : shift.mu[0];
-        const double s = shift.scale;
         return [=](std::span<const std::size_t>, std::span<Rng> rngs) {
             std::vector<std::vector<double>> rows;
             rows.reserve(rngs.size());
             for (Rng& rng : rngs) {
-                const double z = rng.gauss();
-                const double u = m + s * z;
-                const double log_w = std::log(s) + 0.5 * z * z - 0.5 * u * u;
-                const double value = mean + sigma * u;
+                double log_w = 0.0;
+                const std::vector<double> u = draw_mixture_u(rng, mix, 1, log_w);
+                const double value = mean + sigma * u[0];
                 if (record_u)
-                    rows.push_back({value, log_w, u});
+                    rows.push_back({value, log_w, u[0]});
                 else
                     rows.push_back({value, log_w});
+            }
+            return rows;
+        };
+    };
+}
+
+// Synthetic bimodal two-spec kernel over two standardized dimensions: spec
+// columns are {u0, u1}, so at_most(3) specs fail in the disjoint regions
+// u0 > 3 and u1 > 3 - the textbook case a single mean-shift proposal
+// cannot cover (its fitted shift points between the modes).
+yield::KernelFactory bimodal_factory() {
+    return [](const process::ProposalMixture& mix,
+              bool record_u) -> mc::ChunkSampleFn {
+        return [=](std::span<const std::size_t>, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> rows;
+            rows.reserve(rngs.size());
+            for (Rng& rng : rngs) {
+                double log_w = 0.0;
+                const std::vector<double> u = draw_mixture_u(rng, mix, 2, log_w);
+                if (record_u)
+                    rows.push_back({u[0], u[1], log_w, u[0], u[1]});
+                else
+                    rows.push_back({u[0], u[1], log_w});
             }
             return rows;
         };
@@ -144,6 +196,143 @@ TEST(ShiftedSampler, RejectsBadShift) {
     bad_scale.scale = 0.0;
     EXPECT_THROW((void)sampler.sample_shifted(rng, {}, bad_scale),
                  InvalidInputError);
+}
+
+// ------------------------------------------------------- mixture proposals
+
+TEST(MixtureSampler, OneComponentZeroShiftBitIdenticalToPlainSample) {
+    // The acceptance pin: a one-component inactive mixture must consume the
+    // RNG stream exactly like sample() (no component-selection draw) and
+    // produce bit-identical realisations with log_weight exactly 0.
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    const auto devices = two_devices();
+
+    for (const process::ProposalMixture& mix :
+         {process::ProposalMixture{}, process::ProposalMixture::nominal()}) {
+        Rng plain_rng(42), mix_rng(42);
+        const process::Realization plain = sampler.sample(plain_rng, devices);
+        const process::ShiftedDraw draw =
+            sampler.sample_mixture(mix_rng, devices, mix, true);
+        EXPECT_EQ(draw.log_weight, 0.0); // exactly zero, not approximately
+        EXPECT_EQ(draw.component, 0u);
+        EXPECT_EQ(plain.global.dvth_n, draw.realization.global.dvth_n);
+        EXPECT_EQ(plain.global.cox_scale, draw.realization.global.cox_scale);
+        for (const auto& dev : devices) {
+            EXPECT_EQ(plain.local.at(dev.name).dvth,
+                      draw.realization.local.at(dev.name).dvth);
+            EXPECT_EQ(plain.local.at(dev.name).kp_scale,
+                      draw.realization.local.at(dev.name).kp_scale);
+        }
+        // Stream-consumption parity: the next draw must match too.
+        EXPECT_EQ(plain_rng.uniform01(), mix_rng.uniform01());
+        EXPECT_EQ(draw.u.size(), process::SampleShift::dimension(devices.size()));
+    }
+}
+
+TEST(MixtureSampler, OneShiftedComponentBitIdenticalToSampleShifted) {
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    process::SampleShift shift;
+    shift.mu = {1.0, -0.5, 0.0, 0.8, -1.0};
+    shift.scale = 1.3;
+
+    Rng a(7), b(7);
+    const process::ShiftedDraw single = sampler.sample_shifted(a, {}, shift, true);
+    const process::ShiftedDraw mixed = sampler.sample_mixture(
+        b, {}, process::ProposalMixture::single(shift), true);
+    EXPECT_EQ(single.log_weight, mixed.log_weight);
+    EXPECT_EQ(single.realization.global.dvth_n, mixed.realization.global.dvth_n);
+    EXPECT_EQ(single.realization.global.cox_scale,
+              mixed.realization.global.cox_scale);
+    ASSERT_EQ(single.u.size(), mixed.u.size());
+    for (std::size_t i = 0; i < single.u.size(); ++i)
+        EXPECT_EQ(single.u[i], mixed.u[i]);
+    EXPECT_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(MixtureSampler, LogWeightMatchesBruteForceDensity) {
+    // Two-component defensive mixture over the 5 global dims: the sampled
+    // log weight must equal log phi(u) - log q_mix(u) evaluated by brute
+    // force from the recorded standardized coordinates.
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    process::ProposalMixture mix;
+    process::ProposalComponent nominal;
+    nominal.weight = 0.25;
+    mix.components.push_back(nominal);
+    process::ProposalComponent shifted;
+    shifted.mu = {2.0, 0.0, -1.0, 0.5, 0.0};
+    shifted.scale = 1.2;
+    shifted.weight = 0.75;
+    mix.components.push_back(shifted);
+
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const process::ShiftedDraw draw = sampler.sample_mixture(rng, {}, mix, true);
+        ASSERT_EQ(draw.u.size(), 5u);
+        // Brute force: log phi(u) - log sum_k p_k prod_i phi((u-mu_k)/s)/s,
+        // constants cancelling (all sigmas of the global dims are > 0).
+        double log_p = 0.0;
+        std::vector<double> log_q = {std::log(0.25), std::log(0.75)};
+        for (std::size_t d = 0; d < 5; ++d) {
+            log_p += -0.5 * draw.u[d] * draw.u[d];
+            log_q[0] += -0.5 * draw.u[d] * draw.u[d];
+            const double t = (draw.u[d] - shifted.mu[d]) / shifted.scale;
+            log_q[1] += -0.5 * t * t - std::log(shifted.scale);
+        }
+        const double peak = std::max(log_q[0], log_q[1]);
+        const double expected =
+            log_p - (peak + std::log(std::exp(log_q[0] - peak) +
+                                     std::exp(log_q[1] - peak)));
+        EXPECT_NEAR(draw.log_weight, expected, 1e-10);
+        EXPECT_NEAR(draw.log_weight, mix.log_weight_of(draw.u), 1e-10);
+    }
+}
+
+TEST(MixtureSampler, MixtureLikelihoodRatioIntegratesToOne) {
+    // E_q[w] = 1 for any mixture proposal absolutely continuous w.r.t. the
+    // nominal density - the defensive nominal component keeps the weights
+    // bounded, so the estimate converges fast.
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    process::ProposalMixture mix;
+    process::ProposalComponent nominal;
+    nominal.weight = 0.2;
+    mix.components.push_back(nominal);
+    for (double sign : {1.0, -1.0}) {
+        process::ProposalComponent comp;
+        comp.mu = {2.0 * sign, 0.0, 0.0, -1.0 * sign, 0.0};
+        comp.weight = 0.4;
+        mix.components.push_back(comp);
+    }
+
+    Rng rng(11);
+    double w_sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        w_sum += std::exp(sampler.sample_mixture(rng, {}, mix).log_weight);
+    EXPECT_NEAR(w_sum / n, 1.0, 0.05);
+}
+
+TEST(MixtureSampler, ValidatesComponents) {
+    const process::ProcessSampler sampler(process::ProcessCard::c35(),
+                                          process::VariationSpec::c35());
+    Rng rng(1);
+    process::ProposalMixture bad_weight = process::ProposalMixture::nominal();
+    bad_weight.components[0].weight = 0.0;
+    EXPECT_THROW((void)sampler.sample_mixture(rng, {}, bad_weight),
+                 InvalidInputError);
+    process::ProposalMixture bad_scale = process::ProposalMixture::nominal();
+    bad_scale.components[0].scale = -1.0;
+    EXPECT_THROW((void)sampler.sample_mixture(rng, {}, bad_scale),
+                 InvalidInputError);
+    process::ProposalMixture bad_dim = process::ProposalMixture::nominal();
+    bad_dim.components[0].mu = {1.0, 2.0}; // device-free spaces have 5 dims
+    EXPECT_THROW((void)sampler.sample_mixture(rng, {}, bad_dim),
+                 InvalidInputError);
+    process::ProposalMixture empty;
+    EXPECT_THROW((void)empty.pick_component(0.5), InvalidInputError);
 }
 
 // ------------------------------------------------------ weighted estimator
@@ -249,6 +438,97 @@ TEST(WeightedYield, ZeroObservedFailuresKeepsNonDegenerateCi) {
     EXPECT_EQ(e.max_weight_share, 0.0);
 }
 
+TEST(WeightedYield, SingleObservedFailureKeepsConservativeCi) {
+    // Regression: with exactly one observed failure the delta-method
+    // variance rests on a single nonzero term - a lucky small-weight
+    // failure used to certify a spuriously tight CI. Contract: until >= 2
+    // fail-side samples are seen the interval is widened to
+    // [clamp(yield - hw), 1] with hw at least the one-failure Wilson
+    // half-width, mirroring the zero-failure Wilson fallback.
+    const std::size_t n = 400;
+    std::vector<bool> pass(n, true);
+    pass[7] = false;
+    std::vector<double> log_w(n, 0.0);
+    log_w[7] = std::log(1e-3); // tiny weight: delta hw would be ~5e-6
+    for (std::size_t i = 0; i < n; ++i)
+        if (pass[i]) log_w[i] = 0.01;
+    const yield::WeightedYieldEstimate e =
+        yield::weighted_yield_from_flags(pass, log_w);
+    EXPECT_TRUE(e.weighted);
+    EXPECT_EQ(e.samples - e.passes, 1u);
+    EXPECT_EQ(e.ci_high, 1.0); // upper edge stays open
+    // The downside margin is at least the one-failure Wilson half-width.
+    const auto [wlo, whi] = mc::wilson_interval(n - 1, n);
+    EXPECT_GE(e.yield - e.ci_low + 1e-15, 0.5 * (whi - wlo));
+    EXPECT_LT(e.ci_low, e.yield);
+
+    // A second failure restores the delta-method interval (tight again).
+    pass[13] = false;
+    log_w[13] = std::log(1e-3);
+    const yield::WeightedYieldEstimate e2 =
+        yield::weighted_yield_from_flags(pass, log_w);
+    EXPECT_EQ(e2.samples - e2.passes, 2u);
+    EXPECT_LT(e2.half_width(), 0.5 * (whi - wlo));
+}
+
+TEST(WeightedYield, CombineStagesPoolsMomentsAcrossProposals) {
+    // Two stages with weighted failures: the combination must pool the
+    // exact fail-side moments (sample-count weighting), matching a direct
+    // estimate over the concatenated data computed under per-stage weights.
+    const std::vector<bool> f1 = {false, true, true, false};
+    const std::vector<double> w1 = {std::log(0.5), 0.0, 0.2, std::log(0.25)};
+    const std::vector<bool> f2 = {true, false, true, true, false, true};
+    const std::vector<double> w2 = {0.0, std::log(0.75), 0.1,
+                                    0.0, std::log(0.4), 0.3};
+    const auto s1 = yield::weighted_yield_from_flags(f1, w1);
+    const auto s2 = yield::weighted_yield_from_flags(f2, w2);
+    const auto combined = yield::combine_stage_estimates({s1, s2});
+
+    std::vector<bool> all_f = f1;
+    all_f.insert(all_f.end(), f2.begin(), f2.end());
+    std::vector<double> all_w = w1;
+    all_w.insert(all_w.end(), w2.begin(), w2.end());
+    const auto direct = yield::weighted_yield_from_flags(all_f, all_w);
+
+    EXPECT_EQ(combined.samples, direct.samples);
+    EXPECT_EQ(combined.passes, direct.passes);
+    EXPECT_NEAR(combined.yield, direct.yield, 1e-12);
+    EXPECT_NEAR(combined.ci_low, direct.ci_low, 1e-12);
+    EXPECT_NEAR(combined.ci_high, direct.ci_high, 1e-12);
+    EXPECT_NEAR(combined.ess, direct.ess, 1e-12);
+    EXPECT_NEAR(combined.max_weight_share, direct.max_weight_share, 1e-12);
+}
+
+TEST(WeightedYield, CombineStagesEdgeCases) {
+    // No stages (or only empty ones): the vacuous interval, never [0, 0].
+    const auto empty = yield::combine_stage_estimates({});
+    EXPECT_EQ(empty.samples, 0u);
+    EXPECT_EQ(empty.ci_low, 0.0);
+    EXPECT_EQ(empty.ci_high, 1.0);
+
+    // One live stage: returned unchanged, bit-identically.
+    const auto s = yield::weighted_yield_from_flags(
+        {false, true, false, true}, {std::log(0.5), 0.0, std::log(0.5), 0.2});
+    const auto one = yield::combine_stage_estimates(
+        {yield::weighted_yield_from_flags({}, {}), s});
+    EXPECT_EQ(one.yield, s.yield);
+    EXPECT_EQ(one.ci_low, s.ci_low);
+    EXPECT_EQ(one.ci_high, s.ci_high);
+
+    // All-unweighted stages: pooled Wilson, identical to concatenated
+    // flags.
+    const auto u1 = yield::weighted_yield_from_flags({true, false, true}, {});
+    const auto u2 = yield::weighted_yield_from_flags({true, true}, {});
+    const auto pooled = yield::combine_stage_estimates({u1, u2});
+    const auto direct = yield::weighted_yield_from_flags(
+        {true, false, true, true, true}, {});
+    EXPECT_FALSE(pooled.weighted);
+    EXPECT_EQ(pooled.yield, direct.yield);
+    EXPECT_EQ(pooled.ci_low, direct.ci_low);
+    EXPECT_EQ(pooled.ci_high, direct.ci_high);
+    EXPECT_EQ(pooled.ess, direct.ess);
+}
+
 TEST(WeightedYield, RejectsBadInput) {
     EXPECT_THROW((void)yield::weighted_yield_from_flags({true}, {0.0, 0.0}),
                  InvalidInputError);
@@ -290,23 +570,76 @@ TEST(ShiftFit, RecoversFailureCenterOfGravity) {
     EXPECT_EQ(fit.spec_failures[0], 2u);
 }
 
-TEST(ShiftFit, PerSpecCentersAndNormClamp) {
+TEST(ShiftFit, PerSpecCentersAreClampedAndAlwaysWellDefined) {
+    // Regression (two bugs): per-spec components used to escape the
+    // max_norm clamp (only the combined shift was clamped - but each
+    // component is a proposal mean in the defensive mixture), and specs
+    // that never failed left *empty* mu vectors callers could not index.
     const std::vector<mc::Spec> specs = {mc::Spec::at_least("a", 0.0),
-                                         mc::Spec::at_most("b", 10.0)};
-    // Row arity: 2 specs + 1 log weight + 2 dims = 5.
+                                         mc::Spec::at_most("b", 10.0),
+                                         mc::Spec::at_least("c", -1e9)};
+    // Row arity: 3 specs + 1 log weight + 2 dims = 6.
     std::vector<std::vector<double>> rows;
-    rows.push_back({-1.0, 0.0, 0.0, 4.0, 0.0});  // fails spec 0, u = (4, 0)
-    rows.push_back({1.0, 20.0, 0.0, 0.0, 4.0});  // fails spec 1, u = (0, 4)
-    rows.push_back({1.0, 0.0, 0.0, 0.1, -0.1}); // passes both
+    rows.push_back({-1.0, 0.0, 0.0, 0.0, 4.0, 0.0}); // fails spec 0, u = (4, 0)
+    rows.push_back({1.0, 20.0, 0.0, 0.0, 0.0, 4.0}); // fails spec 1, u = (0, 4)
+    rows.push_back({1.0, 0.0, 0.0, 0.0, 0.1, -0.1}); // passes all
     yield::ShiftFitConfig config;
     config.max_norm = 2.0;
     const yield::ShiftFit fit = yield::fit_shift(rows, specs, 2, config);
-    ASSERT_EQ(fit.per_spec.size(), 2u);
-    EXPECT_NEAR(fit.per_spec[0].mu[0], 4.0, 1e-12);
-    EXPECT_NEAR(fit.per_spec[1].mu[1], 4.0, 1e-12);
-    // Combined = (2, 2) before the clamp, then scaled to norm 2.
-    EXPECT_NEAR(fit.shift.norm(), 2.0, 1e-12);
-    EXPECT_NEAR(fit.shift.mu[0], fit.shift.mu[1], 1e-12);
+    ASSERT_EQ(fit.per_spec.size(), 3u);
+    // Each per-spec center is clamped to the norm budget on its own.
+    EXPECT_NEAR(fit.per_spec[0].mu[0], 2.0, 1e-12);
+    EXPECT_NEAR(fit.per_spec[0].norm(), 2.0, 1e-12);
+    EXPECT_NEAR(fit.per_spec[1].mu[1], 2.0, 1e-12);
+    // The never-failing spec has a well-defined all-zero mu of full size.
+    ASSERT_EQ(fit.per_spec[2].mu.size(), 2u);
+    EXPECT_EQ(fit.per_spec[2].mu[0], 0.0);
+    EXPECT_EQ(fit.per_spec[2].mu[1], 0.0);
+    EXPECT_FALSE(fit.per_spec[2].active());
+    // Combined shift averages the *clamped* centers: (1, 1), inside the
+    // clamp.
+    EXPECT_NEAR(fit.shift.mu[0], 1.0, 1e-12);
+    EXPECT_NEAR(fit.shift.mu[1], 1.0, 1e-12);
+    EXPECT_LE(fit.shift.norm(), 2.0 + 1e-12);
+    // Defensive mixture: nominal + one component per *failing* spec.
+    ASSERT_EQ(fit.mixture.components.size(), 3u);
+    EXPECT_TRUE(fit.mixture.components[0].mu.empty()); // nominal
+    EXPECT_NEAR(fit.mixture.components[0].weight, 0.1, 1e-12);
+    EXPECT_NEAR(fit.mixture.components[1].mu[0], 2.0, 1e-12);
+    EXPECT_NEAR(fit.mixture.components[1].weight, 0.45, 1e-12);
+    EXPECT_NEAR(fit.mixture.components[2].mu[1], 2.0, 1e-12);
+    EXPECT_NEAR(fit.mixture.components[2].weight, 0.45, 1e-12);
+}
+
+TEST(ShiftFit, RefitIsImportanceWeighted) {
+    // Two failing records for one spec with log weights log(3) and log(1):
+    // the CE center of gravity is the weight-3 record's pull, (3*1 + 1*5)/4
+    // = 2 - not the unweighted midpoint 3.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
+    std::vector<std::vector<double>> rows;
+    rows.push_back({-1.0, std::log(3.0), 1.0});
+    rows.push_back({-1.0, 0.0, 5.0});
+    rows.push_back({1.0, std::log(9.0), -4.0}); // passes: ignored entirely
+    const yield::ShiftFit unweighted = yield::fit_shift(rows, specs, 1);
+    const yield::ShiftFit weighted = yield::refit_shift(rows, specs, 1);
+    EXPECT_NEAR(unweighted.shift.mu[0], 3.0, 1e-12);
+    EXPECT_NEAR(weighted.shift.mu[0], 2.0, 1e-12);
+    EXPECT_EQ(weighted.pilot_failures, 2u);
+    // Non-finite log weights are rejected on the weighted path.
+    std::vector<std::vector<double>> bad = {
+        {-1.0, std::numeric_limits<double>::quiet_NaN(), 1.0}};
+    EXPECT_THROW((void)yield::refit_shift(bad, specs, 1), InvalidInputError);
+}
+
+TEST(ShiftFit, RejectsBadDefensiveWeight) {
+    const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
+    yield::ShiftFitConfig config;
+    config.defensive_weight = 1.0;
+    EXPECT_THROW((void)yield::fit_shift({}, specs, 1, config),
+                 InvalidInputError);
+    config.defensive_weight = -0.1;
+    EXPECT_THROW((void)yield::fit_shift({}, specs, 1, config),
+                 InvalidInputError);
 }
 
 TEST(ShiftFit, NoFailuresKeepsZeroShift) {
@@ -503,6 +836,123 @@ TEST(SequentialYield, AdaptiveAllocatorDeterministicAndNeverFoldsPastDone) {
     EXPECT_LE(charged, 6144u);
 }
 
+TEST(SequentialYield, MixtureRecoversEssWhereSingleShiftCollapses) {
+    // Bimodal two-spec problem: failures live in the disjoint regions
+    // u0 > 3 and u1 > 3. The single combined shift points *between* the
+    // modes (its fail-side ESS collapses on weight variance); the defensive
+    // mixture covers each mode with its own component plus a nominal
+    // component bounding the weights. Same seed, same budget, no early
+    // stop: the mixture must deliver more effective failure observations
+    // and a tighter interval, and its estimate must be right.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_most("a", 3.0),
+                                         mc::Spec::at_most("b", 3.0)};
+    const double p_true = 1.0 - (1.0 - 1.349898e-3) * (1.0 - 1.349898e-3);
+    auto run_mode = [&](bool mixture) {
+        eval::Engine engine = make_engine();
+        yield::SequentialConfig config;
+        config.pilot_samples = 512;
+        config.pilot_scale = 2.5;
+        config.chunk_samples = 256;
+        config.max_samples = 4096;
+        config.min_samples = 512;
+        config.mixture_proposal = mixture;
+        yield::SequentialYieldRunner runner(engine, config, specs,
+                                            bimodal_factory(), 2, Rng(57));
+        return runner.run();
+    };
+    const auto single = run_mode(false);
+    const auto mixture = run_mode(true);
+
+    EXPECT_TRUE(single.estimate.weighted);
+    EXPECT_TRUE(mixture.estimate.weighted);
+    EXPECT_EQ(single.samples_used, mixture.samples_used);
+    ASSERT_EQ(mixture.proposal.components.size(), 3u); // nominal + 2 modes
+    // ESS recovery and the tighter interval.
+    EXPECT_GT(mixture.estimate.ess, 2.0 * single.estimate.ess);
+    EXPECT_LT(mixture.estimate.half_width(), single.estimate.half_width());
+    // And the mixture estimate is actually right (CI covers the truth).
+    EXPECT_LE(mixture.estimate.ci_low, 1.0 - p_true + 1e-12);
+    EXPECT_GE(mixture.estimate.ci_high, 1.0 - p_true - 1e-12);
+    EXPECT_NEAR(1.0 - mixture.estimate.yield, p_true, 1e-3);
+}
+
+TEST(SequentialYield, CeRefinementDeterministicAcrossInflightWindows) {
+    // The refinement extension of the window-invariance contract: a refit
+    // decision depends only on the retired prefix, in-flight chunks drawn
+    // from the replaced proposal are drained (never folded), and the RNG
+    // rewinds to the retired prefix - so the whole multi-stage run is
+    // bit-identical for any inflight window.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_most("v", 3.0)};
+    auto run_with_inflight = [&](std::size_t inflight) {
+        eval::Engine engine = make_engine();
+        yield::SequentialConfig config;
+        config.pilot_samples = 256;
+        config.pilot_scale = 2.5;
+        config.chunk_samples = 64;
+        config.max_samples = 4096;
+        config.min_samples = 256;
+        config.target_half_width = 5e-4;
+        config.inflight = inflight;
+        config.refine_after_chunks = 2; // refit before the min_samples floor
+        config.max_refits = 2;
+        config.refit_min_failures = 4;
+        yield::SequentialYieldRunner runner(
+            engine, config, specs, synthetic_factory(0.0, 1.0), 1, Rng(21));
+        return runner.run();
+    };
+    const auto a = run_with_inflight(1);
+    const auto b = run_with_inflight(4);
+
+    EXPECT_GE(a.refinements, 1u); // the CE path actually ran
+    EXPECT_EQ(a.refinements, b.refinements);
+    EXPECT_EQ(a.samples_used, b.samples_used);
+    EXPECT_EQ(a.estimate.yield, b.estimate.yield);
+    EXPECT_EQ(a.estimate.ci_low, b.estimate.ci_low);
+    EXPECT_EQ(a.estimate.ci_high, b.estimate.ci_high);
+    EXPECT_EQ(a.estimate.ess, b.estimate.ess);
+    ASSERT_EQ(a.stage_estimates.size(), b.stage_estimates.size());
+    EXPECT_EQ(a.stage_estimates.size(), a.refinements + 1);
+    for (std::size_t s = 0; s < a.stage_estimates.size(); ++s) {
+        EXPECT_EQ(a.stage_estimates[s].samples, b.stage_estimates[s].samples);
+        EXPECT_EQ(a.stage_estimates[s].yield, b.stage_estimates[s].yield);
+    }
+    EXPECT_EQ(a.trajectory.size(), b.trajectory.size());
+    // The blocking window drains nothing at a refit; wider windows may.
+    EXPECT_EQ(a.discarded_samples, 0u);
+    // And the refined estimate is still correct.
+    EXPECT_NEAR(1.0 - a.estimate.yield, 1.349898e-3, 3.0 * 5e-4);
+}
+
+TEST(SequentialYield, StarvedBudgetSkipsPilotAndFlagsIt) {
+    // Regression: when total_samples cannot cover every pilot, the late
+    // points used to fall back to plain MC *silently*. Contract: the
+    // starved points are flagged via SequentialYieldResult::pilot_skipped.
+    std::vector<yield::YieldPoint> points(3);
+    for (auto& p : points) {
+        p.specs = {mc::Spec::at_least("v", 45.0)};
+        p.factory = synthetic_factory(50.0, 2.0);
+        p.dimension = 1;
+    }
+    yield::AdaptiveYieldConfig config;
+    config.sequential.pilot_samples = 32;
+    config.sequential.chunk_samples = 32;
+    config.sequential.max_samples = 256;
+    config.sequential.min_samples = 32;
+    config.total_samples = 64; // two pilots fit, the third cannot
+    eval::Engine engine = make_engine();
+    const auto results = yield::run_adaptive_yield(engine, config, points, Rng(8));
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].pilot_skipped);
+    EXPECT_EQ(results[0].pilot_samples, 32u);
+    EXPECT_FALSE(results[1].pilot_skipped);
+    EXPECT_TRUE(results[2].pilot_skipped);
+    EXPECT_EQ(results[2].pilot_samples, 0u);
+    // The starved point still reports the vacuous interval, not [0, 0].
+    EXPECT_EQ(results[2].samples_used, 0u);
+    EXPECT_EQ(results[2].estimate.ci_low, 0.0);
+    EXPECT_EQ(results[2].estimate.ci_high, 1.0);
+}
+
 TEST(SequentialYield, BudgetStarvedPointReportsVacuousInterval) {
     // Regression: a point whose budget ran out before its first chunk used
     // to report the default point interval [0, 0] - certain 0 % yield on no
@@ -646,7 +1096,7 @@ TEST(SequentialYield, NoEarlyStopOnZeroFailureEvidenceUnderActiveWeights) {
     const std::vector<mc::Spec> specs = {mc::Spec::at_least("v", 0.0)};
     // Kernel with active weights but no failures ever observed.
     const yield::KernelFactory factory =
-        [](const process::SampleShift&, bool) -> mc::ChunkSampleFn {
+        [](const process::ProposalMixture&, bool) -> mc::ChunkSampleFn {
         return [](std::span<const std::size_t>, std::span<Rng> rngs) {
             std::vector<std::vector<double>> rows;
             for (Rng& rng : rngs) {
@@ -684,6 +1134,23 @@ TEST(SequentialYield, RunnerValidatesConfig) {
                  InvalidInputError);
     yield::SequentialConfig ok;
     EXPECT_THROW(yield::SequentialYieldRunner(engine, ok, {},
+                                              synthetic_factory(0.0, 1.0), 1,
+                                              Rng(1)),
+                 InvalidInputError);
+    // Regression: min_samples > max_samples used to be accepted silently,
+    // making the early stop unreachable and burning the full cap.
+    yield::SequentialConfig inverted;
+    inverted.min_samples = 512;
+    inverted.max_samples = 256;
+    EXPECT_THROW(yield::SequentialYieldRunner(engine, inverted, specs,
+                                              synthetic_factory(0.0, 1.0), 1,
+                                              Rng(1)),
+                 InvalidInputError);
+    // Defensive weight outside [0, 1) is rejected up front, not at fit
+    // time deep into the run.
+    yield::SequentialConfig bad_dw;
+    bad_dw.shift_fit.defensive_weight = 1.0;
+    EXPECT_THROW(yield::SequentialYieldRunner(engine, bad_dw, specs,
                                               synthetic_factory(0.0, 1.0), 1,
                                               Rng(1)),
                  InvalidInputError);
