@@ -1,32 +1,38 @@
 // Variance-reduction yield bench - the gating experiments for the
 // importance-sampling subsystem (src/yield/).
 //
-// Scenario 1 (rare spec): the nominal OTA sizing under c35 process
-// variation with a *rare* gain spec placed deep in the lower tail of the
-// Monte Carlo gain population (mean - k*sigma, k = 2.4 by default -> ~1 %
-// failure rate). Exactly the regime where the paper's 500-sample "100 %
-// yield" runs are weakest, and where plain MC needs thousands of samples
-// per CI digit.
+// Scenario 1 (rare spec): yield::make_scenario("rare_ota") - the nominal
+// OTA sizing under c35 process variation with a *rare* gain spec placed
+// deep in the lower tail of the Monte Carlo gain population
+// (mean - k*sigma, k = 2.4 by default -> ~1 % failure rate). Exactly the
+// regime where the paper's 500-sample "100 % yield" runs are weakest, and
+// where plain MC needs thousands of samples per CI digit.
 //
 //   BM_YieldBruteForceReference - a large plain-MC reference estimate
 //     (YPM_BENCH_YIELD_REF samples, default 50000);
-//   BM_YieldSequentialPlainMc   - the sequential driver with the pilot
-//     disabled (zero shift = plain MC) running to the CI half-width target;
-//   BM_YieldSequentialImportance - the two-stage pilot + *single* mean
-//     shift (legacy ISLE proposal mode) running to the same target.
+//   BM_YieldSequentialPlainMc   - the "plain_mc" estimator (no pilot, zero
+//     shift) running to the CI half-width target;
+//   BM_YieldSequentialImportance - the "single_shift" estimator (two-stage
+//     pilot + single mean shift, legacy ISLE proposal mode).
 //
-// Scenario 2 (bimodal two-spec): a low-tail gain spec plus a high-tail
-// phase-margin spec (gain and PM are positively correlated under c35
-// variation, so the two ~1 % failure modes sit in well-separated
-// directions of the standardized process space). A single fitted mean
-// shift points *between* the modes and its fail-side ESS collapses; the
-// defensive mixture (nominal + per-spec components, cross-entropy refined)
-// covers both.
+// Scenario 2 (bimodal two-spec): yield::make_scenario("bimodal_ota") - a
+// low-tail gain spec plus a high-tail phase-margin spec (gain and PM are
+// positively correlated under c35 variation, so the two ~1 % failure modes
+// sit in well-separated directions of the standardized process space). A
+// single fitted mean shift points *between* the modes and its fail-side
+// ESS collapses; the defensive mixture (nominal + per-spec components,
+// cross-entropy refined) covers both.
 //
 //   BM_YieldBimodalReference   - plain-MC reference
 //     (YPM_BENCH_YIELD_BIMODAL_REF samples, default 30000);
-//   BM_YieldBimodalSingleShift - the single-shift driver (ESS collapse);
-//   BM_YieldBimodalMixture     - the defensive mixture + one CE refinement.
+//   BM_YieldBimodalSingleShift - the "single_shift" estimator (ESS collapse);
+//   BM_YieldBimodalMixture     - the "mixture_ce" estimator.
+//
+// Both scenarios and all four drivers come from the shared registries
+// (yield/scenarios.hpp + yield/estimator.hpp): the spec thresholds,
+// calibration seeds and driver recipes live there exactly once, shared
+// with tests/ and bench_yield_matrix, so this bench's CI gates and the
+// unit tests can never drift apart.
 //
 // The CI gates (bench-smoke job) assert that the single-shift IS driver
 // reaches the rare-spec target in <= 1/3 of the plain-MC samples, that on
@@ -48,19 +54,14 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
-#include <vector>
 
 #include "bench_common.hpp"
-#include "circuits/ota.hpp"
-#include "core/ota_mc.hpp"
 #include "eval/engine.hpp"
-#include "mc/monte_carlo.hpp"
-#include "mc/stats.hpp"
-#include "mc/yield.hpp"
-#include "process/sampler.hpp"
-#include "process/variation.hpp"
 #include "util/rng.hpp"
+#include "yield/estimator.hpp"
+#include "yield/scenarios.hpp"
 #include "yield/sequential.hpp"
+#include "yield/weighted.hpp"
 
 using namespace ypm;
 
@@ -78,141 +79,55 @@ eval::Engine make_engine() {
     return eval::Engine(config);
 }
 
-/// The rare-spec scenario, built once: spec calibration from a small MC
-/// population, then the brute-force reference estimate.
-struct Scenario {
-    circuits::OtaEvaluator evaluator;
-    circuits::OtaSizing sizing; // nominal mid-range point
-    process::ProcessSampler sampler{process::ProcessCard::c35(),
-                                    process::VariationSpec::c35()};
-    std::vector<mc::Spec> specs;
-    double target_half_width = 0.0;
-    mc::YieldEstimate reference;
+yield::ScenarioOptions scenario_options() {
+    yield::ScenarioOptions options;
+    options.target_half_width = env_double("YPM_BENCH_YIELD_TARGET", 0.0035);
+    options.spec_depth = env_double("YPM_BENCH_YIELD_SIGMA", 2.4);
+    return options;
+}
+
+/// One scenario + its brute-force reference, built once per column.
+struct BenchScenario {
+    yield::Scenario scenario;
+    yield::WeightedYieldEstimate reference;
     std::size_t reference_samples = 0;
 };
 
-const Scenario& scenario() {
-    static const Scenario s = [] {
-        Scenario sc;
-        sc.target_half_width = env_double("YPM_BENCH_YIELD_TARGET", 0.0035);
-
-        // Calibrate the rare spec from the sampled gain population.
-        eval::Engine cal_engine = make_engine();
-        Rng cal_rng(71);
-        const mc::McResult cal = core::run_ota_monte_carlo(
-            cal_engine, sc.evaluator, sc.sizing, sc.sampler, 512, cal_rng);
-        const mc::Summary gain = cal.column_summary(0);
-        const double depth = env_double("YPM_BENCH_YIELD_SIGMA", 2.4);
-        sc.specs = {
-            mc::Spec::at_least("gain_db", gain.mean - depth * gain.stddev),
-            mc::Spec::at_least("pm_deg", 0.0)};
-
-        // Brute-force reference.
+const BenchScenario& rare_scenario() {
+    static const BenchScenario s = [] {
+        BenchScenario sc;
+        sc.scenario = yield::make_scenario("rare_ota", scenario_options());
         sc.reference_samples = benchx::env_size("YPM_BENCH_YIELD_REF", 50000);
-        eval::Engine ref_engine = make_engine();
-        Rng ref_rng(72);
-        const mc::McResult ref =
-            core::run_ota_monte_carlo(ref_engine, sc.evaluator, sc.sizing,
-                                      sc.sampler, sc.reference_samples, ref_rng);
-        sc.reference = mc::estimate_yield(ref.rows, sc.specs);
+        eval::Engine engine = make_engine();
+        sc.reference = yield::scenario_reference(engine, sc.scenario,
+                                                 sc.reference_samples, Rng(72));
         return sc;
     }();
     return s;
 }
 
-yield::SequentialConfig driver_config(const Scenario& sc, bool importance) {
-    yield::SequentialConfig config;
-    config.pilot_samples = importance ? 256 : 0;
-    config.pilot_scale = 2.0;
-    config.chunk_samples = 128;
-    config.max_samples = 60000;
-    config.min_samples = 256;
-    config.target_half_width = sc.target_half_width;
-    // The rare-spec scenario benchmarks the legacy single-shift (ISLE)
-    // proposal - one failure mode, where the mixture's defensive mass only
-    // costs samples. The bimodal scenario below is the mixture's gate.
-    config.mixture_proposal = false;
-    return config;
-}
-
-yield::SequentialYieldResult run_driver(const Scenario& sc, bool importance) {
-    eval::Engine engine = make_engine();
-    yield::SequentialYieldRunner runner(
-        engine, driver_config(sc, importance), sc.specs,
-        core::ota_yield_kernel_factory(sc.evaluator, sc.sizing, sc.sampler),
-        core::ota_yield_dimension(sc.evaluator, sc.sizing), Rng(73));
-    return runner.run();
-}
-
-/// The bimodal two-spec scenario: low-gain tail + high-PM tail, both at
-/// the same sigma depth, with its own brute-force reference.
-struct BimodalScenario {
-    circuits::OtaEvaluator evaluator;
-    circuits::OtaSizing sizing;
-    process::ProcessSampler sampler{process::ProcessCard::c35(),
-                                    process::VariationSpec::c35()};
-    std::vector<mc::Spec> specs;
-    double target_half_width = 0.0;
-    mc::YieldEstimate reference;
-    std::size_t reference_samples = 0;
-};
-
-const BimodalScenario& bimodal_scenario() {
-    static const BimodalScenario s = [] {
-        BimodalScenario sc;
-        sc.target_half_width = env_double("YPM_BENCH_YIELD_TARGET", 0.0035);
-
-        eval::Engine cal_engine = make_engine();
-        Rng cal_rng(71);
-        const mc::McResult cal = core::run_ota_monte_carlo(
-            cal_engine, sc.evaluator, sc.sizing, sc.sampler, 512, cal_rng);
-        const mc::Summary gain = cal.column_summary(0);
-        const mc::Summary pm = cal.column_summary(1);
-        const double depth = env_double("YPM_BENCH_YIELD_SIGMA", 2.4);
-        // Gain and PM move together under c35 variation (corr ~ +0.4), so
-        // the low-gain and *high*-PM tails are two well-separated failure
-        // modes in the standardized space - the case a single mean shift
-        // cannot cover.
-        sc.specs = {
-            mc::Spec::at_least("gain_db", gain.mean - depth * gain.stddev),
-            mc::Spec::at_most("pm_deg", pm.mean + depth * pm.stddev)};
-
+const BenchScenario& bimodal_scenario() {
+    static const BenchScenario s = [] {
+        BenchScenario sc;
+        sc.scenario = yield::make_scenario("bimodal_ota", scenario_options());
         sc.reference_samples =
             benchx::env_size("YPM_BENCH_YIELD_BIMODAL_REF", 30000);
-        eval::Engine ref_engine = make_engine();
-        Rng ref_rng(72);
-        const mc::McResult ref =
-            core::run_ota_monte_carlo(ref_engine, sc.evaluator, sc.sizing,
-                                      sc.sampler, sc.reference_samples, ref_rng);
-        sc.reference = mc::estimate_yield(ref.rows, sc.specs);
+        eval::Engine engine = make_engine();
+        sc.reference = yield::scenario_reference(engine, sc.scenario,
+                                                 sc.reference_samples, Rng(72));
         return sc;
     }();
     return s;
 }
 
-yield::SequentialYieldResult run_bimodal_driver(const BimodalScenario& sc,
-                                                bool mixture) {
+/// Run one registered estimator on one scenario with the historical driver
+/// seed (Rng(73)).
+yield::SequentialYieldResult run_estimator(const BenchScenario& sc,
+                                           const std::string& estimator) {
     eval::Engine engine = make_engine();
-    yield::SequentialConfig config;
-    config.pilot_samples = 256;
-    config.pilot_scale = 2.0;
-    config.chunk_samples = 128;
-    config.max_samples = 12000;
-    config.min_samples = 256;
-    config.target_half_width = sc.target_half_width;
-    config.mixture_proposal = mixture;
-    if (mixture) {
-        // One cross-entropy refinement once two chunks of failing records
-        // accumulated: the pilot centers are re-fitted from main-stage
-        // failures under the nominal density.
-        config.refine_after_chunks = 2;
-        config.max_refits = 1;
-    }
-    yield::SequentialYieldRunner runner(
-        engine, config, sc.specs,
-        core::ota_yield_kernel_factory(sc.evaluator, sc.sizing, sc.sampler),
-        core::ota_yield_dimension(sc.evaluator, sc.sizing), Rng(73));
-    return runner.run();
+    return yield::EstimatorRegistry::instance().create(estimator)->estimate(
+        engine, sc.scenario.config, sc.scenario.specs, sc.scenario.factory,
+        sc.scenario.dimension, Rng(73));
 }
 
 /// Append one driver's convergence trajectory to the artifact CSV.
@@ -235,22 +150,24 @@ void dump_trajectory(const std::string& driver,
             << half_width << '\n';
 }
 
-void BM_YieldBruteForceReference(benchmark::State& state) {
-    for (auto _ : state) {
-        const Scenario& sc = scenario();
-        benchmark::DoNotOptimize(sc.reference.yield);
-    }
-    const Scenario& sc = scenario();
+void reference_counters(benchmark::State& state, const BenchScenario& sc) {
     state.counters["samples"] = static_cast<double>(sc.reference_samples);
     state.counters["yield"] = sc.reference.yield;
     state.counters["ci_low"] = sc.reference.ci_low;
     state.counters["ci_high"] = sc.reference.ci_high;
 }
+
+void BM_YieldBruteForceReference(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rare_scenario().reference.yield);
+    }
+    reference_counters(state, rare_scenario());
+}
 BENCHMARK(BM_YieldBruteForceReference)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_YieldSequentialPlainMc(benchmark::State& state) {
     yield::SequentialYieldResult result;
-    for (auto _ : state) result = run_driver(scenario(), false);
+    for (auto _ : state) result = run_estimator(rare_scenario(), "plain_mc");
     dump_trajectory("plain_mc", result);
     state.counters["samples"] = static_cast<double>(result.samples_used);
     state.counters["yield"] = result.estimate.yield;
@@ -261,7 +178,7 @@ BENCHMARK(BM_YieldSequentialPlainMc)->Iterations(1)->Unit(benchmark::kMillisecon
 
 void BM_YieldSequentialImportance(benchmark::State& state) {
     yield::SequentialYieldResult result;
-    for (auto _ : state) result = run_driver(scenario(), true);
+    for (auto _ : state) result = run_estimator(rare_scenario(), "single_shift");
     dump_trajectory("importance", result);
     state.counters["samples"] =
         static_cast<double>(result.samples_used + result.pilot_samples);
@@ -277,14 +194,9 @@ BENCHMARK(BM_YieldSequentialImportance)->Iterations(1)->Unit(benchmark::kMillise
 
 void BM_YieldBimodalReference(benchmark::State& state) {
     for (auto _ : state) {
-        const BimodalScenario& sc = bimodal_scenario();
-        benchmark::DoNotOptimize(sc.reference.yield);
+        benchmark::DoNotOptimize(bimodal_scenario().reference.yield);
     }
-    const BimodalScenario& sc = bimodal_scenario();
-    state.counters["samples"] = static_cast<double>(sc.reference_samples);
-    state.counters["yield"] = sc.reference.yield;
-    state.counters["ci_low"] = sc.reference.ci_low;
-    state.counters["ci_high"] = sc.reference.ci_high;
+    reference_counters(state, bimodal_scenario());
 }
 BENCHMARK(BM_YieldBimodalReference)->Iterations(1)->Unit(benchmark::kMillisecond);
 
@@ -314,7 +226,8 @@ void bimodal_counters(benchmark::State& state,
 
 void BM_YieldBimodalSingleShift(benchmark::State& state) {
     yield::SequentialYieldResult result;
-    for (auto _ : state) result = run_bimodal_driver(bimodal_scenario(), false);
+    for (auto _ : state)
+        result = run_estimator(bimodal_scenario(), "single_shift");
     dump_trajectory("bimodal_single_shift", result);
     bimodal_counters(state, result);
 }
@@ -322,7 +235,7 @@ BENCHMARK(BM_YieldBimodalSingleShift)->Iterations(1)->Unit(benchmark::kMilliseco
 
 void BM_YieldBimodalMixture(benchmark::State& state) {
     yield::SequentialYieldResult result;
-    for (auto _ : state) result = run_bimodal_driver(bimodal_scenario(), true);
+    for (auto _ : state) result = run_estimator(bimodal_scenario(), "mixture_ce");
     dump_trajectory("bimodal_mixture", result);
     bimodal_counters(state, result);
 }

@@ -9,6 +9,7 @@
 #include "moo/problem.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "yield/estimator.hpp"
 
 namespace ypm::core {
 
@@ -80,6 +81,11 @@ FlowResult YieldFlow::run() const {
             throw InvalidInputError(
                 "YieldFlow: yield_sequential.shift_fit.defensive_weight must "
                 "be in [0, 1)");
+        // Resolve the estimator-zoo selection up front: an unknown name
+        // must fail before the expensive MOO/MC stages, not after them.
+        if (!config_.yield_estimator.empty())
+            (void)yield::EstimatorRegistry::instance().create(
+                config_.yield_estimator);
     }
 
     const auto t_start = std::chrono::steady_clock::now();
@@ -234,6 +240,15 @@ FlowResult YieldFlow::run() const {
             const auto t1 = std::chrono::steady_clock::now();
             yield::AdaptiveYieldConfig yield_config;
             yield_config.sequential = config_.yield_sequential;
+            if (!config_.yield_estimator.empty()) {
+                const auto estimator =
+                    yield::EstimatorRegistry::instance().create(
+                        config_.yield_estimator);
+                yield_config.sequential =
+                    estimator->configure(yield_config.sequential);
+                log::info("flow: yield estimator '", config_.yield_estimator,
+                          "'");
+            }
             yield_config.total_samples = config_.yield_total_samples;
             const std::size_t dimension =
                 ota_yield_dimension(evaluator, result.front.front().sizing);

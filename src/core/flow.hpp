@@ -57,6 +57,14 @@ struct FlowConfig {
     /// Cross-point sample budget, allocated adaptively to the points with
     /// the widest confidence intervals (0 = per-point caps only).
     std::size_t yield_total_samples = 0;
+    /// Estimator-zoo selection by registry name (yield/estimator.hpp):
+    /// when non-empty, the named estimator's configure() specializes
+    /// `yield_sequential`'s method knobs before the yield stage runs -
+    /// e.g. "plain_mc", "single_shift", "mixture_ce", "mixture_ce_scale",
+    /// "mixture_merge", "control_variate". Empty keeps `yield_sequential`
+    /// exactly as given (the legacy behaviour). Unknown names throw
+    /// ypm::InvalidInputError at flow construction, listing the registry.
+    std::string yield_estimator;
 };
 
 struct FlowTimings {

@@ -57,9 +57,11 @@ ProposalMixture ProposalMixture::single(SampleShift shift) {
 bool ProposalMixture::active() const {
     if (components.size() > 1) return true;
     for (const ProposalComponent& c : components) {
+        for (double s : c.sigma)
+            if (s != 1.0) return true;
         SampleShift shift;
         shift.mu = c.mu;
-        shift.scale = c.scale;
+        shift.scale = c.sigma.empty() ? c.scale : 1.0;
         if (shift.active()) return true;
     }
     return false;
@@ -95,6 +97,16 @@ void ProposalMixture::validate(std::size_t dimension) const {
             if (!std::isfinite(m))
                 throw InvalidInputError(
                     "ProposalMixture: non-finite component mean entry");
+        if (!c.sigma.empty() && c.sigma.size() != dimension)
+            throw InvalidInputError(
+                "ProposalMixture: component sigma dimension mismatch (got " +
+                std::to_string(c.sigma.size()) + ", expected " +
+                std::to_string(dimension) + ")");
+        for (double s : c.sigma)
+            if (!(s > 0.0) || !std::isfinite(s))
+                throw InvalidInputError(
+                    "ProposalMixture: per-dimension sigma entries must be "
+                    "finite and > 0");
     }
 }
 
@@ -133,8 +145,9 @@ double ProposalMixture::log_weight_of(const std::vector<double>& u) const {
         for (std::size_t k = 0; k < components.size(); ++k) {
             const ProposalComponent& c = components[k];
             const double m = c.mu.empty() ? 0.0 : c.mu[i];
-            const double t = (u[i] - m) / c.scale;
-            log_q[k] += -0.5 * t * t - std::log(c.scale);
+            const double s = c.scale_at(i);
+            const double t = (u[i] - m) / s;
+            log_q[k] += -0.5 * t * t - std::log(s);
         }
     }
     return log_p - log_mixture_density(components, log_q);
@@ -253,11 +266,14 @@ ShiftedDraw ProcessSampler::sample_mixture(Rng& rng,
     const std::size_t dim = SampleShift::dimension(devices.size());
     mixture.validate(dim);
 
-    // Zero or one component: the single-shift path, bit-identical RNG
-    // consumption to sample() (no component-selection draw), and with an
-    // inactive component bit-identical realisations with log_weight
-    // exactly 0.
-    if (mixture.components.size() <= 1) {
+    // Zero or one isotropic component: the single-shift path, bit-identical
+    // RNG consumption to sample() (no component-selection draw), and with
+    // an inactive component bit-identical realisations with log_weight
+    // exactly 0. A single component with *per-dimension* sigma cannot ride
+    // SampleShift (scalar scale only) and falls through to the generic
+    // path below, which also skips the component-selection draw for it.
+    if (mixture.components.size() <= 1 &&
+        (mixture.components.empty() || mixture.components.front().sigma.empty())) {
         SampleShift shift;
         if (!mixture.components.empty()) {
             shift.mu = mixture.components.front().mu;
@@ -268,16 +284,19 @@ ShiftedDraw ProcessSampler::sample_mixture(Rng& rng,
         return draw;
     }
 
-    // Defensive mixture: one uniform picks the component, then the
-    // per-dimension Gaussians are drawn from it in the standard order. The
-    // mixture density is not product-form across dimensions, so the log
-    // weight cannot be accumulated per dimension under one formula;
+    // Defensive mixture: one uniform picks the component (skipped for a
+    // single diagonal-covariance component - there is nothing to pick),
+    // then the per-dimension Gaussians are drawn from it in the standard
+    // order. The mixture density is not product-form across dimensions, so
+    // the log weight cannot be accumulated per dimension under one formula;
     // instead every component's log density of the *whole* standardized
     // vector u is accumulated and combined once at the end:
     //   log w = log phi(u) - logsumexp_k(log p_k + log q_k(u)).
     // Zero-sigma dimensions are deterministic under every component and
     // drop out of both densities.
-    const std::size_t chosen = mixture.pick_component(rng.uniform01());
+    const std::size_t chosen = mixture.components.size() > 1
+                                   ? mixture.pick_component(rng.uniform01())
+                                   : 0;
     const ProposalComponent& comp = mixture.components[chosen];
 
     ShiftedDraw out;
@@ -289,16 +308,18 @@ ShiftedDraw ProcessSampler::sample_mixture(Rng& rng,
     auto draw = [&](double sigma) {
         const std::size_t i = next_dim++;
         const double m = comp.mu.empty() ? 0.0 : comp.mu[i];
+        const double s = comp.scale_at(i);
         const double z = rng.gauss();
-        const double value = m * sigma + (comp.scale * sigma) * z;
+        const double value = m * sigma + (s * sigma) * z;
         if (sigma > 0.0) {
-            const double u = m + comp.scale * z;
+            const double u = m + s * z;
             log_p += -0.5 * u * u;
             for (std::size_t k = 0; k < mixture.components.size(); ++k) {
                 const ProposalComponent& c = mixture.components[k];
                 const double mk = c.mu.empty() ? 0.0 : c.mu[i];
-                const double t = (u - mk) / c.scale;
-                log_q[k] += -0.5 * t * t - std::log(c.scale);
+                const double sk = c.scale_at(i);
+                const double t = (u - mk) / sk;
+                log_q[k] += -0.5 * t * t - std::log(sk);
             }
             if (record_u) out.u[i] = u;
         }

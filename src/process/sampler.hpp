@@ -86,11 +86,23 @@ struct SampleShift {
 
 /// One component of a Gaussian mixture proposal: a translated/widened
 /// standard normal in the standardized process space (same layout and
-/// semantics as SampleShift) plus a relative mixture weight.
+/// semantics as SampleShift) plus a relative mixture weight. A component
+/// may carry a *diagonal* covariance via per-dimension sigma multipliers
+/// (`sigma`, scale-adapted cross-entropy refits emit these); when `sigma`
+/// is empty the scalar `scale` applies to every dimension.
 struct ProposalComponent {
     std::vector<double> mu; ///< empty = zero shift; else one entry per dim
-    double scale = 1.0;     ///< sigma multiplier (> 0)
+    double scale = 1.0;     ///< isotropic sigma multiplier (> 0)
+    /// Per-dimension sigma multipliers (diagonal covariance, each > 0);
+    /// empty = use `scale` for every dimension. Non-empty sigma overrides
+    /// `scale` entirely.
+    std::vector<double> sigma;
     double weight = 1.0;    ///< relative (unnormalized) mixture weight (> 0)
+
+    /// Sigma multiplier of dimension i under this component.
+    [[nodiscard]] double scale_at(std::size_t i) const {
+        return sigma.empty() ? scale : sigma[i];
+    }
 };
 
 /// Defensive Gaussian-mixture proposal for importance-sampled yield
@@ -130,8 +142,9 @@ struct ProposalMixture {
     [[nodiscard]] double log_weight_of(const std::vector<double>& u) const;
 
     /// \throws ypm::InvalidInputError when any component has a non-positive
-    /// or non-finite weight/scale, a non-finite mu entry, or a mu dimension
-    /// that is neither empty nor `dimension`.
+    /// or non-finite weight/scale, a non-finite mu entry, a mu or sigma
+    /// dimension that is neither empty nor `dimension`, or a non-positive
+    /// per-dimension sigma entry.
     void validate(std::size_t dimension) const;
 };
 
@@ -168,12 +181,14 @@ public:
                                              const SampleShift& shift,
                                              bool record_u = false) const;
 
-    /// Draw from a defensive mixture proposal. With zero or one component
-    /// this delegates to the single-shift path (same RNG consumption as
-    /// sample(); an inactive component is bit-identical to sample() with
-    /// log_weight exactly 0). With >= 2 components one uniform draw picks
-    /// the component, then the per-dimension Gaussians are drawn exactly
-    /// like sample_shifted's; because a mixture density is not
+    /// Draw from a defensive mixture proposal. With zero or one *isotropic*
+    /// component this delegates to the single-shift path (same RNG
+    /// consumption as sample(); an inactive component is bit-identical to
+    /// sample() with log_weight exactly 0); a single diagonal-covariance
+    /// component draws the same per-dimension sequence without a
+    /// component-selection uniform. With >= 2 components one uniform draw
+    /// picks the component, then the per-dimension Gaussians are drawn
+    /// exactly like sample_shifted's; because a mixture density is not
     /// product-form across dimensions, the log weight is computed over the
     /// whole standardized vector: log w = log phi(u) - log q_mix(u).
     /// \throws ypm::InvalidInputError on an invalid mixture (see

@@ -38,6 +38,11 @@ SequentialYieldRunner::SequentialYieldRunner(eval::Engine& engine,
     // CE refinement needs u records on the main stage and at least one
     // failing record per refit.
     record_main_u_ = config_.refine_after_chunks > 0 && config_.max_refits > 0;
+    if (config_.control.enabled && record_main_u_)
+        throw InvalidInputError(
+            "SequentialYieldRunner: control-variate estimation is "
+            "incompatible with CE refinement - per-stage moment pooling "
+            "cannot carry the pass-side control term");
     if (config_.refit_min_failures == 0) config_.refit_min_failures = 1;
     // Zero retired samples must report the vacuous interval [0, 1], not a
     // default-constructed point interval [0, 0] pretending certainty (a
@@ -150,7 +155,10 @@ void SequentialYieldRunner::fold_rows(const mc::McResult& result) {
 
 void SequentialYieldRunner::update_estimate() {
     if (stages_.empty()) {
-        estimate_ = weighted_yield_from_flags(flags_, log_weights_);
+        // control_variate_yield delegates verbatim to the fail-side
+        // estimator when the control is inert, so this is the one estimate
+        // path for every single-stage configuration.
+        estimate_ = control_variate_yield(flags_, log_weights_, config_.control);
         return;
     }
     std::vector<WeightedYieldEstimate> all = stages_;
@@ -220,8 +228,9 @@ SequentialYieldResult SequentialYieldRunner::finish() {
     result.stage_estimates = stages_;
     if (!flags_.empty())
         result.stage_estimates.push_back(
-            weighted_yield_from_flags(flags_, log_weights_));
+            control_variate_yield(flags_, log_weights_, config_.control));
     result.refinements = refits_done_;
+    result.merged_components = fit_.merged_components;
     result.shift_pilot_failures = pilot_failures_;
     result.samples_used = retired_samples_;
     result.pilot_samples = pilot_submitted_ ? config_.pilot_samples : 0;

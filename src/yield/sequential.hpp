@@ -93,6 +93,14 @@ struct SequentialConfig {
     /// refinement until at least this many failing records accumulated.
     std::size_t refit_min_failures = 8;
     ShiftFitConfig shift_fit; ///< clamp + defensive weight for the fits
+    /// Control-variate refinement of the main-stage estimate (see
+    /// yield/weighted.hpp): regress on the full likelihood ratio, whose
+    /// mean under the proposal is exactly 1. Incompatible with CE
+    /// refinement (refine_after_chunks > 0 with max_refits > 0): stages are
+    /// combined by pooling fail-side moments, which have no representation
+    /// of the pass-side control term - the runner ctor throws on the
+    /// combination rather than silently dropping the control.
+    ControlVariateOptions control;
 };
 
 /// Result of one sequential run.
@@ -108,6 +116,9 @@ struct SequentialYieldResult {
     /// `estimate` above is their combination.
     std::vector<WeightedYieldEstimate> stage_estimates;
     std::size_t refinements = 0;    ///< CE refits actually applied
+    /// Components absorbed by Mahalanobis merging in the *last* fit (0 when
+    /// merging is off - see ShiftFitConfig::merge_distance).
+    std::size_t merged_components = 0;
     std::size_t shift_pilot_failures = 0; ///< failing pilot samples behind the fit
     std::size_t samples_used = 0;   ///< main-stage samples in the estimate
     std::size_t pilot_samples = 0;

@@ -1,5 +1,6 @@
 #include "yield/shift.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -19,16 +20,91 @@ void clamp_norm(std::vector<double>& mu, double max_norm) {
     for (double& m : mu) m *= k;
 }
 
+/// One surviving per-spec component on its way into the mixture: clamped
+/// mean, (weighted) failure mass, and the diagonal variance (empty = unit).
+struct FitComponent {
+    std::vector<double> mu;
+    double mass = 0.0;
+    std::vector<double> var; ///< empty = isotropic unit variance
+    [[nodiscard]] double var_at(std::size_t d) const {
+        return var.empty() ? 1.0 : var[d];
+    }
+};
+
+/// Mahalanobis distance between two component means under the average of
+/// their diagonal variances (Euclidean in the standardized space when both
+/// are unit): the overlap metric that decides a merge.
+double component_distance(const FitComponent& a, const FitComponent& b) {
+    double sum = 0.0;
+    for (std::size_t d = 0; d < a.mu.size(); ++d) {
+        const double dm = a.mu[d] - b.mu[d];
+        const double s2 = 0.5 * (a.var_at(d) + b.var_at(d));
+        sum += dm * dm / s2;
+    }
+    return std::sqrt(sum);
+}
+
+/// Greedy Mahalanobis merging of overlapping components: later components
+/// are absorbed into the first one within `merge_distance` (mass-weighted
+/// moment match: merged mean, merged variance = within + between-mean
+/// spread when variances are carried). Deterministic: components are
+/// visited in spec order. Returns the number of components absorbed.
+std::size_t merge_components(std::vector<FitComponent>& comps,
+                             double merge_distance) {
+    if (merge_distance <= 0.0) return 0;
+    std::size_t merged = 0;
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        for (std::size_t j = i + 1; j < comps.size();) {
+            if (component_distance(comps[i], comps[j]) >= merge_distance) {
+                ++j;
+                continue;
+            }
+            FitComponent& a = comps[i];
+            const FitComponent& b = comps[j];
+            const double mass = a.mass + b.mass;
+            const double wa = a.mass / mass, wb = b.mass / mass;
+            const bool carry_var = !a.var.empty() || !b.var.empty();
+            std::vector<double> mu(a.mu.size(), 0.0);
+            std::vector<double> var;
+            if (carry_var) var.assign(a.mu.size(), 0.0);
+            for (std::size_t d = 0; d < a.mu.size(); ++d) {
+                mu[d] = wa * a.mu[d] + wb * b.mu[d];
+                if (carry_var) {
+                    // Moment match: E[u^2] pooled minus the merged mean
+                    // squared - the within-component variances plus the
+                    // between-mean spread.
+                    const double m2 = wa * (a.var_at(d) + a.mu[d] * a.mu[d]) +
+                                      wb * (b.var_at(d) + b.mu[d] * b.mu[d]);
+                    var[d] = std::max(m2 - mu[d] * mu[d], 0.0);
+                }
+            }
+            a.mu = std::move(mu);
+            a.var = std::move(var);
+            a.mass = mass;
+            comps.erase(comps.begin() + static_cast<std::ptrdiff_t>(j));
+            ++merged;
+        }
+    }
+    return merged;
+}
+
 /// Shared fitting machinery: per-spec (optionally importance-weighted)
 /// centers of gravity of the failing rows, each norm-clamped; a combined
-/// single shift; and the defensive mixture.
+/// single shift; and the defensive mixture (scale-adapted and/or merged
+/// when the config asks for it).
 ShiftFit fit_impl(const std::vector<std::vector<double>>& rows,
                   const std::vector<mc::Spec>& specs, std::size_t dimension,
                   const ShiftFitConfig& config, bool importance_weighted) {
     if (!(config.defensive_weight >= 0.0 && config.defensive_weight < 1.0))
         throw InvalidInputError(
             "fit_shift: defensive_weight must be in [0, 1)");
+    if (!(config.min_scale > 0.0) || !(config.max_scale >= config.min_scale))
+        throw InvalidInputError(
+            "fit_shift: scale clamps must satisfy 0 < min_scale <= max_scale");
     const std::size_t arity = specs.size() + 1 + dimension;
+    // Scale adaptation needs importance weights: the pilot's few unweighted
+    // failures carry no usable spread information (see ShiftFitConfig).
+    const bool adapt_scale = config.adapt_scale && importance_weighted;
 
     ShiftFit fit;
     fit.per_spec.resize(specs.size());
@@ -37,9 +113,13 @@ ShiftFit fit_impl(const std::vector<std::vector<double>>& rows,
 
     // Per-spec center of gravity over the standardized coordinates of the
     // samples failing that spec; `mass` is the (weighted) failure mass the
-    // center averages over and the mixture weights split by.
+    // center averages over and the mixture weights split by. `cog2` holds
+    // the weighted second moments for the diagonal variance fit.
     std::vector<std::vector<double>> cog(specs.size(),
                                          std::vector<double>(dimension, 0.0));
+    std::vector<std::vector<double>> cog2;
+    if (adapt_scale)
+        cog2.assign(specs.size(), std::vector<double>(dimension, 0.0));
     std::vector<double> mass(specs.size(), 0.0);
     for (const auto& row : rows) {
         if (row.size() != arity)
@@ -60,11 +140,22 @@ ShiftFit fit_impl(const std::vector<std::vector<double>>& rows,
             any_fail = true;
             ++fit.spec_failures[s];
             mass[s] += w;
-            for (std::size_t d = 0; d < dimension; ++d) cog[s][d] += w * u[d];
+            for (std::size_t d = 0; d < dimension; ++d) {
+                cog[s][d] += w * u[d];
+                if (adapt_scale) cog2[s][d] += w * u[d] * u[d];
+            }
         }
         if (any_fail) ++fit.pilot_failures;
     }
 
+    // Per-spec diagonal sigma (empty = unit): the CE-optimal variance of
+    // the importance-weighted failing records *around the clamped
+    // component center actually used as the proposal mean* - when the norm
+    // clamp displaced the fitted mean, the displacement enters the spread,
+    // widening the component exactly where the clamp cut it short. Sigmas
+    // are clamped to [min_scale, max_scale]. Specs with < 2 failing
+    // records keep the unit scale - a variance from one record is zero.
+    std::vector<std::vector<double>> spec_sigma(specs.size());
     double total_mass = 0.0;
     for (std::size_t s = 0; s < specs.size(); ++s) {
         if (!(mass[s] > 0.0)) continue;
@@ -77,6 +168,23 @@ ShiftFit fit_impl(const std::vector<std::vector<double>>& rows,
         // widened pilot overshoots into weight collapse exactly like the
         // combined one would).
         clamp_norm(fit.per_spec[s].mu, config.max_norm);
+        if (adapt_scale && fit.spec_failures[s] >= 2) {
+            std::vector<double> sigma(dimension, 1.0);
+            bool any_adapted = false;
+            for (std::size_t d = 0; d < dimension; ++d) {
+                // E_w[(u - mu_clamped)^2] from the raw moments: the second
+                // moment minus the cross term against the clamped center.
+                const double mu_c = fit.per_spec[s].mu[d];
+                const double var = std::max(
+                    cog2[s][d] * inv - 2.0 * mu_c * cog[s][d] + mu_c * mu_c,
+                    0.0);
+                const double sd = std::clamp(std::sqrt(var), config.min_scale,
+                                             config.max_scale);
+                sigma[d] = sd;
+                if (sd != 1.0) any_adapted = true;
+            }
+            if (any_adapted) spec_sigma[s] = std::move(sigma);
+        }
     }
     if (total_mass == 0.0) {
         // No failures: zero shift, single-nominal mixture - the main stage
@@ -102,17 +210,39 @@ ShiftFit fit_impl(const std::vector<std::vector<double>>& rows,
 
     // Defensive mixture: nominal component + one component per failing
     // spec, the shifted mass split in proportion to the spec failure mass.
+    // Per-spec components first pass through the (optional) Mahalanobis
+    // merging so overlapping failure modes share one component.
+    std::vector<FitComponent> comps;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        if (!(mass[s] > 0.0)) continue;
+        FitComponent c;
+        c.mu = fit.per_spec[s].mu;
+        c.mass = mass[s];
+        if (!spec_sigma[s].empty()) {
+            c.var.resize(dimension);
+            for (std::size_t d = 0; d < dimension; ++d)
+                c.var[d] = spec_sigma[s][d] * spec_sigma[s][d];
+        }
+        comps.push_back(std::move(c));
+    }
+    fit.merged_components = merge_components(comps, config.merge_distance);
+
     if (config.defensive_weight > 0.0) {
         process::ProposalComponent nominal;
         nominal.weight = config.defensive_weight;
         fit.mixture.components.push_back(std::move(nominal));
     }
     const double shifted_mass = 1.0 - config.defensive_weight;
-    for (std::size_t s = 0; s < specs.size(); ++s) {
-        if (!(mass[s] > 0.0)) continue;
+    for (FitComponent& c : comps) {
         process::ProposalComponent comp;
-        comp.mu = fit.per_spec[s].mu;
-        comp.weight = shifted_mass * mass[s] / total_mass;
+        comp.mu = std::move(c.mu);
+        comp.weight = shifted_mass * c.mass / total_mass;
+        if (!c.var.empty()) {
+            comp.sigma.resize(dimension);
+            for (std::size_t d = 0; d < dimension; ++d)
+                comp.sigma[d] = std::clamp(std::sqrt(c.var[d]),
+                                           config.min_scale, config.max_scale);
+        }
         fit.mixture.components.push_back(std::move(comp));
     }
     return fit;

@@ -37,6 +37,32 @@ struct ShiftFitConfig {
     /// defensive-IS guarantee. 0 drops the nominal component entirely.
     /// \throws ypm::InvalidInputError from the fit when outside [0, 1).
     double defensive_weight = 0.1;
+    /// Scale adaptation (CE refit only): when true, refit_shift also learns
+    /// each component's *diagonal* variance from the importance-weighted
+    /// failing records - sigma_d^2 = sum(w (u_d - mu_d)^2) / sum(w) around
+    /// the fitted mean - the CE-optimal diagonal covariance for a Gaussian
+    /// family. Per-dimension sigmas are clamped to [min_scale, max_scale]
+    /// (a single dominant record would otherwise collapse a sigma to ~0 and
+    /// spike the weights); specs with fewer than two failing records keep
+    /// the unit scale. The pilot fit (fit_shift) never adapts scales: its
+    /// few unweighted failures carry no usable spread information.
+    bool adapt_scale = false;
+    /// Lower sigma clamp for adapted scales. Kept close to the unit scale:
+    /// the weighted spread of a handful of failing records systematically
+    /// *underestimates* the conditional variance, and an over-shrunk
+    /// component spikes the fail-side weights of records landing in the
+    /// other components' territory (measured on the bimodal OTA scenario:
+    /// min_scale 0.5 costs ~20 % more samples-to-target than mean-only CE;
+    /// 0.9 beats it). Values below 1 still allow a genuine, evidence-backed
+    /// shrink.
+    double min_scale = 0.9;
+    double max_scale = 3.0; ///< upper sigma clamp for adapted scales
+    /// Mixture-component merging: when > 0, per-spec components whose
+    /// Mahalanobis distance (under the average of their diagonal variances)
+    /// falls below this threshold are merged - mass-weighted mean and
+    /// variance, summed weight - so specs sharing one failure mode do not
+    /// split the proposal budget into near-duplicate components. 0 disables.
+    double merge_distance = 0.0;
 };
 
 /// Fitted proposal for the main importance-sampling stage.
@@ -60,6 +86,9 @@ struct ShiftFit {
     std::vector<std::size_t> spec_failures;
     /// Samples failing any spec (raw count, unweighted).
     std::size_t pilot_failures = 0;
+    /// Components absorbed by Mahalanobis merging (0 when merging is off or
+    /// nothing overlapped): per-spec centers in, mixture.components out.
+    std::size_t merged_components = 0;
 };
 
 /// Pilot fit from rows of the form {perf_0..perf_{k-1}, log_weight,

@@ -211,6 +211,14 @@ TEST(Flow, RejectsMalformedYieldSpecs) {
     bad_dw.yield_specs = good_specs;
     bad_dw.yield_sequential.shift_fit.defensive_weight = 1.0;
     EXPECT_THROW((void)YieldFlow(ota, bad_dw).run(), InvalidInputError);
+
+    // And for a yield-estimator name the registry does not know: the yield
+    // stage resolves the name only after the MOO stage, so the fail-fast
+    // check up front is what keeps a typo from wasting the whole run.
+    FlowConfig bad_estimator = cfg;
+    bad_estimator.yield_specs = good_specs;
+    bad_estimator.yield_estimator = "no_such_estimator";
+    EXPECT_THROW((void)YieldFlow(ota, bad_estimator).run(), InvalidInputError);
 }
 
 TEST(Verify, ModelVsTransistorErrorsSmallOnFrontPoint) {

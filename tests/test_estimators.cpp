@@ -1,0 +1,450 @@
+// Conformance suite for the yield estimator zoo (yield/estimator.hpp): the
+// contracts every *registered* estimator must satisfy, enforced by looping
+// over the registry rather than naming estimators in each test - a newly
+// registered estimator inherits the whole suite for free.
+//
+//  - clean-sweep Wilson reduction: on a scenario with no failures every
+//    estimator's estimate reduces bit-identically to the unweighted
+//    Wilson numbers of plain MC;
+//  - inflight-window invariance + rerun determinism: the retired prefix,
+//    and therefore the whole result, is identical for any streaming window
+//    and across reruns with the same seed;
+//  - home-scenario sanity: every estimator reaches the CI target on the
+//    cheap synthetic bimodal scenario within its cap;
+//  - zero-beta bit-identity: the control-variate estimator with an inert
+//    control is literally the fail-side estimator.
+//
+// Plus unit tests for the three newest zoo members' machinery: CE scale
+// adaptation and Mahalanobis component merging in the shift fit, and the
+// control-variate regression math (hand-computed beta, clamping,
+// delegation rules).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/engine.hpp"
+#include "mc/yield.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "yield/estimator.hpp"
+#include "yield/scenarios.hpp"
+#include "yield/sequential.hpp"
+#include "yield/shift.hpp"
+#include "yield/weighted.hpp"
+
+namespace {
+
+using namespace ypm;
+
+// The built-in zoo, spelled out rather than taken from names(): tests may
+// register extra estimators in the shared registry, and the conformance
+// loops must stay deterministic regardless of test order.
+const std::vector<std::string> kBuiltins = {
+    "control_variate", "mixture_ce", "mixture_ce_scale",
+    "mixture_merge",   "plain_mc",   "single_shift"};
+
+eval::Engine make_engine() {
+    eval::EngineConfig config;
+    config.cache_capacity = 0;
+    return eval::Engine(config);
+}
+
+yield::SequentialYieldResult run_estimator(const yield::Scenario& sc,
+                                           const std::string& name,
+                                           std::size_t inflight = 1) {
+    eval::Engine engine = make_engine();
+    yield::SequentialConfig base = sc.config;
+    base.inflight = inflight;
+    return yield::EstimatorRegistry::instance().create(name)->estimate(
+        engine, base, sc.specs, sc.factory, sc.dimension, Rng(73));
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(EstimatorRegistry, KnowsTheBuiltinZoo) {
+    const auto& registry = yield::EstimatorRegistry::instance();
+    const std::vector<std::string> names = registry.names();
+    for (const std::string& name : kBuiltins) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        const auto estimator = registry.create(name);
+        ASSERT_NE(estimator, nullptr);
+        EXPECT_EQ(estimator->name(), name);
+        EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
+    }
+}
+
+TEST(EstimatorRegistry, RejectsUnknownDuplicateAndMalformed) {
+    auto& registry = yield::EstimatorRegistry::instance();
+    // The unknown-name error lists the registry, so a config typo points
+    // straight at the zoo.
+    try {
+        (void)registry.create("no_such_estimator");
+        FAIL() << "expected InvalidInputError";
+    } catch (const InvalidInputError& e) {
+        EXPECT_NE(std::string(e.what()).find("plain_mc"), std::string::npos);
+    }
+    EXPECT_FALSE(registry.contains("no_such_estimator"));
+    EXPECT_THROW(registry.add("plain_mc", [] {
+        return std::unique_ptr<yield::YieldEstimator>();
+    }),
+                 InvalidInputError);
+    EXPECT_THROW(registry.add("", [] {
+        return std::unique_ptr<yield::YieldEstimator>();
+    }),
+                 InvalidInputError);
+    EXPECT_THROW(registry.add("null_factory", {}), InvalidInputError);
+}
+
+TEST(EstimatorRegistry, MethodKnobsDoNotLeakAcrossEstimators) {
+    // A scenario base carrying another estimator's method knobs must not
+    // change what a given estimator runs: plain_mc stays plain MC even
+    // when handed a base config asking for CE refits and scale adaptation.
+    yield::SequentialConfig base;
+    base.refine_after_chunks = 2;
+    base.max_refits = 3;
+    base.shift_fit.adapt_scale = true;
+    base.shift_fit.merge_distance = 2.0;
+    base.control.enabled = true;
+
+    const auto& registry = yield::EstimatorRegistry::instance();
+    const auto plain = registry.create("plain_mc")->configure(base);
+    EXPECT_EQ(plain.pilot_samples, 0u);
+    EXPECT_EQ(plain.refine_after_chunks, 0u);
+    EXPECT_FALSE(plain.shift_fit.adapt_scale);
+    EXPECT_EQ(plain.shift_fit.merge_distance, 0.0);
+    EXPECT_FALSE(plain.control.enabled);
+
+    const auto single = registry.create("single_shift")->configure(base);
+    EXPECT_FALSE(single.mixture_proposal);
+    EXPECT_EQ(single.refine_after_chunks, 0u);
+
+    // And the problem-level knobs pass through untouched.
+    const auto ce = registry.create("mixture_ce")->configure(base);
+    EXPECT_EQ(ce.refine_after_chunks, 2u); // scenario override respected
+    EXPECT_EQ(ce.max_refits, 3u);
+    EXPECT_FALSE(ce.shift_fit.adapt_scale);
+
+    const auto scale = registry.create("mixture_ce_scale")->configure(base);
+    EXPECT_TRUE(scale.shift_fit.adapt_scale);
+    const auto merge = registry.create("mixture_merge")->configure(base);
+    EXPECT_EQ(merge.shift_fit.merge_distance, 2.0);
+    const auto cv = registry.create("control_variate")->configure(base);
+    EXPECT_TRUE(cv.control.enabled);
+    EXPECT_EQ(cv.refine_after_chunks, 0u); // CV never refits (stage mixing)
+}
+
+// ------------------------------------------------------------- conformance
+
+TEST(EstimatorConformance, CleanSweepReducesToWilson) {
+    // No failures anywhere: every pilot fits a zero shift, every proposal
+    // degenerates to the nominal single component, every log weight is
+    // exactly 0 - so every estimator must report the *unweighted* Wilson
+    // numbers, bit-identical to plain MC's main stage.
+    const yield::Scenario sc = yield::make_scenario("clean_sweep");
+    const auto plain = run_estimator(sc, "plain_mc");
+    ASSERT_FALSE(plain.estimate.weighted);
+    EXPECT_EQ(plain.estimate.passes, plain.estimate.samples);
+    for (const std::string& name : kBuiltins) {
+        const auto r = run_estimator(sc, name);
+        EXPECT_FALSE(r.estimate.weighted) << name;
+        EXPECT_EQ(r.samples_used, plain.samples_used) << name;
+        EXPECT_EQ(r.estimate.yield, plain.estimate.yield) << name;
+        EXPECT_EQ(r.estimate.ci_low, plain.estimate.ci_low) << name;
+        EXPECT_EQ(r.estimate.ci_high, plain.estimate.ci_high) << name;
+        EXPECT_EQ(r.estimate.control_beta, 0.0) << name;
+    }
+}
+
+TEST(EstimatorConformance, InflightInvarianceAndRerunDeterminism) {
+    // The streaming-window contract, zoo-wide: the retired prefix decides
+    // everything, so inflight = 1 and inflight = 4 are bit-identical, as
+    // are reruns with the same seed.
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    for (const std::string& name : kBuiltins) {
+        const auto a = run_estimator(sc, name, 1);
+        const auto b = run_estimator(sc, name, 4);
+        const auto c = run_estimator(sc, name, 1);
+        EXPECT_EQ(a.samples_used, b.samples_used) << name;
+        EXPECT_EQ(a.refinements, b.refinements) << name;
+        EXPECT_EQ(a.estimate.yield, b.estimate.yield) << name;
+        EXPECT_EQ(a.estimate.ci_low, b.estimate.ci_low) << name;
+        EXPECT_EQ(a.estimate.ci_high, b.estimate.ci_high) << name;
+        EXPECT_EQ(a.estimate.ess, b.estimate.ess) << name;
+        EXPECT_EQ(a.estimate.control_beta, b.estimate.control_beta) << name;
+        EXPECT_EQ(a.samples_used, c.samples_used) << name;
+        EXPECT_EQ(a.estimate.yield, c.estimate.yield) << name;
+        EXPECT_EQ(a.estimate.ci_low, c.estimate.ci_low) << name;
+    }
+}
+
+TEST(EstimatorConformance, ReachesTargetOnSyntheticBimodal) {
+    // Every zoo member must actually work on the cheap home scenario:
+    // reach the CI target within the cap with a sane estimate. (Relative
+    // efficiency is the bench matrix's job, not this suite's.)
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    const double p_true = 1.0 - (1.0 - 1.349898e-3) * (1.0 - 1.349898e-3);
+    for (const std::string& name : kBuiltins) {
+        const auto r = run_estimator(sc, name);
+        EXPECT_TRUE(r.reached_target) << name;
+        EXPECT_LE(r.samples_used, sc.config.max_samples) << name;
+        EXPECT_NEAR(1.0 - r.estimate.yield, p_true, 5e-3) << name;
+    }
+}
+
+TEST(EstimatorConformance, ZeroBetaControlIsBitIdenticalToFailSide) {
+    // The conformance anchor of the CV estimator: a fixed beta of 0 makes
+    // the whole run literally the defensive-mixture fail-side run - same
+    // samples, same estimate bits, no residual CI.
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    auto run_with_control = [&](const yield::ControlVariateOptions& options) {
+        eval::Engine engine = make_engine();
+        yield::SequentialConfig config =
+            yield::EstimatorRegistry::instance().create("control_variate")
+                ->configure(sc.config);
+        config.control = options;
+        yield::SequentialYieldRunner runner(engine, config, sc.specs,
+                                            sc.factory, sc.dimension, Rng(73));
+        return runner.run();
+    };
+    yield::ControlVariateOptions zero_beta;
+    zero_beta.enabled = true;
+    zero_beta.auto_beta = false;
+    zero_beta.beta = 0.0;
+    const auto cv = run_with_control(zero_beta);
+    const auto base = run_with_control({}); // control off entirely
+    EXPECT_EQ(cv.samples_used, base.samples_used);
+    EXPECT_EQ(cv.estimate.yield, base.estimate.yield);
+    EXPECT_EQ(cv.estimate.ci_low, base.estimate.ci_low);
+    EXPECT_EQ(cv.estimate.ci_high, base.estimate.ci_high);
+    EXPECT_EQ(cv.estimate.ess, base.estimate.ess);
+    EXPECT_EQ(cv.estimate.control_beta, 0.0);
+    // While the live CV estimator on the same scenario genuinely engages.
+    const auto live = run_estimator(sc, "control_variate");
+    EXPECT_NE(live.estimate.control_beta, 0.0);
+}
+
+// ------------------------------------------------- control-variate algebra
+
+TEST(ControlVariate, DelegatesWheneverInert) {
+    // pass = {F, T, F, T} with weights {2, 0.5, 1, 1}.
+    const std::vector<bool> pass = {false, true, false, true};
+    const std::vector<double> log_w = {std::log(2.0), std::log(0.5), 0.0, 0.0};
+    const auto base = yield::weighted_yield_from_flags(pass, log_w);
+
+    auto expect_delegated = [&](const yield::ControlVariateOptions& options,
+                                const char* what) {
+        const auto est = yield::control_variate_yield(pass, log_w, options);
+        EXPECT_EQ(est.yield, base.yield) << what;
+        EXPECT_EQ(est.ci_low, base.ci_low) << what;
+        EXPECT_EQ(est.ci_high, base.ci_high) << what;
+        EXPECT_EQ(est.control_beta, 0.0) << what;
+    };
+    expect_delegated({}, "disabled");
+    yield::ControlVariateOptions zero_beta;
+    zero_beta.enabled = true;
+    zero_beta.auto_beta = false;
+    zero_beta.beta = 0.0;
+    expect_delegated(zero_beta, "fixed beta 0");
+
+    // All-zero log weights: w is constant, Var(w) = 0, no control exists.
+    yield::ControlVariateOptions on;
+    on.enabled = true;
+    const std::vector<double> zeros(pass.size(), 0.0);
+    const auto unweighted = yield::control_variate_yield(pass, zeros, on);
+    const auto wilson = yield::weighted_yield_from_flags(pass, zeros);
+    EXPECT_FALSE(unweighted.weighted);
+    EXPECT_EQ(unweighted.yield, wilson.yield);
+    EXPECT_EQ(unweighted.control_beta, 0.0);
+
+    // Fewer than two observed failures: the fail-side degenerate-evidence
+    // fallbacks are the safer report.
+    const std::vector<bool> one_fail = {false, true, true, true};
+    const auto one = yield::control_variate_yield(one_fail, log_w, on);
+    const auto one_base = yield::weighted_yield_from_flags(one_fail, log_w);
+    EXPECT_EQ(one.yield, one_base.yield);
+    EXPECT_EQ(one.ci_low, one_base.ci_low);
+    EXPECT_EQ(one.control_beta, 0.0);
+}
+
+TEST(ControlVariate, MatchesHandComputedRegression) {
+    // w = {2, 0.5, 1, 1}, fails at samples 0 and 2, so x = {2, 0, 1, 0}:
+    //   mean(x) = 0.75, mean(w) = 1.125,
+    //   n*Cov(x, w) = 5 - 3*4.5/4   = 1.625,
+    //   n*Var(w)    = 6.25 - 5.0625 = 1.1875,
+    //   beta* = 1.625/1.1875, phat = 0.75 - beta*(1.125 - 1).
+    const std::vector<bool> pass = {false, true, false, true};
+    const std::vector<double> log_w = {std::log(2.0), std::log(0.5), 0.0, 0.0};
+    const double beta = 1.625 / 1.1875;
+    const double phat = 0.75 - beta * 0.125;
+
+    yield::ControlVariateOptions on;
+    on.enabled = true;
+    const auto est = yield::control_variate_yield(pass, log_w, on);
+    EXPECT_TRUE(est.weighted);
+    EXPECT_NEAR(est.control_beta, beta, 1e-12);
+    EXPECT_NEAR(est.yield, 1.0 - phat, 1e-12);
+    // The control shifts the estimate, not the fail-side evidence.
+    const auto base = yield::weighted_yield_from_flags(pass, log_w);
+    EXPECT_EQ(est.ess, base.ess);
+    EXPECT_EQ(est.max_weight_share, base.max_weight_share);
+    EXPECT_EQ(est.fail_weight_sum, base.fail_weight_sum);
+
+    // The beta clamp caps the correction, not the estimate.
+    yield::ControlVariateOptions clamped = on;
+    clamped.max_beta = 0.5;
+    const auto capped = yield::control_variate_yield(pass, log_w, clamped);
+    EXPECT_NEAR(capped.control_beta, 0.5, 1e-12);
+    EXPECT_NEAR(capped.yield, 1.0 - (0.75 - 0.5 * 0.125), 1e-12);
+
+    // A fixed beta is applied as given (still unbiased for any beta).
+    yield::ControlVariateOptions fixed;
+    fixed.enabled = true;
+    fixed.auto_beta = false;
+    fixed.beta = 1.0;
+    const auto manual = yield::control_variate_yield(pass, log_w, fixed);
+    EXPECT_NEAR(manual.control_beta, 1.0, 1e-12);
+    EXPECT_NEAR(manual.yield, 1.0 - (0.75 - 0.125), 1e-12);
+}
+
+// ------------------------------------------------ scale adaptation + merge
+
+TEST(ShiftFitScale, LearnsWeightedSpreadAroundClampedCenter) {
+    // One spec, dimension 1, unit weights. Failing records at u = 4 and 6:
+    // the fitted mean 5 is norm-clamped to 4, and the CE variance around
+    // the *clamped* center is E[u^2] - 2*4*E[u] + 16 = 26 - 40 + 16 = 2.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_most("v", 3.0)};
+    const std::vector<std::vector<double>> rows = {{4.0, 0.0, 4.0},
+                                                   {6.0, 0.0, 6.0}};
+    yield::ShiftFitConfig config;
+    config.adapt_scale = true;
+    const auto fit = yield::refit_shift(rows, specs, 1, config);
+    ASSERT_EQ(fit.mixture.components.size(), 2u); // nominal + 1 spec
+    const auto& comp = fit.mixture.components[1];
+    EXPECT_DOUBLE_EQ(comp.mu[0], 4.0); // norm clamp at max_norm = 4
+    ASSERT_EQ(comp.sigma.size(), 1u);
+    EXPECT_NEAR(comp.sigma[0], std::sqrt(2.0), 1e-12);
+
+    // Near-coincident records under-estimate the spread; the min_scale
+    // clamp keeps the component from over-shrinking into weight spikes.
+    const std::vector<std::vector<double>> tight = {{3.5, 0.0, 3.5},
+                                                    {3.6, 0.0, 3.6}};
+    const auto shrunk = yield::refit_shift(tight, specs, 1, config);
+    ASSERT_EQ(shrunk.mixture.components.size(), 2u);
+    ASSERT_EQ(shrunk.mixture.components[1].sigma.size(), 1u);
+    EXPECT_DOUBLE_EQ(shrunk.mixture.components[1].sigma[0], config.min_scale);
+
+    // A single failing record carries no spread information: unit scale.
+    const std::vector<std::vector<double>> lone = {{4.0, 0.0, 4.0}};
+    const auto single = yield::refit_shift(lone, specs, 1, config);
+    ASSERT_EQ(single.mixture.components.size(), 2u);
+    EXPECT_TRUE(single.mixture.components[1].sigma.empty());
+
+    // The pilot fit never adapts scales, whatever the config says.
+    const auto pilot = yield::fit_shift(rows, specs, 1, config);
+    ASSERT_EQ(pilot.mixture.components.size(), 2u);
+    EXPECT_TRUE(pilot.mixture.components[1].sigma.empty());
+
+    // Malformed clamps are rejected up front.
+    yield::ShiftFitConfig bad = config;
+    bad.min_scale = 2.0;
+    bad.max_scale = 1.0;
+    EXPECT_THROW((void)yield::refit_shift(rows, specs, 1, bad),
+                 InvalidInputError);
+}
+
+TEST(ShiftFitMerge, AbsorbsOverlappingComponentsOnly) {
+    // Two specs over two dimensions; rows are {a, b, log_w, u0, u1}.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_most("a", 3.0),
+                                         mc::Spec::at_most("b", 3.0)};
+    yield::ShiftFitConfig config;
+    config.merge_distance = 1.0;
+
+    // Overlapping failure modes: CoGs at (3.2, 0) and (3.6, 0), unit
+    // variances, so the Mahalanobis distance is 0.4 < 1 and the components
+    // merge into one at the mass-weighted mean - the mixture is nominal + 1.
+    const std::vector<std::vector<double>> close = {
+        {3.2, 0.0, 0.0, 3.2, 0.0}, {0.0, 3.6, 0.0, 3.6, 0.0}};
+    const auto merged = yield::refit_shift(close, specs, 2, config);
+    EXPECT_EQ(merged.merged_components, 1u);
+    ASSERT_EQ(merged.mixture.components.size(), 2u);
+    const auto& comp = merged.mixture.components[1];
+    EXPECT_NEAR(comp.mu[0], 3.4, 1e-12);
+    EXPECT_NEAR(comp.mu[1], 0.0, 1e-12);
+    EXPECT_NEAR(comp.weight, 1.0 - config.defensive_weight, 1e-12);
+
+    // Disjoint modes stay separate components.
+    const std::vector<std::vector<double>> apart = {
+        {4.0, 0.0, 0.0, 3.5, 0.0}, {0.0, 4.0, 0.0, 0.0, 3.5}};
+    const auto kept = yield::refit_shift(apart, specs, 2, config);
+    EXPECT_EQ(kept.merged_components, 0u);
+    EXPECT_EQ(kept.mixture.components.size(), 3u);
+
+    // merge_distance = 0 disables merging even for coincident centers.
+    yield::ShiftFitConfig off;
+    const auto disabled = yield::refit_shift(close, specs, 2, off);
+    EXPECT_EQ(disabled.merged_components, 0u);
+    EXPECT_EQ(disabled.mixture.components.size(), 3u);
+}
+
+TEST(ShiftFitMerge, MomentMatchWidensMergedVariance) {
+    // With scale adaptation on, merging two components with distinct means
+    // must fold the between-mean spread into the merged variance: pooled
+    // E[u^2] minus the merged mean squared, never just an average.
+    const std::vector<mc::Spec> specs = {mc::Spec::at_most("a", 2.0),
+                                         mc::Spec::at_most("b", 2.0)};
+    yield::ShiftFitConfig config;
+    config.adapt_scale = true;
+    config.merge_distance = 3.0;
+    // Spec a fails at u0 = {2.4, 2.6} (mean 2.5), spec b at u0 = {3.4, 3.6}
+    // (mean 3.5); both have within-variance 0.01 -> clamped to min_scale^2.
+    // Merged mean 3.0; merged var = within + between = min^2 + 0.25.
+    const std::vector<std::vector<double>> rows = {{2.4, 0.0, 0.0, 2.4, 0.0},
+                                                   {2.6, 0.0, 0.0, 2.6, 0.0},
+                                                   {0.0, 3.4, 0.0, 3.4, 0.0},
+                                                   {0.0, 3.6, 0.0, 3.6, 0.0}};
+    const auto fit = yield::refit_shift(rows, specs, 2, config);
+    EXPECT_EQ(fit.merged_components, 1u);
+    ASSERT_EQ(fit.mixture.components.size(), 2u);
+    const auto& comp = fit.mixture.components[1];
+    EXPECT_NEAR(comp.mu[0], 3.0, 1e-12);
+    ASSERT_EQ(comp.sigma.size(), 2u);
+    const double expected =
+        std::sqrt(config.min_scale * config.min_scale + 0.25);
+    EXPECT_NEAR(comp.sigma[0], expected, 1e-12);
+    // Dimension 1 never spread: its sigma stays at the min clamp.
+    EXPECT_DOUBLE_EQ(comp.sigma[1], config.min_scale);
+}
+
+// ------------------------------------------------------ custom registration
+
+TEST(EstimatorRegistry, CustomEstimatorRunsThroughTheSameSeam) {
+    // The "how to add an estimator" path: subclass, register under a new
+    // name, run through the same estimate() seam as the built-ins.
+    class WidePilot final : public yield::YieldEstimator {
+    public:
+        [[nodiscard]] std::string_view name() const override {
+            return "test_wide_pilot";
+        }
+        [[nodiscard]] yield::SequentialConfig
+        configure(yield::SequentialConfig base) const override {
+            base.pilot_scale = 3.0;
+            return base;
+        }
+    };
+    auto& registry = yield::EstimatorRegistry::instance();
+    if (!registry.contains("test_wide_pilot"))
+        registry.add("test_wide_pilot",
+                     [] { return std::make_unique<WidePilot>(); });
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    const auto r = run_estimator(sc, "test_wide_pilot");
+    EXPECT_TRUE(r.reached_target);
+    EXPECT_TRUE(r.estimate.weighted);
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 #include "process/variation.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "yield/scenarios.hpp"
 #include "yield/sequential.hpp"
 #include "yield/shift.hpp"
 #include "yield/weighted.hpp"
@@ -38,84 +39,11 @@ eval::Engine make_engine(bool parallel = true) {
     return eval::Engine(config);
 }
 
-// Draw one standardized coordinate vector from a mixture proposal the way
-// the synthetic kernels below do: zero/one component replays the
-// single-shift incremental formula (bit-identical to a plain gauss() draw
-// at zero shift, log weight exactly 0), >= 2 components consume one
-// uniform for the component pick and compute the log weight against the
-// brute-force mixture density.
-std::vector<double> draw_mixture_u(Rng& rng, const process::ProposalMixture& mix,
-                                   std::size_t dim, double& log_w) {
-    std::vector<double> u(dim, 0.0);
-    if (mix.components.size() <= 1) {
-        const process::ProposalComponent* c =
-            mix.components.empty() ? nullptr : &mix.components.front();
-        const double s = c != nullptr ? c->scale : 1.0;
-        log_w = 0.0;
-        for (std::size_t i = 0; i < dim; ++i) {
-            const double m = (c != nullptr && !c->mu.empty()) ? c->mu[i] : 0.0;
-            const double z = rng.gauss();
-            u[i] = m + s * z;
-            log_w += std::log(s) + 0.5 * z * z - 0.5 * u[i] * u[i];
-        }
-        return u;
-    }
-    const std::size_t k = mix.pick_component(rng.uniform01());
-    const process::ProposalComponent& c = mix.components[k];
-    for (std::size_t i = 0; i < dim; ++i) {
-        const double m = c.mu.empty() ? 0.0 : c.mu[i];
-        u[i] = m + c.scale * rng.gauss();
-    }
-    log_w = mix.log_weight_of(u);
-    return u;
-}
-
-// Synthetic 1-D yield kernel: value = mean + sigma * u with u drawn from
-// the mixture proposal exactly like ProcessSampler::sample_mixture draws a
-// dimension. At zero shift the value computes as mean + sigma * z,
-// bit-identical to a plain `mean + sigma * rng.gauss()` kernel.
-yield::KernelFactory synthetic_factory(double mean, double sigma) {
-    return [=](const process::ProposalMixture& mix,
-               bool record_u) -> mc::ChunkSampleFn {
-        return [=](std::span<const std::size_t>, std::span<Rng> rngs) {
-            std::vector<std::vector<double>> rows;
-            rows.reserve(rngs.size());
-            for (Rng& rng : rngs) {
-                double log_w = 0.0;
-                const std::vector<double> u = draw_mixture_u(rng, mix, 1, log_w);
-                const double value = mean + sigma * u[0];
-                if (record_u)
-                    rows.push_back({value, log_w, u[0]});
-                else
-                    rows.push_back({value, log_w});
-            }
-            return rows;
-        };
-    };
-}
-
-// Synthetic bimodal two-spec kernel over two standardized dimensions: spec
-// columns are {u0, u1}, so at_most(3) specs fail in the disjoint regions
-// u0 > 3 and u1 > 3 - the textbook case a single mean-shift proposal
-// cannot cover (its fitted shift points between the modes).
-yield::KernelFactory bimodal_factory() {
-    return [](const process::ProposalMixture& mix,
-              bool record_u) -> mc::ChunkSampleFn {
-        return [=](std::span<const std::size_t>, std::span<Rng> rngs) {
-            std::vector<std::vector<double>> rows;
-            rows.reserve(rngs.size());
-            for (Rng& rng : rngs) {
-                double log_w = 0.0;
-                const std::vector<double> u = draw_mixture_u(rng, mix, 2, log_w);
-                if (record_u)
-                    rows.push_back({u[0], u[1], log_w, u[0], u[1]});
-                else
-                    rows.push_back({u[0], u[1], log_w});
-            }
-            return rows;
-        };
-    };
-}
+// The synthetic kernels and the mixture-draw reference implementation live
+// in the shared scenario registry (yield/scenarios.hpp), consumed by this
+// suite, the conformance suite and the benches alike.
+using yield::draw_mixture_u;
+using yield::synthetic_factory;
 
 // --------------------------------------------------------- shifted sampler
 
@@ -844,8 +772,7 @@ TEST(SequentialYield, MixtureRecoversEssWhereSingleShiftCollapses) {
     // component bounding the weights. Same seed, same budget, no early
     // stop: the mixture must deliver more effective failure observations
     // and a tighter interval, and its estimate must be right.
-    const std::vector<mc::Spec> specs = {mc::Spec::at_most("a", 3.0),
-                                         mc::Spec::at_most("b", 3.0)};
+    const yield::Scenario bimodal = yield::make_scenario("synthetic_bimodal");
     const double p_true = 1.0 - (1.0 - 1.349898e-3) * (1.0 - 1.349898e-3);
     auto run_mode = [&](bool mixture) {
         eval::Engine engine = make_engine();
@@ -856,8 +783,9 @@ TEST(SequentialYield, MixtureRecoversEssWhereSingleShiftCollapses) {
         config.max_samples = 4096;
         config.min_samples = 512;
         config.mixture_proposal = mixture;
-        yield::SequentialYieldRunner runner(engine, config, specs,
-                                            bimodal_factory(), 2, Rng(57));
+        yield::SequentialYieldRunner runner(engine, config, bimodal.specs,
+                                            bimodal.factory,
+                                            bimodal.dimension, Rng(57));
         return runner.run();
     };
     const auto single = run_mode(false);
