@@ -35,7 +35,7 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
 LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::optional<std::vector<double>> LruCache::find(const CacheKey& key) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = map_.find(key);
     if (it == map_.end()) return std::nullopt;
     order_.splice(order_.begin(), order_, it->second);
@@ -44,7 +44,7 @@ std::optional<std::vector<double>> LruCache::find(const CacheKey& key) {
 
 void LruCache::insert(CacheKey key, std::vector<double> values) {
     if (capacity_ == 0) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
         // Refresh: replace in place and promote to MRU; size() unchanged.
@@ -61,12 +61,12 @@ void LruCache::insert(CacheKey key, std::vector<double> values) {
 }
 
 std::size_t LruCache::size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return map_.size();
 }
 
 void LruCache::clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     map_.clear();
     order_.clear();
 }

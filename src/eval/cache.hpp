@@ -12,11 +12,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ypm::eval {
 
@@ -66,9 +68,11 @@ private:
     using Entry = std::pair<CacheKey, std::vector<double>>;
 
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
-    std::list<Entry> order_; ///< most-recently-used at the front
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+    mutable util::Mutex mutex_;
+    /// Most-recently-used at the front.
+    std::list<Entry> order_ YPM_GUARDED_BY(mutex_);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_
+        YPM_GUARDED_BY(mutex_);
 };
 
 } // namespace ypm::eval

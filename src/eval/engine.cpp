@@ -61,10 +61,10 @@ Engine::Engine(EngineConfig config)
 Engine::~Engine() {
     // Drain in-flight batches: queued jobs write into their Pending blocks,
     // so those must stay alive until every job has finished.
-    const std::lock_guard<std::mutex> retire_lock(retire_mutex_);
+    const util::MutexLock retire_lock(retire_mutex_);
     for (;;) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             if (queue_.empty()) break;
         }
         try {
@@ -78,17 +78,17 @@ Engine::~Engine() {
 ThreadPool& Engine::pool() { return pool_ ? *pool_ : ThreadPool::global(); }
 
 std::size_t Engine::in_flight() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return queue_.size();
 }
 
 EngineCounters Engine::counters() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return counters_;
 }
 
 void Engine::reset_counters() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     counters_ = EngineCounters{};
 }
 
@@ -106,7 +106,7 @@ Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
     // lookups and within-batch dedup. Happens in submission order, so the
     // cache sees exactly the state every previously *retired* batch left.
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         counters_.requests += n;
         pending->misses.reserve(n);
         if (pending->use_cache) pending->keys.resize(n);
@@ -145,7 +145,7 @@ Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
     dispatch(*pending);
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         queue_.push_back(pending);
         counters_.wall_seconds +=
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -217,7 +217,7 @@ void Engine::dispatch_chunks(Pending& pending, ChunkEvalFn eval_chunk) {
 void Engine::retire_head() {
     std::shared_ptr<Pending> head;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         head = queue_.front();
     }
 
@@ -231,7 +231,7 @@ void Engine::retire_head() {
         }
     }
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     head->retired = true;
     queue_.pop_front();
     if (error) {
@@ -279,16 +279,16 @@ std::vector<EvalResult> Engine::wait(Ticket ticket) {
         throw InvalidInputError(
             "eval::Engine::wait: ticket does not belong to this engine");
 
-    const std::lock_guard<std::mutex> retire_lock(retire_mutex_);
+    const util::MutexLock retire_lock(retire_mutex_);
     for (;;) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const util::MutexLock lock(mutex_);
             if (pending->retired) break;
         }
         retire_head();
     }
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (pending->taken)
         throw InvalidInputError("eval::Engine::wait: ticket already consumed");
     pending->taken = true;

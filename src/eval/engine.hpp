@@ -42,13 +42,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "eval/cache.hpp"
 #include "eval/request.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ypm::eval {
@@ -201,18 +202,20 @@ private:
     void dispatch_items(Pending& pending, ItemEvalFn eval_item);
     void dispatch_chunks(Pending& pending, ChunkEvalFn eval_chunk);
     /// Retire the oldest pending batch: wait for its jobs, then apply its
-    /// ledger/cache/alias updates. Caller holds retire_mutex_.
-    void retire_head();
+    /// ledger/cache/alias updates. The "caller holds retire_mutex_"
+    /// contract is compiler-checked via YPM_REQUIRES.
+    void retire_head() YPM_REQUIRES(retire_mutex_);
 
     [[nodiscard]] ThreadPool& pool();
 
     EngineConfig config_;
     std::unique_ptr<ThreadPool> pool_; ///< only when config_.threads > 0
     LruCache cache_;
-    EngineCounters counters_;
-    mutable std::mutex mutex_;   ///< guards counters_ and queue_
-    std::mutex retire_mutex_;    ///< serialises retirement across waiters
-    std::deque<std::shared_ptr<Pending>> queue_; ///< submission order
+    EngineCounters counters_ YPM_GUARDED_BY(mutex_);
+    mutable util::Mutex mutex_;  ///< guards counters_ and queue_
+    util::Mutex retire_mutex_;   ///< serialises retirement across waiters
+    std::deque<std::shared_ptr<Pending>> queue_
+        YPM_GUARDED_BY(mutex_); ///< submission order
 };
 
 /// Deterministic 64-bit mix (splitmix64 finaliser over a seed combine);

@@ -25,11 +25,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include "process/sampler.hpp"
 #include "spice/analysis/ac_sweep.hpp"
@@ -144,9 +146,10 @@ class PrototypePool {
     /// whatever owned the pool (an evaluator being destroyed or assigned a
     /// fresh pool), and returning the instance must then still be safe.
     struct Core {
-        mutable std::mutex mutex;
-        std::size_t created = 0;
-        std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<P>>> idle;
+        mutable util::Mutex mutex;
+        std::size_t created YPM_GUARDED_BY(mutex) = 0;
+        std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<P>>> idle
+            YPM_GUARDED_BY(mutex);
     };
 
 public:
@@ -171,8 +174,15 @@ public:
 
         ~Lease() {
             if (core_ != nullptr && proto_ != nullptr) {
-                const std::lock_guard<std::mutex> lock(core_->mutex);
-                core_->idle[key_].push_back(std::move(proto_));
+                // Destructors must not throw: if growing the idle bucket
+                // fails (bad_alloc), drop the instance instead - the pool
+                // rebuilds it cold on the next acquire().
+                try {
+                    const util::MutexLock lock(core_->mutex);
+                    core_->idle[key_].push_back(std::move(proto_));
+                } catch (...) {
+                    // proto_ freed by unique_ptr; nothing else to unwind.
+                }
             }
         }
 
@@ -195,7 +205,7 @@ public:
     /// cold builds do not serialise concurrent kernels).
     [[nodiscard]] Lease acquire(std::uint64_t key = 0) {
         {
-            const std::lock_guard<std::mutex> lock(core_->mutex);
+            const util::MutexLock lock(core_->mutex);
             auto it = core_->idle.find(key);
             if (it != core_->idle.end() && !it->second.empty()) {
                 std::unique_ptr<P> warm = std::move(it->second.back());
@@ -210,13 +220,13 @@ public:
     /// Total cold builds so far (reuse diagnostics: steady-state chunk
     /// traffic should stop growing this).
     [[nodiscard]] std::size_t created() const {
-        const std::lock_guard<std::mutex> lock(core_->mutex);
+        const util::MutexLock lock(core_->mutex);
         return core_->created;
     }
 
     /// Warm instances currently idle across all keys.
     [[nodiscard]] std::size_t idle() const {
-        const std::lock_guard<std::mutex> lock(core_->mutex);
+        const util::MutexLock lock(core_->mutex);
         std::size_t n = 0;
         for (const auto& [key, bucket] : core_->idle) n += bucket.size();
         return n;

@@ -1,0 +1,85 @@
+#pragma once
+/// \file mutex.hpp
+/// \brief Annotated mutex / condition-variable wrappers.
+///
+/// std::mutex carries no capability attributes, so Clang's thread-safety
+/// analysis cannot see through it. These zero-cost wrappers (inline
+/// forwarding, no extra state) are the repo's only lock types: util::Mutex
+/// is a YPM_CAPABILITY, util::MutexLock a YPM_SCOPED_CAPABILITY, and
+/// util::ConditionVariable waits on a MutexLock. The analysis treats the
+/// capability as held across a wait (it is re-acquired before wait
+/// returns), which matches how every guarded access around a wait loop is
+/// written.
+///
+/// Repo law (scripts/lint_invariants.py, rule `raw-mutex`): no
+/// std::mutex / std::condition_variable / std::lock_guard /
+/// std::unique_lock outside this file - raw lock types would silently fall
+/// out of the static race analysis.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace ypm::util {
+
+/// std::mutex with capability annotations. Lock through MutexLock; the
+/// raw lock()/unlock() exist for the analysis contract and for adapters.
+class YPM_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() YPM_ACQUIRE() { mutex_.lock(); }
+    void unlock() YPM_RELEASE() { mutex_.unlock(); }
+    [[nodiscard]] bool try_lock() YPM_TRY_ACQUIRE(true) {
+        return mutex_.try_lock();
+    }
+
+private:
+    friend class MutexLock;
+    std::mutex mutex_;
+};
+
+/// RAII lock over a util::Mutex (the analysis-aware lock_guard). Wraps a
+/// std::unique_lock so ConditionVariable can wait on it.
+class YPM_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mutex) YPM_ACQUIRE(mutex)
+        : lock_(mutex.mutex_) {}
+    ~MutexLock() YPM_RELEASE() {}
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    friend class ConditionVariable;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to util::MutexLock. wait() atomically releases
+/// the lock and re-acquires it before returning; callers keep their guarded
+/// accesses inside the locked scope and loop on the condition themselves:
+///
+///     util::MutexLock lock(mutex_);
+///     while (!ready_) cv_.wait(lock);
+class ConditionVariable {
+public:
+    ConditionVariable() = default;
+    ConditionVariable(const ConditionVariable&) = delete;
+    ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    /// Blocks until notified; spurious wakeups possible - loop on the
+    /// predicate at the call site (keeping the guarded reads visible to the
+    /// analysis under the caller's lock).
+    void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+private:
+    std::condition_variable cv_;
+};
+
+} // namespace ypm::util

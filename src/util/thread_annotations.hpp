@@ -1,0 +1,54 @@
+#pragma once
+/// \file thread_annotations.hpp
+/// \brief Portable Clang thread-safety analysis macros.
+///
+/// Every mutex-holding class in the repo declares its locking contract with
+/// these macros, and the `ci-analyze` preset compiles the tree with
+/// `-Wthread-safety -Werror` under Clang: an unguarded access to a
+/// `YPM_GUARDED_BY` member, or a call to a `YPM_REQUIRES` function without
+/// the capability, is a *compile error* rather than a rare TSan finding.
+/// Under GCC (which has no thread-safety analysis) every macro expands to
+/// nothing, so the annotations cost nothing outside the analysis build.
+///
+/// The macros name Clang's capability attributes one-to-one:
+///  * YPM_CAPABILITY(name)    - marks a class as a lockable capability
+///    (util::Mutex is the only such class in the repo);
+///  * YPM_SCOPED_CAPABILITY   - marks an RAII class whose constructor
+///    acquires and destructor releases (util::MutexLock);
+///  * YPM_GUARDED_BY(mutex)   - data member readable/writable only while
+///    holding `mutex`;
+///  * YPM_PT_GUARDED_BY(mutex) - pointer member whose *pointee* is guarded;
+///  * YPM_REQUIRES(mutex)     - function callable only with `mutex` held
+///    (the "caller holds retire_mutex_" comment contract, made checkable);
+///  * YPM_ACQUIRE / YPM_RELEASE / YPM_TRY_ACQUIRE - lock-shaped functions;
+///  * YPM_EXCLUDES(mutex)     - function that must NOT be entered with
+///    `mutex` held (self-deadlock guard);
+///  * YPM_RETURN_CAPABILITY(mutex) - accessor returning a reference to a
+///    capability;
+///  * YPM_NO_THREAD_SAFETY_ANALYSIS - opt-out for a function whose locking
+///    is deliberately too dynamic for the analysis (use sparingly, with a
+///    comment explaining why).
+///
+/// scripts/lint_invariants.py enforces the repo-law half of the contract:
+/// every mutex member must either be named by one of these annotations in
+/// its translation unit or carry an allowlist entry explaining why not.
+
+#if defined(__clang__) && !defined(SWIG)
+#define YPM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define YPM_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+#define YPM_CAPABILITY(x) YPM_THREAD_ANNOTATION(capability(x))
+#define YPM_SCOPED_CAPABILITY YPM_THREAD_ANNOTATION(scoped_lockable)
+#define YPM_GUARDED_BY(x) YPM_THREAD_ANNOTATION(guarded_by(x))
+#define YPM_PT_GUARDED_BY(x) YPM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define YPM_REQUIRES(...) YPM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define YPM_ACQUIRE(...) YPM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define YPM_RELEASE(...) YPM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define YPM_TRY_ACQUIRE(...) \
+    YPM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define YPM_EXCLUDES(...) YPM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define YPM_RETURN_CAPABILITY(x) YPM_THREAD_ANNOTATION(lock_returned(x))
+#define YPM_NO_THREAD_SAFETY_ANALYSIS \
+    YPM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -15,14 +15,15 @@
 ///    the submitting scope before any item has run. This is what lets the
 ///    evaluation engine keep misses from several batches in flight at once.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ypm {
 
@@ -79,13 +80,14 @@ public:
 
 private:
     void worker_loop();
-    void enqueue_locked_batch(std::vector<std::function<void()>> tasks);
+    void enqueue_locked_batch(std::vector<std::function<void()>> tasks)
+        YPM_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    std::queue<std::function<void()>> tasks_ YPM_GUARDED_BY(mutex_);
+    util::Mutex mutex_;
+    util::ConditionVariable cv_;
+    bool stopping_ YPM_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace ypm
