@@ -59,12 +59,12 @@ DimensionControl parse_field(std::string_view field) {
 ControlString::ControlString(std::string_view text) {
     for (const auto& field : str::split(text, ','))
         dims_.push_back(parse_field(field));
-    if (dims_.empty()) dims_.push_back(DimensionControl{});
+    if (dims_.empty()) dims_.emplace_back();
 }
 
 ControlString::ControlString(std::vector<DimensionControl> dims)
     : dims_(std::move(dims)) {
-    if (dims_.empty()) dims_.push_back(DimensionControl{});
+    if (dims_.empty()) dims_.emplace_back();
 }
 
 const DimensionControl& ControlString::dim(std::size_t d) const {
