@@ -21,7 +21,9 @@ using namespace ypm;
 
 namespace {
 std::size_t env_or(const char* name, std::size_t fallback) {
-    const char* v = std::getenv(name);
+    // Read once at startup on the main thread; nothing calls setenv, so
+    // the getenv race clang-tidy guards against cannot occur.
+    const char* v = std::getenv(name); // NOLINT(concurrency-mt-unsafe)
     return v != nullptr && *v != '\0'
                ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
                : fallback;
