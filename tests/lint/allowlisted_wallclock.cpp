@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): a genuine wallclock violation that the
+// fixture allowlist suppresses - exercises the allowlist matching path.
+// The self-test asserts it IS flagged without the allowlist and clean
+// with it.
+#include <chrono>
+
+double stage_seconds() {
+    const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): summing doubles in unordered-container
+// iteration order gives a different rounding trajectory per standard
+// library / hash seed. Expect [float-accum] findings only.
+#include <unordered_map>
+
+double total_weight(const std::unordered_map<int, double>& weights) {
+    double sum = 0.0;
+    for (const auto& [key, weight] : weights) {
+        sum += weight;
+    }
+    return sum;
+}

@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): raw std lock types are invisible to
+// Clang's -Wthread-safety analysis. Expect [raw-mutex] findings only.
+#include <mutex>
+
+void locked_add(std::mutex& mutex, int& value, int delta) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    value += delta;
+}

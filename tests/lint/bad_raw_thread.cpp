@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): spawning threads outside util::ThreadPool
+// bypasses the deterministic work partitioning. Expect [raw-thread] only.
+#include <thread>
+
+void run_sides(void (*left)(), void (*right)()) {
+    std::thread worker(left);
+    right();
+    worker.join();
+}

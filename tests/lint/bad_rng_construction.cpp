@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): ad-hoc generator construction creates an
+// undocumented seed root, so the run is no longer reproducible from the
+// one configured seed. Expect [rng-construction] findings only.
+#include <cstdint>
+
+namespace ypm {
+class Rng;
+}
+
+void perturb(double* values, std::uint64_t n) {
+    auto rng = ypm::Rng(12345); // ad-hoc reseed, not a child stream
+    (void)rng;
+    (void)values;
+    (void)n;
+}

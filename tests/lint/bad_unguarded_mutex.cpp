@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): a mutex member with no annotation naming
+// what it protects - the analysis cannot check its discipline. Expect
+// [unguarded-mutex] findings only.
+#include "util/mutex.hpp"
+
+class Registry {
+public:
+    void put(int value);
+
+private:
+    ypm::util::Mutex mutex_;
+    int last_ = 0;
+};

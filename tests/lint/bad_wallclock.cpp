@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): wall-clock / OS-entropy sources in src/
+// would break bit-reproducibility. Expect [wallclock] findings only.
+#include <chrono>
+#include <random>
+
+unsigned make_seed() {
+    std::random_device rd; // entropy source: results differ per run
+    return rd();
+}
+
+double now_seconds() {
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): ordered iteration and integer counting
+// over unordered containers are both fine. Expect no findings.
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double total_weight(const std::map<int, double>& weights) {
+    double sum = 0.0;
+    for (const auto& [key, weight] : weights) sum += weight;
+    return sum;
+}
+
+std::size_t total_idle(
+    const std::unordered_map<int, std::vector<int>>& idle) {
+    std::size_t n = 0;
+    for (const auto& [key, bucket] : idle) n += bucket.size();
+    return n;
+}

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): the annotated util wrappers, which the
+// thread-safety analysis fully sees. Expect no findings.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+class Counter {
+public:
+    void add(int delta) {
+        const ypm::util::MutexLock lock(mutex_);
+        value_ += delta;
+    }
+
+private:
+    ypm::util::Mutex mutex_;
+    int value_ YPM_GUARDED_BY(mutex_) = 0;
+};

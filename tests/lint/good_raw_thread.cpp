@@ -1,0 +1,8 @@
+// Lint fixture (never compiled): parallel work rides the shared pool, so
+// chunking stays deterministic in item index. Expect no findings.
+#include <cstddef>
+
+namespace ypm {
+class ThreadPool;
+void parallel_fill(ThreadPool& pool, double* out, std::size_t n);
+} // namespace ypm

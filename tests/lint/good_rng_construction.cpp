@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): streams are derived from an existing Rng
+// via child(), never constructed fresh. Expect no findings.
+#include <cstddef>
+
+namespace ypm {
+class Rng;
+}
+
+// Declarations and references to Rng are fine - only `Rng(...)` calls and
+// raw std engine types are constructions.
+void stochastic_item(const ypm::Rng& base, std::size_t item_index);
+double sample_one(ypm::Rng& stream);

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): the mutex's guarded data is declared via
+// YPM_GUARDED_BY, so the rule is satisfied. Expect no findings.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+class Registry {
+public:
+    void put(int value);
+
+private:
+    ypm::util::Mutex mutex_;
+    int last_ YPM_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): deterministic seed derivation - the
+// pattern the wallclock rule steers code towards. Expect no findings.
+#include <cstdint>
+
+// Mentioning steady_clock::now() or random_device in a comment is fine:
+// the linter strips comments and strings before matching.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+    return root * 0x9e3779b97f4a7c15ULL + index;
+}
