@@ -42,11 +42,10 @@ struct Score {
 template <typename Runner>
 Score run_scored(const moo::Problem& problem, const std::vector<double>& ref,
                  Runner&& runner) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const util::TickNs t0 = util::now_ns();
     const auto archive = runner();
     Score s;
-    s.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    s.seconds = util::seconds_since(t0);
     s.hypervolume = front_hypervolume(archive, problem.objectives(), ref);
     std::vector<std::vector<double>> objs;
     for (const auto& e : archive) objs.push_back(e.objectives);

@@ -20,6 +20,7 @@
 #include "core/behav_model.hpp"
 #include "core/flow.hpp"
 #include "eval/engine.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 

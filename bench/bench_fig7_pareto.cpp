@@ -62,10 +62,9 @@ void experiment() {
     moo::WbgaConfig ga = cfg.ga;
     const moo::Wbga optimiser(problem, ga);
     Rng rng(cfg.seed);
-    const auto t0 = std::chrono::steady_clock::now();
+    const util::TickNs t0 = util::now_ns();
     const moo::WbgaResult result = optimiser.run(rng);
-    const double ga_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double ga_seconds = util::seconds_since(t0);
 
     std::size_t failed = 0;
     std::vector<double> gains, pms;

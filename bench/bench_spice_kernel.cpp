@@ -22,6 +22,8 @@
 #include "eval/engine.hpp"
 #include "linalg/lu.hpp"
 #include "mc/monte_carlo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "process/variation.hpp"
 #include "spice/analysis/ac.hpp"
 #include "spice/analysis/dc.hpp"
@@ -225,6 +227,38 @@ void BM_OtaChunkPrototypeReuse(benchmark::State& state) {
 }
 BENCHMARK(BM_OtaChunkPrototypeReuse)
     ->Arg(16)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Gate: disabled-mode observability is a no-op. The same chunk work as
+// BM_OtaChunkPrototypeReuse plus exactly the instrumentation pattern the
+// engine dispatch path runs per chunk - a disarmed obs::Span (one relaxed
+// load and a branch), the guarded instant-event check, and the always-on
+// per-chunk counter bump. The bench-smoke CI job asserts the throughput
+// ratio against the uninstrumented twin stays >= 0.98.
+void BM_OtaChunkObsDisabledOverhead(benchmark::State& state) {
+    const circuits::OtaEvaluator evaluator;
+    const auto sizings = sizing_chunk(static_cast<std::size_t>(state.range(0)));
+    obs::Counter& chunks =
+        obs::MetricsRegistry::global().counter("bench.obs_overhead.chunks");
+    for (auto _ : state) {
+        obs::Span span("bench.chunk", "bench");
+        auto perfs = evaluator.measure_chunk(sizings);
+        span.arg("points", static_cast<double>(perfs.size()));
+        if (obs::Tracer::enabled())
+            obs::Tracer::instant("bench.tick", "bench",
+                                 {{"points", static_cast<double>(perfs.size())}});
+        chunks.add();
+        benchmark::DoNotOptimize(perfs);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+    state.counters["points_per_second"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OtaChunkObsDisabledOverhead)
     ->Arg(100)
     ->Unit(benchmark::kMillisecond);
 

@@ -9,7 +9,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -47,14 +46,12 @@ double time_filter_eval(circuits::OtaModelKind kind, int reps) {
     const circuits::FilterEvaluator ev{circuits::FilterConfig{},
                                        circuits::FilterSpecMask{}};
     const circuits::FilterSizing sizing;
-    const auto t0 = std::chrono::steady_clock::now();
+    const util::TickNs t0 = util::now_ns();
     for (int i = 0; i < reps; ++i) {
         auto perf = ev.measure(sizing, kind);
         benchmark::DoNotOptimize(perf);
     }
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-               .count() /
-           reps;
+    return util::seconds_since(t0) / reps;
 }
 
 void experiment() {

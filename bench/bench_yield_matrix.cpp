@@ -22,7 +22,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -110,12 +109,10 @@ void run_cell(benchmark::State& state, const std::string& estimator_name,
         eval::EngineConfig engine_config;
         engine_config.cache_capacity = 0;
         eval::Engine engine(engine_config);
-        const auto t0 = std::chrono::steady_clock::now();
+        const util::TickNs t0 = util::now_ns();
         result = estimator->estimate(engine, sc.config, sc.specs, sc.factory,
                                      sc.dimension, Rng(73));
-        wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+        wall_ms = util::seconds_since(t0) * 1e3;
     }
     dump_cell(estimator_name, scenario_name, result, wall_ms);
     state.counters["samples"] =

@@ -1,0 +1,50 @@
+// Traced flow run: a scaled-down Fig. 3 pipeline (WBGA -> Monte Carlo ->
+// yield certification -> tables) with span tracing enabled, producing the
+// Chrome trace-event JSON artifact the observability stack is built
+// around. Open the file in https://ui.perfetto.dev (or chrome://tracing)
+// to see the flow steps, engine batches and kernel chunks on a shared
+// timeline; scripts/check_trace.py validates the same artifact in CI.
+//
+// Run:  ./build/example_trace_flow [trace.json]
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "mc/yield.hpp"
+
+using namespace ypm;
+
+int main(int argc, char** argv) {
+    const std::string trace_path = argc > 1 ? argv[1] : "ypm_trace.json";
+
+    circuits::OtaConfig ota;
+    core::FlowConfig cfg;
+    cfg.ga.population = 16;
+    cfg.ga.generations = 8;
+    cfg.mc_samples = 32;
+    cfg.max_mc_points = 8;
+    cfg.seed = 2008; // DATE'08
+    // Interior specs most designs meet, tiny per-point budgets: enough to
+    // exercise the yield stage (pilot spans, chunk instants) quickly.
+    cfg.yield_specs = {mc::Spec::at_least("gain_db", 30.0),
+                       mc::Spec::at_least("pm_deg", 15.0)};
+    cfg.yield_sequential.pilot_samples = 16;
+    cfg.yield_sequential.chunk_samples = 16;
+    cfg.yield_sequential.max_samples = 32;
+    cfg.yield_sequential.min_samples = 16;
+    cfg.trace_path = trace_path;
+
+    std::printf("running the traced flow (population %zu x %zu, %zu MC "
+                "samples/point)...\n",
+                cfg.ga.population, cfg.ga.generations, cfg.mc_samples);
+    const core::FlowResult result = core::YieldFlow(ota, cfg).run();
+
+    const auto& eng = result.timings.engine;
+    std::printf("\nfront: %zu points, %zu with a yield certificate\n",
+                result.front.size(), result.yields.size());
+    std::printf("engine: %zu requests, %zu evaluated, %zu cached, %zu failed\n",
+                eng.requests, eng.evaluations, eng.cache_hits, eng.failures);
+    std::printf("\ntrace written to %s - open it in https://ui.perfetto.dev\n",
+                trace_path.c_str());
+    return 0;
+}

@@ -15,7 +15,12 @@ two disciplines that no off-the-shelf tool checks:
 Rules (applied to src/**/*.{hpp,cpp} after stripping comments/strings):
 
   wallclock        no std::random_device / rand() / srand() / time() /
-                   <chrono> *_clock::now() - nondeterminism sources.
+                   localtime()/gmtime() - nondeterminism sources.
+  raw-clock        no <chrono> *_clock::now() outside util/clock.hpp - all
+                   timing reads the one monotonic clock seam (which is the
+                   single allowlisted exception), so spans, ledgers and
+                   FlowTimings share an epoch and the wall-clock ban stays
+                   checkable.
   raw-thread       no std::thread / std::jthread / std::async /
                    pthread_create outside util/thread_pool.* - all
                    parallelism rides the deterministic pool.
@@ -50,6 +55,7 @@ from dataclasses import dataclass
 
 RULES = (
     "wallclock",
+    "raw-clock",
     "raw-thread",
     "raw-mutex",
     "unguarded-mutex",
@@ -70,8 +76,10 @@ WALLCLOCK_RE = re.compile(
     r"std::random_device"
     r"|(?<![\w.>:])s?rand\s*\("
     r"|(?<![\w.>:])time\s*\("
-    r"|\b(?:steady_clock|system_clock|high_resolution_clock)::now"
     r"|(?<![\w.>:])(?:localtime|gmtime)\s*\("
+)
+RAW_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)::now"
 )
 RAW_THREAD_RE = re.compile(
     r"std::j?thread\b|std::async\b|pthread_create\b|std::promise\b"
@@ -226,6 +234,11 @@ def scan_file(path: pathlib.Path, relpath: str) -> list[Finding]:
              f"nondeterminism source '{m.group(0).strip()}' - all randomness "
              "must derive from Rng child streams, all timing from the "
              "allowlisted ledger sites")
+    for m in RAW_CLOCK_RE.finditer(code):
+        flag("raw-clock", m.start(), m.group(0).strip(),
+             f"direct clock read '{m.group(0).strip()}' - all timing goes "
+             "through util::now_ns() (util/clock.hpp, the one allowlisted "
+             "clock seam)")
     for m in RAW_THREAD_RE.finditer(code):
         flag("raw-thread", m.start(), m.group(0),
              f"raw threading primitive '{m.group(0)}' - use "

@@ -1,12 +1,14 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "circuits/ota_problem.hpp"
 #include "core/ota_mc.hpp"
 #include "moo/pareto.hpp"
 #include "moo/problem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "yield/estimator.hpp"
@@ -15,10 +17,39 @@ namespace ypm::core {
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-    const auto now = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(now - t0).count();
-}
+/// Scoped tracing session: enables the tracer for the run when a trace
+/// path is configured, and on destruction (normal or exceptional) drains
+/// the collected events, writes the Chrome trace JSON with an embedded
+/// metrics snapshot, and disables tracing again.
+class TraceSession {
+public:
+    explicit TraceSession(std::string path) : path_(std::move(path)) {
+        if (path_.empty()) return;
+        obs::Tracer::set_enabled(true);
+        // Drop events left over from earlier runs in this process, so the
+        // file describes exactly this flow.
+        obs::Tracer::global().clear();
+    }
+    ~TraceSession() {
+        if (path_.empty()) return;
+        obs::Tracer::set_enabled(false);
+        try {
+            const auto events = obs::Tracer::global().drain();
+            const auto metrics = obs::MetricsRegistry::global().snapshot();
+            obs::write_chrome_trace(path_, events, &metrics);
+            log::info("flow: trace written to ", path_, " (",
+                      events.size(), " events)\n",
+                      obs::trace_summary_table(events));
+        } catch (const std::exception& err) {
+            log::error("flow: failed to write trace: ", err.what());
+        }
+    }
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+private:
+    std::string path_;
+};
 
 /// Cache-key tag for the nominal Bode kernel: it returns
 /// {gain, pm, f3db, gbw} for the same parameter points the objectives
@@ -88,7 +119,9 @@ FlowResult YieldFlow::run() const {
                 config_.yield_estimator);
     }
 
-    const auto t_start = std::chrono::steady_clock::now();
+    const TraceSession trace(config_.trace_path);
+    const util::TickNs t_start = util::now_ns();
+    obs::Span run_span("flow.run", "flow");
     FlowResult result;
     Rng rng(config_.seed);
 
@@ -107,13 +140,16 @@ FlowResult YieldFlow::run() const {
     ga.engine = &engine;
     const moo::Wbga optimiser(problem, ga);
     {
-        const auto t0 = std::chrono::steady_clock::now();
+        obs::Span span("flow.moo", "flow");
+        const util::TickNs t0 = util::now_ns();
         Rng ga_rng = rng.child(1);
         result.optimisation = optimiser.run(ga_rng, [](std::size_t gen, double best) {
             log::info("flow: generation ", gen, " best fitness ", best);
         });
-        result.timings.moo_seconds = seconds_since(t0);
+        result.timings.moo_seconds = util::seconds_since(t0);
         result.timings.moo_evaluations = result.optimisation.evaluations;
+        span.arg("evaluations",
+                 static_cast<double>(result.timings.moo_evaluations));
     }
 
     // Step 3: performance model from the Pareto front.
@@ -141,7 +177,7 @@ FlowResult YieldFlow::run() const {
     // submitted before any result is retired, so misses from all points
     // overlap on the engine's pool instead of barriering point-by-point.
     {
-        const auto t0 = std::chrono::steady_clock::now();
+        const util::TickNs t0 = util::now_ns();
         const process::ProcessSampler sampler(ota_.card, config_.variation);
         const circuits::OtaEvaluator& evaluator = problem.evaluator();
         Rng mc_rng = rng.child(2);
@@ -230,14 +266,24 @@ FlowResult YieldFlow::run() const {
             point.design_id = design_id++;
             result.front.push_back(point);
         }
-        result.timings.mc_seconds = seconds_since(t0);
+        result.timings.mc_seconds = util::seconds_since(t0);
+        // Recorded explicitly (not RAII) so the span ends here: the yield
+        // stage below shares this scope's locals but is its own flow step.
+        if (obs::Tracer::enabled())
+            obs::Tracer::record_complete(
+                "flow.mc", "flow", t0, util::now_ns(),
+                {{"points", static_cast<double>(stages.size())},
+                 {"samples_per_point",
+                  static_cast<double>(config_.mc_samples)}});
 
         // Yield certification: importance-sampled sequential estimation per
         // surviving point, remaining budget allocated adaptively to the
         // points with the widest confidence intervals. Rides the same
         // engine (streamed chunks, warm prototypes, one ledger).
         if (!config_.yield_specs.empty() && !result.front.empty()) {
-            const auto t1 = std::chrono::steady_clock::now();
+            obs::Span yield_span("flow.yield", "flow");
+            yield_span.arg("points", static_cast<double>(result.front.size()));
+            const util::TickNs t1 = util::now_ns();
             yield::AdaptiveYieldConfig yield_config;
             yield_config.sequential = config_.yield_sequential;
             if (!config_.yield_estimator.empty()) {
@@ -273,7 +319,7 @@ FlowResult YieldFlow::run() const {
                 result.yields.push_back(
                     {result.front[i].design_id, std::move(estimates[i])});
             }
-            result.timings.yield_seconds = seconds_since(t1);
+            result.timings.yield_seconds = util::seconds_since(t1);
         }
     }
 
@@ -282,13 +328,22 @@ FlowResult YieldFlow::run() const {
         log::warn("flow: only ", result.front.size(),
                   " usable front points after filtering - skipping artifacts");
     } else if (!config_.artifact_dir.empty()) {
-        const auto t0 = std::chrono::steady_clock::now();
+        obs::Span span("flow.table", "flow");
+        const util::TickNs t0 = util::now_ns();
         result.artifacts = write_artifacts(result.front, config_.artifact_dir);
-        result.timings.table_seconds = seconds_since(t0);
+        result.timings.table_seconds = util::seconds_since(t0);
     }
 
     result.timings.engine = engine.counters();
-    result.timings.total_seconds = seconds_since(t_start);
+    result.timings.total_seconds = util::seconds_since(t_start);
+    run_span.arg("requests",
+                 static_cast<double>(result.timings.engine.requests));
+    run_span.arg("evaluations",
+                 static_cast<double>(result.timings.engine.evaluations));
+    run_span.arg("cache_hits",
+                 static_cast<double>(result.timings.engine.cache_hits));
+    run_span.arg("failures",
+                 static_cast<double>(result.timings.engine.failures));
     return result;
 }
 

@@ -65,6 +65,14 @@ struct FlowConfig {
     /// exactly as given (the legacy behaviour). Unknown names throw
     /// ypm::InvalidInputError at flow construction, listing the registry.
     std::string yield_estimator;
+    /// When non-empty, span tracing (obs::Tracer) is enabled for this run
+    /// and the collected trace - flow step spans, engine batches, kernel
+    /// chunks, yield chunk diagnostics, plus a metrics snapshot - is
+    /// written here as Chrome trace-event JSON (chrome://tracing /
+    /// Perfetto loadable). Purely observational: results are bit-identical
+    /// with tracing on or off. Tracing is disabled again when run()
+    /// returns.
+    std::string trace_path;
 };
 
 struct FlowTimings {

@@ -2,7 +2,29 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace ypm::eval {
+
+namespace {
+
+/// Cache instruments, resolved once; always-on (two relaxed atomic bumps
+/// and one gauge store per lookup).
+struct CacheMetrics {
+    obs::Counter& lookups;
+    obs::Counter& hits;
+    obs::Gauge& hit_rate;
+
+    static CacheMetrics& get() {
+        auto& registry = obs::MetricsRegistry::global();
+        static CacheMetrics metrics{registry.counter("cache.lookups"),
+                                    registry.counter("cache.hits"),
+                                    registry.gauge("cache.hit_rate")};
+        return metrics;
+    }
+};
+
+} // namespace
 
 bool CacheKey::operator==(const CacheKey& other) const {
     if (process_key != other.process_key || salt != other.salt) return false;
@@ -35,9 +57,15 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
 LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::optional<std::vector<double>> LruCache::find(const CacheKey& key) {
+    CacheMetrics& metrics = CacheMetrics::get();
+    metrics.lookups.add();
     const util::MutexLock lock(mutex_);
     const auto it = map_.find(key);
-    if (it == map_.end()) return std::nullopt;
+    const bool hit = it != map_.end();
+    if (hit) metrics.hits.add();
+    metrics.hit_rate.set(static_cast<double>(metrics.hits.value()) /
+                         static_cast<double>(metrics.lookups.value()));
+    if (!hit) return std::nullopt;
     order_.splice(order_.begin(), order_, it->second);
     return it->second->second;
 }

@@ -1,11 +1,14 @@
 #include "eval/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace ypm::eval {
@@ -32,6 +35,32 @@ bool row_failed(const std::vector<double>& values) {
     return false;
 }
 
+/// Engine instruments, resolved once. Unlike the per-instance ledger these
+/// aggregate across every engine in the process; always-on (a handful of
+/// relaxed atomic adds per *batch*, not per item).
+struct EngineMetrics {
+    obs::Counter& requests;
+    obs::Counter& evaluations;
+    obs::Counter& cache_hits;
+    obs::Counter& dedup_aliases;
+    obs::Counter& failures;
+
+    static EngineMetrics& get() {
+        auto& registry = obs::MetricsRegistry::global();
+        static EngineMetrics metrics{registry.counter("engine.requests"),
+                                     registry.counter("engine.evaluations"),
+                                     registry.counter("engine.cache_hits"),
+                                     registry.counter("engine.dedup_aliases"),
+                                     registry.counter("engine.failures")};
+        return metrics;
+    }
+};
+
+/// Process-wide batch sequence: gives every submitted batch a unique id
+/// that kernel spans carry, so a trace viewer can associate an engine.batch
+/// span with the kernel chunks it fanned out (across engines, too).
+std::atomic<std::uint64_t> g_batch_seq{0};
+
 } // namespace
 
 /// In-flight state of one submitted batch. Owned jointly by the ticket and
@@ -47,6 +76,8 @@ struct Engine::Pending {
     std::vector<std::pair<std::size_t, std::size_t>> aliases; ///< (dup, source)
     ThreadPool::Job job;               ///< invalid when dispatched inline
     std::exception_ptr error;          ///< first kernel error, if any
+    std::uint64_t seq = 0;             ///< process-wide batch id (tracing)
+    util::TickNs submitted_at = 0;     ///< submit stamp (engine.batch span)
     bool use_cache = false;
     bool retired = false;
     bool taken = false;                ///< results consumed by a wait()
@@ -94,10 +125,12 @@ void Engine::reset_counters() {
 
 Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
                                    const DispatchFn& dispatch) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const util::TickNs t0 = util::now_ns();
     auto pending = std::make_shared<Pending>();
     pending->owner = this;
     pending->batch = std::move(batch);
+    pending->seq = g_batch_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    pending->submitted_at = t0;
     const std::size_t n = pending->batch.size();
     pending->results.resize(n);
     pending->use_cache = cache_.capacity() > 0;
@@ -105,6 +138,7 @@ Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
     // Front phase, on the submitting thread: ledger request count, cache
     // lookups and within-batch dedup. Happens in submission order, so the
     // cache sees exactly the state every previously *retired* batch left.
+    std::size_t front_hits = 0;
     {
         const util::MutexLock lock(mutex_);
         counters_.requests += n;
@@ -128,6 +162,7 @@ Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
                 // within-batch dedup alias of a failed source.
                 pending->results[i].failure = row_failed(pending->results[i].values);
                 ++counters_.cache_hits;
+                ++front_hits;
                 if (pending->results[i].failure) ++counters_.failures;
                 continue;
             }
@@ -139,6 +174,10 @@ Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
         }
     }
 
+    EngineMetrics& metrics = EngineMetrics::get();
+    metrics.requests.add(n);
+    metrics.cache_hits.add(front_hits);
+
     // Start the misses. Parallel engines enqueue pool jobs and return
     // immediately; serial engines evaluate inline here (still deferring
     // ledger/cache retirement to wait(), so both paths retire identically).
@@ -147,10 +186,15 @@ Engine::Ticket Engine::submit_impl(EvalBatch batch, const SaltFn& salt_of,
     {
         const util::MutexLock lock(mutex_);
         queue_.push_back(pending);
-        counters_.wall_seconds +=
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                .count();
+        counters_.wall_seconds += util::seconds_since(t0);
     }
+    if (obs::Tracer::enabled())
+        obs::Tracer::record_complete(
+            "engine.submit", "engine", t0, util::now_ns(),
+            {{"batch", static_cast<double>(pending->seq)},
+             {"items", static_cast<double>(n)},
+             {"misses", static_cast<double>(pending->misses.size())},
+             {"cache_hits", static_cast<double>(front_hits)}});
     return Ticket(std::move(pending));
 }
 
@@ -162,6 +206,9 @@ void Engine::dispatch_items(Pending& pending, ItemEvalFn eval_item) {
     auto eval = std::make_shared<ItemEvalFn>(std::move(eval_item));
     auto run_item = [p, eval](std::size_t k) {
         const std::size_t idx = p->misses[k];
+        obs::Span span("engine.kernel", "kernel");
+        span.arg("batch", static_cast<double>(p->seq));
+        span.arg("item", static_cast<double>(idx));
         p->results[idx].values = (*eval)(p->batch.items[idx], idx);
     };
     if (!config_.parallel) {
@@ -191,6 +238,10 @@ void Engine::dispatch_chunks(Pending& pending, ChunkEvalFn eval_chunk) {
     auto run_chunk = [p, eval, chunk, count](std::size_t c) {
         const std::size_t lo = c * chunk;
         const std::size_t hi = std::min(count, lo + chunk);
+        obs::Span span("engine.kernel", "kernel");
+        span.arg("batch", static_cast<double>(p->seq));
+        span.arg("chunk", static_cast<double>(c));
+        span.arg("items", static_cast<double>(hi - lo));
         std::vector<const EvalRequest*> reqs;
         reqs.reserve(hi - lo);
         for (std::size_t k = lo; k < hi; ++k)
@@ -231,44 +282,66 @@ void Engine::retire_head() {
         }
     }
 
-    const util::MutexLock lock(mutex_);
-    head->retired = true;
-    queue_.pop_front();
-    if (error) {
-        // Mirror the blocking path: a kernel error leaves only the request
-        // count in the ledger and nothing in the cache; the error surfaces
-        // from this ticket's wait().
-        head->error = error;
-        return;
+    std::size_t batch_failures = 0;
+    {
+        const util::MutexLock lock(mutex_);
+        head->retired = true;
+        queue_.pop_front();
+        if (error) {
+            // Mirror the blocking path: a kernel error leaves only the
+            // request count in the ledger and nothing in the cache; the
+            // error surfaces from this ticket's wait().
+            head->error = error;
+            return;
+        }
+
+        counters_.evaluations += head->misses.size();
+        for (std::size_t idx : head->misses) {
+            EvalResult& r = head->results[idx];
+            r.failure = row_failed(r.values);
+            if (r.failure) ++counters_.failures;
+            if (r.failure) ++batch_failures;
+            // NaN rows self-describe their failure, so caching them still
+            // spares the re-simulation of a known-failing point; empty rows
+            // would come back looking successful, so they stay out.
+            if (head->use_cache && head->batch.items[idx].cacheable &&
+                !r.values.empty())
+                cache_.insert(head->keys[idx], r.values);
+        }
+        for (const auto& [dup, source] : head->aliases) {
+            const EvalResult& src = head->results[source];
+            EvalResult& dst = head->results[dup];
+            dst.values = src.values;
+            dst.failure = src.failure;
+            dst.from_cache = true;
+            ++counters_.cache_hits;
+            // A failed source fans its failure out to every alias: each was
+            // a request that got a failed answer, and the ledger counts it
+            // so.
+            if (dst.failure) ++counters_.failures;
+            if (dst.failure) ++batch_failures;
+        }
     }
 
-    counters_.evaluations += head->misses.size();
-    for (std::size_t idx : head->misses) {
-        EvalResult& r = head->results[idx];
-        r.failure = row_failed(r.values);
-        if (r.failure) ++counters_.failures;
-        // NaN rows self-describe their failure, so caching them still spares
-        // the re-simulation of a known-failing point; empty rows would come
-        // back looking successful, so they stay out.
-        if (head->use_cache && head->batch.items[idx].cacheable &&
-            !r.values.empty())
-            cache_.insert(head->keys[idx], r.values);
-    }
-    for (const auto& [dup, source] : head->aliases) {
-        const EvalResult& src = head->results[source];
-        EvalResult& dst = head->results[dup];
-        dst.values = src.values;
-        dst.failure = src.failure;
-        dst.from_cache = true;
-        ++counters_.cache_hits;
-        // A failed source fans its failure out to every alias: each was a
-        // request that got a failed answer, and the ledger counts it so.
-        if (dst.failure) ++counters_.failures;
-    }
+    // Observational only, outside the engine lock: process-wide counters
+    // and the batch's submit-to-retire span.
+    EngineMetrics& metrics = EngineMetrics::get();
+    metrics.evaluations.add(head->misses.size());
+    metrics.cache_hits.add(head->aliases.size());
+    metrics.dedup_aliases.add(head->aliases.size());
+    metrics.failures.add(batch_failures);
+    if (obs::Tracer::enabled())
+        obs::Tracer::record_complete(
+            "engine.batch", "engine", head->submitted_at, util::now_ns(),
+            {{"batch", static_cast<double>(head->seq)},
+             {"items", static_cast<double>(head->results.size())},
+             {"evaluations", static_cast<double>(head->misses.size())},
+             {"aliases", static_cast<double>(head->aliases.size())},
+             {"failures", static_cast<double>(batch_failures)}});
 }
 
 std::vector<EvalResult> Engine::wait(Ticket ticket) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const util::TickNs t0 = util::now_ns();
     const std::shared_ptr<Pending> pending = std::move(ticket.pending_);
     if (!pending)
         throw InvalidInputError("eval::Engine::wait: invalid ticket");
@@ -295,9 +368,11 @@ std::vector<EvalResult> Engine::wait(Ticket ticket) {
     // Calling-thread time only: overlapped batches retire while an earlier
     // wait() blocks, so summing per-thread time never double-counts (and
     // equals the old "time inside evaluate()" for the blocking pattern).
-    counters_.wall_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    counters_.wall_seconds += util::seconds_since(t0);
+    if (obs::Tracer::enabled())
+        obs::Tracer::record_complete(
+            "engine.wait", "engine", t0, util::now_ns(),
+            {{"batch", static_cast<double>(pending->seq)}});
     if (pending->error) std::rethrow_exception(pending->error);
     return std::move(pending->results);
 }

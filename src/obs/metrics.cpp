@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ypm::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+    if (edges_.empty())
+        throw InvalidInputError("obs::Histogram: need >= 1 bucket edge");
+    if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+        std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end())
+        throw InvalidInputError(
+            "obs::Histogram: bucket edges must be strictly increasing");
+    buckets_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size() + 1);
+    for (std::size_t i = 0; i <= edges_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+    std::size_t bucket = edges_.size(); // overflow unless an edge matches
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (v <= edges_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(edges_.size() + 1);
+    for (std::size_t i = 0; i <= edges_.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void Histogram::reset() {
+    for (std::size_t i = 0; i <= edges_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+    for (const CounterSnapshot& c : counters)
+        if (c.name == name) return c.value;
+    return 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const {
+    for (const GaugeSnapshot& g : gauges)
+        if (g.name == name) return g.value;
+    return 0.0;
+}
+
+std::string MetricsSnapshot::to_json() const {
+    std::string out = "{\"counters\":{";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"' + str::json_escape(counters[i].name) +
+               "\":" + std::to_string(counters[i].value);
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"' + str::json_escape(gauges[i].name) +
+               "\":" + str::fmt_double(gauges[i].value);
+    }
+    out += "},\"histograms\":{";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const HistogramSnapshot& h = histograms[i];
+        if (i != 0) out += ',';
+        out += '"' + str::json_escape(h.name) + "\":{\"edges\":[";
+        for (std::size_t k = 0; k < h.edges.size(); ++k) {
+            if (k != 0) out += ',';
+            out += str::fmt_double(h.edges[k]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t k = 0; k < h.buckets.size(); ++k) {
+            if (k != 0) out += ',';
+            out += std::to_string(h.buckets[k]);
+        }
+        out += "],\"count\":" + std::to_string(h.count) +
+               ",\"sum\":" + str::fmt_double(h.sum) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const util::MutexLock lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.counter == nullptr) {
+        if (entry.gauge != nullptr || entry.histogram != nullptr)
+            throw InvalidInputError("obs::MetricsRegistry: '" + name +
+                                    "' is already registered with a "
+                                    "different instrument kind");
+        entry.kind = Kind::counter;
+        entry.counter = std::make_unique<Counter>();
+    }
+    return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const util::MutexLock lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.gauge == nullptr) {
+        if (entry.counter != nullptr || entry.histogram != nullptr)
+            throw InvalidInputError("obs::MetricsRegistry: '" + name +
+                                    "' is already registered with a "
+                                    "different instrument kind");
+        entry.kind = Kind::gauge;
+        entry.gauge = std::make_unique<Gauge>();
+    }
+    return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> edges) {
+    const util::MutexLock lock(mutex_);
+    Entry& entry = entries_[name];
+    if (entry.histogram == nullptr) {
+        if (entry.counter != nullptr || entry.gauge != nullptr)
+            throw InvalidInputError("obs::MetricsRegistry: '" + name +
+                                    "' is already registered with a "
+                                    "different instrument kind");
+        entry.kind = Kind::histogram;
+        entry.histogram = std::make_unique<Histogram>(std::move(edges));
+    } else if (entry.histogram->edges() != edges) {
+        throw InvalidInputError("obs::MetricsRegistry: histogram '" + name +
+                                "' re-registered with different bucket edges");
+    }
+    return *entry.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    const util::MutexLock lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+        switch (entry.kind) {
+        case Kind::counter:
+            snap.counters.push_back({name, entry.counter->value()});
+            break;
+        case Kind::gauge:
+            snap.gauges.push_back({name, entry.gauge->value()});
+            break;
+        case Kind::histogram:
+            snap.histograms.push_back({name, entry.histogram->edges(),
+                                       entry.histogram->bucket_counts(),
+                                       entry.histogram->count(),
+                                       entry.histogram->sum()});
+            break;
+        }
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    const util::MutexLock lock(mutex_);
+    for (auto& [name, entry] : entries_) {
+        switch (entry.kind) {
+        case Kind::counter: entry.counter->reset(); break;
+        case Kind::gauge: entry.gauge->reset(); break;
+        case Kind::histogram: entry.histogram->reset(); break;
+        }
+    }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace ypm::obs

@@ -1,0 +1,169 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Process-wide registry of named counters, gauges and fixed-bucket
+///        histograms.
+///
+/// The metrics layer is the always-on half of the observability stack (the
+/// span tracer in obs/trace.hpp is the opt-in half). Every instrument is
+/// cheap enough to leave enabled in production paths:
+///
+///  * Counter    - one relaxed atomic fetch_add per event;
+///  * Gauge      - one relaxed atomic store per update;
+///  * Histogram  - one branchless-ish bucket scan over a handful of edges
+///                 plus two relaxed atomic updates per observation.
+///
+/// Registration (name -> instrument) takes the registry mutex once; hot
+/// paths cache the returned reference (instruments are never deallocated
+/// while the registry lives, so the reference is stable). None of this
+/// touches RNG state, retirement order or any reduction order - metrics are
+/// purely observational, and the bit-identity tests assert exactly that.
+///
+/// snapshot() copies every instrument into plain structs (deterministically
+/// ordered by name) for tests, summary tables and the JSON exporter.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ypm::obs {
+
+/// Monotonic event counter. Thread-safe; relaxed ordering is enough because
+/// readers only ever want an eventually-consistent total.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a hit rate or queue depth sampled in passing).
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= edges[i] (the
+/// first matching edge wins), and one overflow bucket counts everything
+/// above the last edge. Edges are fixed at registration, so observation is
+/// lock-free: a linear scan over the edges plus relaxed atomic updates.
+class Histogram {
+public:
+    /// \param edges strictly increasing upper bucket bounds; must be
+    ///        non-empty. \throws ypm::InvalidInputError otherwise.
+    explicit Histogram(std::vector<double> edges);
+
+    void observe(double v);
+
+    [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+    /// Per-bucket counts; size() == edges().size() + 1 (overflow last).
+    [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+    [[nodiscard]] std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    void reset();
+
+private:
+    std::vector<double> edges_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+struct CounterSnapshot {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+    std::string name;
+    double value = 0.0;
+};
+
+struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> edges;
+    std::vector<std::uint64_t> buckets; ///< edges.size() + 1, overflow last
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name (the
+/// registry map is ordered, so iteration - and the JSON - is deterministic).
+struct MetricsSnapshot {
+    std::vector<CounterSnapshot> counters;
+    std::vector<GaugeSnapshot> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    /// Value of a named counter, or 0 when absent (absent and never-bumped
+    /// are indistinguishable by design - instruments register lazily).
+    [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+    /// Value of a named gauge, or 0.0 when absent.
+    [[nodiscard]] double gauge_value(const std::string& name) const;
+
+    /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Name -> instrument registry. Lookup/registration is mutex-protected;
+/// the returned references stay valid for the registry's lifetime, so hot
+/// paths resolve once and cache. Re-registering a name with a different
+/// instrument kind (or a histogram with different edges) throws.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    [[nodiscard]] Counter& counter(const std::string& name);
+    [[nodiscard]] Gauge& gauge(const std::string& name);
+    [[nodiscard]] Histogram& histogram(const std::string& name,
+                                       std::vector<double> edges);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    /// Zero every instrument (names stay registered). Not linearizable
+    /// against concurrent writers - a bench/test convenience between runs,
+    /// not a consistency primitive.
+    void reset();
+
+    /// The process-wide registry every built-in instrument registers in.
+    [[nodiscard]] static MetricsRegistry& global();
+
+private:
+    enum class Kind { counter, gauge, histogram };
+    struct Entry {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable util::Mutex mutex_;
+    std::map<std::string, Entry> entries_ YPM_GUARDED_BY(mutex_);
+};
+
+} // namespace ypm::obs

@@ -1,0 +1,190 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ypm::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+    // One buffer per thread, created on first record and registered with
+    // the global tracer; the registry's shared_ptr keeps it alive past
+    // thread exit, so drain() after a pool thread dies still sees its
+    // events. Bounded by the process's total thread count.
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        Tracer& tracer = global();
+        const util::MutexLock lock(tracer.registry_mutex_);
+        fresh->tid = tracer.next_tid_++;
+        tracer.buffers_.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+    if (!enabled()) return;
+    ThreadBuffer& buffer = local_buffer();
+    event.tid = buffer.tid;
+    const util::MutexLock lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+void Tracer::record_complete(const char* name, const char* category,
+                             util::TickNs start_ns, util::TickNs end_ns,
+                             std::initializer_list<TraceArg> args) {
+    if (!enabled()) return;
+    record(TraceEvent{name, category, start_ns,
+                      std::max<util::TickNs>(end_ns - start_ns, 0), 0, false,
+                      std::vector<TraceArg>(args)});
+}
+
+void Tracer::instant(const char* name, const char* category,
+                     std::initializer_list<TraceArg> args) {
+    if (!enabled()) return;
+    record(TraceEvent{name, category, util::now_ns(), 0, 0, true,
+                      std::vector<TraceArg>(args)});
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+    std::vector<TraceEvent> all;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        const util::MutexLock lock(registry_mutex_);
+        buffers = buffers_;
+    }
+    for (const auto& buffer : buffers) {
+        const util::MutexLock lock(buffer->mutex);
+        all.insert(all.end(),
+                   std::make_move_iterator(buffer->events.begin()),
+                   std::make_move_iterator(buffer->events.end()));
+        buffer->events.clear();
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  if (a.tid != b.tid) return a.tid < b.tid;
+                  return a.dur_ns > b.dur_ns; // parents before children
+              });
+    return all;
+}
+
+void Tracer::clear() { (void)drain(); }
+
+namespace {
+
+/// Microseconds with nanosecond resolution - the trace format's time unit.
+std::string fmt_us(util::TickNs ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) * 1e-3);
+    return buf;
+}
+
+void append_event_json(std::string& out, const TraceEvent& e) {
+    out += "{\"name\":\"" + str::json_escape(e.name) + "\",\"cat\":\"" +
+           str::json_escape(e.category) + "\",\"ph\":\"";
+    out += e.instant ? 'i' : 'X';
+    out += "\",\"ts\":" + fmt_us(e.start_ns);
+    if (!e.instant) out += ",\"dur\":" + fmt_us(e.dur_ns);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (e.instant) out += ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+        out += ",\"args\":{";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i != 0) out += ',';
+            out += '"' + str::json_escape(e.args[i].key) +
+                   "\":" + str::fmt_double(e.args[i].value);
+        }
+        out += '}';
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const MetricsSnapshot* metrics) {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '\n';
+        append_event_json(out, events[i]);
+    }
+    out += "\n]";
+    if (metrics != nullptr) out += ",\"metrics\":" + metrics->to_json();
+    out += "}\n";
+    return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const MetricsSnapshot* metrics) {
+    std::ofstream file(path);
+    if (!file) throw IoError("obs: cannot open trace file '" + path + "'");
+    file << chrome_trace_json(events, metrics);
+    if (!file.good())
+        throw IoError("obs: failed writing trace file '" + path + "'");
+}
+
+std::string trace_summary_table(const std::vector<TraceEvent>& events) {
+    struct Row {
+        std::size_t count = 0;
+        util::TickNs total_ns = 0;
+        util::TickNs max_ns = 0;
+    };
+    // Ordered map: only integer tick accumulation here, and a deterministic
+    // iteration order for the tie-sorted table below.
+    std::map<std::string, Row> rows;
+    for (const TraceEvent& e : events) {
+        if (e.instant) continue;
+        Row& row = rows[e.name];
+        ++row.count;
+        row.total_ns += e.dur_ns;
+        row.max_ns = std::max(row.max_ns, e.dur_ns);
+    }
+    std::vector<std::pair<std::string, Row>> sorted(rows.begin(), rows.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.second.total_ns > b.second.total_ns;
+                     });
+    std::size_t name_width = 4; // "span"
+    for (const auto& [name, row] : sorted)
+        name_width = std::max(name_width, name.size());
+
+    const auto ms = [](util::TickNs ns) {
+        return str::fmt_fixed(static_cast<double>(ns) * 1e-6, 3);
+    };
+    std::string out = "span";
+    out.append(name_width - 4, ' ');
+    out += "  count  total_ms   mean_ms    max_ms\n";
+    for (const auto& [name, row] : sorted) {
+        out += name;
+        out.append(name_width - name.size(), ' ');
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "  %5zu", row.count);
+        out += buf;
+        const auto pad = [&](const std::string& cell) {
+            out.append(cell.size() < 10 ? 10 - cell.size() : 1, ' ');
+            out += cell;
+        };
+        pad(ms(row.total_ns));
+        pad(ms(row.total_ns / static_cast<util::TickNs>(row.count)));
+        pad(ms(row.max_ns));
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ypm::obs

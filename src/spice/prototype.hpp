@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -139,6 +140,19 @@ private:
 /// that need structurally different circuits behind one pool (e.g. the
 /// filter's OtaModelKind); callers with a single configuration use the
 /// default key.
+/// PrototypePool instruments, shared across instantiations: warm leases vs
+/// cold factory builds (steady-state chunk traffic should be all-warm).
+inline obs::Counter& prototype_warm_leases() {
+    static obs::Counter& counter =
+        obs::MetricsRegistry::global().counter("proto_pool.warm_leases");
+    return counter;
+}
+inline obs::Counter& prototype_cold_builds() {
+    static obs::Counter& counter =
+        obs::MetricsRegistry::global().counter("proto_pool.cold_builds");
+    return counter;
+}
+
 template <typename P>
 class PrototypePool {
     /// The poolable state, co-owned by the pool and every outstanding
@@ -210,10 +224,12 @@ public:
             if (it != core_->idle.end() && !it->second.empty()) {
                 std::unique_ptr<P> warm = std::move(it->second.back());
                 it->second.pop_back();
+                prototype_warm_leases().add();
                 return Lease(core_, key, std::move(warm));
             }
             ++core_->created;
         }
+        prototype_cold_builds().add();
         return Lease(core_, key, factory_(key));
     }
 

@@ -1,0 +1,44 @@
+#pragma once
+/// \file clock.hpp
+/// \brief The repo's single monotonic clock seam.
+///
+/// Every timing measurement - the engine ledger's wall_seconds, the flow's
+/// FlowTimings, bench harness timers and the obs tracer's span timestamps -
+/// reads this clock and nothing else. Centralising the read keeps the
+/// wall-clock ban (scripts/lint_invariants.py, rule `raw-clock`) meaningful:
+/// this header is the one allowlisted `steady_clock::now` site, so any other
+/// direct clock call in src/ fails the linter. It also gives every consumer
+/// the same epoch, which is what lets trace spans from different layers
+/// (engine batches, pool tasks, flow steps) land on one coherent timeline.
+///
+/// Ticks are integer nanoseconds since an arbitrary process-local epoch:
+/// cheap to store per-span, exact to difference, and trivially converted to
+/// the microsecond doubles the Chrome trace format wants.
+
+#include <chrono>
+#include <cstdint>
+
+namespace ypm::util {
+
+/// Monotonic nanoseconds since an arbitrary (process-local) epoch.
+using TickNs = std::int64_t;
+
+/// Read the monotonic clock. The only raw-clock site in the repo
+/// (allowlisted in scripts/lint_allowlist.txt).
+[[nodiscard]] inline TickNs now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Seconds elapsed from tick `t0` to tick `t1`.
+[[nodiscard]] inline double seconds_between(TickNs t0, TickNs t1) {
+    return static_cast<double>(t1 - t0) * 1e-9;
+}
+
+/// Seconds elapsed since tick `t0`.
+[[nodiscard]] inline double seconds_since(TickNs t0) {
+    return seconds_between(t0, now_ns());
+}
+
+} // namespace ypm::util

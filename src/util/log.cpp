@@ -2,38 +2,63 @@
 
 #include <atomic>
 #include <cstdio>
+#include <utility>
 
 #include "util/mutex.hpp"
+#include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ypm::log {
 
 namespace {
 std::atomic<Level> g_level{Level::warn};
-/// Serialises whole lines onto stderr. The guarded "data" is the stream
-/// itself, which no annotation can name - allowlisted in
-/// scripts/lint_allowlist.txt.
+/// Serialises whole lines onto stderr (or into the installed sink) and
+/// guards the sink pointer itself.
 util::Mutex g_mutex;
+Sink& sink_slot() YPM_REQUIRES(g_mutex) {
+    // Function-local so the std::function is constructed on first use
+    // (no global-destructor ordering hazards); callers hold g_mutex.
+    static Sink sink;
+    return sink;
+}
+} // namespace
 
 const char* level_name(Level l) {
     switch (l) {
     case Level::debug: return "debug";
-    case Level::info: return "info ";
-    case Level::warn: return "warn ";
+    case Level::info: return "info";
+    case Level::warn: return "warn";
     case Level::error: return "error";
-    case Level::off: return "off  ";
+    case Level::off: return "off";
     }
     return "?";
 }
-} // namespace
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_sink(Sink sink) {
+    const util::MutexLock lock(g_mutex);
+    sink_slot() = std::move(sink);
+}
+
+Sink json_lines_sink(std::vector<std::string>& lines) {
+    return [&lines](Level lvl, const std::string& message) {
+        lines.push_back(std::string("{\"level\":\"") + level_name(lvl) +
+                        "\",\"msg\":\"" + str::json_escape(message) + "\"}");
+    };
+}
+
 void write(Level lvl, const std::string& message) {
     if (lvl < level()) return;
     const util::MutexLock lock(g_mutex);
-    std::fprintf(stderr, "[ypm %s] %s\n", level_name(lvl), message.c_str());
+    Sink& sink = sink_slot();
+    if (sink) {
+        sink(lvl, message);
+        return;
+    }
+    std::fprintf(stderr, "[ypm %-5s] %s\n", level_name(lvl), message.c_str());
 }
 
 } // namespace ypm::log

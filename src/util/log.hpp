@@ -3,8 +3,10 @@
 /// \brief Minimal leveled logger. Long-running flows (GA generations, MC
 ///        batches) report progress through this; tests silence it.
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace ypm::log {
 
@@ -18,6 +20,25 @@ void set_level(Level level);
 
 /// Emit one line at the given level (thread safe).
 void write(Level level, const std::string& message);
+
+/// Short lower-case name of a level ("debug", "info", ...).
+[[nodiscard]] const char* level_name(Level level);
+
+/// Structured sink: receives every emitted message instead of the stderr
+/// line. Invoked under the logger's internal mutex, so a sink needs no
+/// locking of its own but must not call back into the logger.
+using Sink = std::function<void(Level, const std::string&)>;
+
+/// Install (or, with nullptr, remove) the process-wide structured sink.
+/// While a sink is installed nothing is written to stderr - service
+/// deployments ship JSON lines, tests assert on captured warnings.
+void set_sink(Sink sink);
+
+/// A Sink appending one JSON object per message to `lines`, e.g.
+/// {"level":"warn","msg":"..."}. The logger's mutex serialises appends;
+/// readers must quiesce logging threads first (tests join their work
+/// before asserting).
+[[nodiscard]] Sink json_lines_sink(std::vector<std::string>& lines);
 
 namespace detail {
 inline void append(std::ostringstream&) {}

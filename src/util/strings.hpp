@@ -37,6 +37,11 @@ namespace ypm::str {
 /// Render a double with enough digits to round-trip (used by .tbl writers).
 [[nodiscard]] std::string fmt_double(double v);
 
+/// Escape \p s for embedding inside a JSON string literal; surrounding
+/// quotes are not added. Used by the obs trace/metrics serializers and the
+/// structured log sink.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 /// Fixed-point rendering with \p digits decimals (used by report tables).
 [[nodiscard]] std::string fmt_fixed(double v, int digits);
 

@@ -4,9 +4,39 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+
 namespace ypm {
 
+namespace {
+
+/// Pool instruments, resolved once (references are stable for the global
+/// registry's lifetime). Always-on: per *task* cost (a handful of clock
+/// reads and relaxed atomics per worker-sized chunk), not per item.
+struct PoolMetrics {
+    obs::Histogram& queue_depth;
+    obs::Histogram& task_seconds;
+
+    static PoolMetrics& get() {
+        static PoolMetrics metrics{
+            obs::MetricsRegistry::global().histogram(
+                "pool.queue_depth",
+                {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}),
+            obs::MetricsRegistry::global().histogram(
+                "pool.task_seconds",
+                {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})};
+        return metrics;
+    }
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
+    // Resolve the instruments before any worker exists: the metrics
+    // registry static is then constructed before (so destroyed after) the
+    // process-wide pool, and workers never race its teardown.
+    (void)PoolMetrics::get();
     if (threads == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         threads = hw > 0 ? hw : 1;
@@ -35,7 +65,9 @@ void ThreadPool::worker_loop() {
             task = std::move(tasks_.front());
             tasks_.pop();
         }
+        const util::TickNs t0 = util::now_ns();
         task();
+        PoolMetrics::get().task_seconds.observe(util::seconds_since(t0));
     }
 }
 
@@ -52,11 +84,12 @@ struct ThreadPool::Job::State {
     const std::function<void(std::size_t)> fn;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    /// Pairs with done_cv only: `done` itself is atomic, the mutex just
-    /// makes the wait/notify handshake race-free (allowlisted in
-    /// scripts/lint_allowlist.txt - there is no guarded member to name).
     util::Mutex done_mutex;
     util::ConditionVariable done_cv;
+    /// The wait/notify handshake's predicate. `done` above stays atomic for
+    /// the lock-free done() query; this guarded flag is what wait() sleeps
+    /// on, so the thread-safety analysis sees the full handshake.
+    bool all_done YPM_GUARDED_BY(done_mutex) = false;
     util::Mutex error_mutex;
     std::exception_ptr first_error YPM_GUARDED_BY(error_mutex);
 };
@@ -65,8 +98,7 @@ void ThreadPool::Job::wait() {
     if (!state_) return;
     {
         util::MutexLock lock(state_->done_mutex);
-        while (state_->done.load(std::memory_order_acquire) != state_->n)
-            state_->done_cv.wait(lock);
+        while (!state_->all_done) state_->done_cv.wait(lock);
     }
     std::exception_ptr error;
     {
@@ -85,6 +117,8 @@ void ThreadPool::enqueue_locked_batch(std::vector<std::function<void()>> tasks) 
     {
         const util::MutexLock lock(mutex_);
         for (auto& t : tasks) tasks_.push(std::move(t));
+        PoolMetrics::get().queue_depth.observe(
+            static_cast<double>(tasks_.size()));
     }
     cv_.notify_all();
 }
@@ -117,6 +151,7 @@ ThreadPool::Job ThreadPool::parallel_for_async(
                 if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
                     state->n) {
                     const util::MutexLock dlock(state->done_mutex);
+                    state->all_done = true;
                     state->done_cv.notify_all();
                 }
             }

@@ -4,10 +4,32 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace ypm::yield {
+
+namespace {
+
+/// Yield-runner instruments, resolved once; always-on (a few relaxed
+/// atomic adds per retired *chunk*).
+struct YieldMetrics {
+    obs::Counter& chunks;
+    obs::Counter& samples;
+    obs::Counter& refits;
+
+    static YieldMetrics& get() {
+        auto& registry = obs::MetricsRegistry::global();
+        static YieldMetrics metrics{registry.counter("yield.chunks"),
+                                    registry.counter("yield.samples"),
+                                    registry.counter("yield.refits")};
+        return metrics;
+    }
+};
+
+} // namespace
 
 SequentialYieldRunner::SequentialYieldRunner(eval::Engine& engine,
                                              SequentialConfig config,
@@ -66,6 +88,8 @@ void SequentialYieldRunner::submit_pilot() {
 void SequentialYieldRunner::finish_pilot() {
     if (pilot_finished_) return;
     if (pilot_submitted_) {
+        obs::Span span("yield.pilot", "yield");
+        span.arg("samples", static_cast<double>(config_.pilot_samples));
         const mc::McResult pilot = mc::wait_monte_carlo(engine_, pilot_ticket_);
         // Pilot estimate: the pilot proposal is widened, so it is itself a
         // (low-accuracy) importance-sampled estimate - a useful sanity
@@ -78,6 +102,7 @@ void SequentialYieldRunner::finish_pilot() {
         pilot_estimate_ = weighted_yield_from_flags(flags, log_weights);
         fit_ = fit_shift(pilot.rows, specs_, dimension_, config_.shift_fit);
         pilot_failures_ = fit_.pilot_failures;
+        span.arg("failures", static_cast<double>(pilot_failures_));
     }
     // No pilot (or no pilot failures): the fitted proposal stays nominal
     // and the main stage is plain Monte Carlo with unit weights.
@@ -151,6 +176,20 @@ void SequentialYieldRunner::fold_rows(const mc::McResult& result) {
     ++stage_chunks_;
     update_estimate();
     trajectory_.emplace_back(retired_samples_, estimate_.half_width());
+
+    // Observational only: the ISLE-style per-chunk diagnostic stream -
+    // sample count, fail-side ESS, weight concentration, CI half-width -
+    // as trace events, plus the always-on chunk/sample counters.
+    YieldMetrics& metrics = YieldMetrics::get();
+    metrics.chunks.add();
+    metrics.samples.add(result.rows.size());
+    if (obs::Tracer::enabled())
+        obs::Tracer::instant(
+            "yield.chunk", "yield",
+            {{"samples", static_cast<double>(retired_samples_)},
+             {"ess", estimate_.ess},
+             {"max_weight_share", estimate_.max_weight_share},
+             {"half_width", estimate_.half_width()}});
 }
 
 void SequentialYieldRunner::update_estimate() {
@@ -189,6 +228,13 @@ void SequentialYieldRunner::maybe_refit() {
     log_weights_.clear();
     stage_chunks_ = 0;
     ++refits_done_;
+    YieldMetrics::get().refits.add();
+    if (obs::Tracer::enabled())
+        obs::Tracer::instant(
+            "yield.refit", "yield",
+            {{"refit", static_cast<double>(refits_done_)},
+             {"fail_rows", static_cast<double>(fail_rows_.size())},
+             {"retired_samples", static_cast<double>(retired_samples_)}});
 }
 
 void SequentialYieldRunner::rewind_inflight() {

@@ -1,7 +1,7 @@
-// Lint fixture (never compiled): a genuine wallclock violation that the
+// Lint fixture (never compiled): a genuine raw-clock violation that the
 // fixture allowlist suppresses - exercises the allowlist matching path.
 // The self-test asserts it IS flagged without the allowlist and clean
-// with it.
+// with it (the real-tree analogue is util/clock.hpp, the one clock seam).
 #include <chrono>
 
 double stage_seconds() {

@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): direct chrono clock reads bypass the
+// util/clock.hpp seam, so their timestamps live on a private epoch the
+// tracer and ledgers cannot correlate. Expect [raw-clock] findings only.
+#include <chrono>
+
+double now_seconds() {
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double wall_stamp() {
+    const auto t = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,6 +1,7 @@
-// Lint fixture (never compiled): wall-clock / OS-entropy sources in src/
-// would break bit-reproducibility. Expect [wallclock] findings only.
-#include <chrono>
+// Lint fixture (never compiled): OS-entropy / wall-time sources in src/
+// would break bit-reproducibility. Expect [wallclock] findings only
+// (direct chrono clock reads are the raw-clock rule's business).
+#include <ctime>
 #include <random>
 
 unsigned make_seed() {
@@ -8,7 +9,6 @@ unsigned make_seed() {
     return rd();
 }
 
-double now_seconds() {
-    const auto t = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(t.time_since_epoch()).count();
+long stamp() {
+    return static_cast<long>(time(nullptr)); // calendar time, not monotonic
 }

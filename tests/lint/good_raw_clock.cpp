@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): timing through the util/clock.hpp seam -
+// the pattern the raw-clock rule steers code towards. Expect no findings.
+// Mentioning steady_clock::now() in a comment is fine: the linter strips
+// comments and strings before matching.
+#include <cstdint>
+
+namespace util {
+using TickNs = long long;
+TickNs now_ns();
+double seconds_since(TickNs t0);
+} // namespace util
+
+double timed_stage() {
+    const util::TickNs t0 = util::now_ns();
+    return util::seconds_since(t0);
+}

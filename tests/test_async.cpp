@@ -15,6 +15,7 @@
 #include "core/ota_mc.hpp"
 #include "eval/engine.hpp"
 #include "mc/monte_carlo.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -181,6 +182,87 @@ TEST(AsyncEquivalence, StochasticChunkKernel) {
         expect_same_results(blocking_results, async_results);
         expect_same_counters(blocking.counters(), async.counters());
     }
+}
+
+// ------------------------------------------------- tracing bit-identity
+
+/// Runs the batch sequence twice on fresh engines - tracing off, then on -
+/// and requires bit-identical results and ledger counters. Spans and
+/// metrics are observational only; this is that contract's enforcement
+/// point, exercised for every kernel kind.
+template <typename RunFn>
+void expect_tracing_invariant(RunFn run) {
+    obs::Tracer::global().clear();
+    ASSERT_FALSE(obs::Tracer::enabled());
+    Engine plain(config_with_cache(true));
+    const auto untraced = run(plain);
+
+    obs::Tracer::set_enabled(true);
+    Engine traced(config_with_cache(true));
+    const auto traced_results = run(traced);
+    obs::Tracer::set_enabled(false);
+
+    // Spans were actually recorded - the invariant is not vacuous.
+    EXPECT_FALSE(obs::Tracer::global().drain().empty());
+    expect_same_results(untraced, traced_results);
+    expect_same_counters(plain.counters(), traced.counters());
+}
+
+TEST(TracingBitIdentity, DeterministicKernel) {
+    expect_tracing_invariant([](Engine& e) {
+        std::vector<std::vector<EvalResult>> out;
+        for (const EvalBatch& batch : batch_sequence())
+            out.push_back(e.wait(e.submit(batch, KernelFn(fail_kernel))));
+        return out;
+    });
+}
+
+TEST(TracingBitIdentity, ChunkKernel) {
+    const auto kernel =
+        BatchKernelFn([](const std::vector<const EvalRequest*>& reqs) {
+            std::vector<std::vector<double>> rows;
+            rows.reserve(reqs.size());
+            for (const auto* r : reqs) rows.push_back(fail_kernel(*r));
+            return rows;
+        });
+    expect_tracing_invariant([&kernel](Engine& e) {
+        std::vector<std::vector<EvalResult>> out;
+        for (const EvalBatch& batch : batch_sequence())
+            out.push_back(e.wait(e.submit(batch, kernel)));
+        return out;
+    });
+}
+
+TEST(TracingBitIdentity, StochasticKernel) {
+    const auto kernel = StochasticKernelFn([](const EvalRequest& r, Rng& rng) {
+        return std::vector<double>{rng.gauss(r.params[0], 1.0), rng.uniform01()};
+    });
+    expect_tracing_invariant([&kernel](Engine& e) {
+        Rng rng(42);
+        std::vector<std::vector<EvalResult>> out;
+        for (const EvalBatch& batch : batch_sequence())
+            out.push_back(e.wait(e.submit(batch, kernel, rng)));
+        return out;
+    });
+}
+
+TEST(TracingBitIdentity, StochasticChunkKernel) {
+    const auto kernel = StochasticBatchKernelFn(
+        [](const std::vector<const EvalRequest*>& reqs, std::span<Rng> rngs) {
+            std::vector<std::vector<double>> rows;
+            rows.reserve(reqs.size());
+            for (std::size_t k = 0; k < reqs.size(); ++k)
+                rows.push_back({rngs[k].gauss(reqs[k]->params[0], 1.0),
+                                rngs[k].uniform01()});
+            return rows;
+        });
+    expect_tracing_invariant([&kernel](Engine& e) {
+        Rng rng(13);
+        std::vector<std::vector<EvalResult>> out;
+        for (const EvalBatch& batch : batch_sequence())
+            out.push_back(e.wait(e.submit(batch, kernel, rng)));
+        return out;
+    });
 }
 
 // ----------------------------------------------------- ticket discipline

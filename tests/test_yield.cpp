@@ -22,6 +22,7 @@
 #include "process/sampler.hpp"
 #include "process/variation.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "yield/scenarios.hpp"
 #include "yield/sequential.hpp"
@@ -868,7 +869,18 @@ TEST(SequentialYield, StarvedBudgetSkipsPilotAndFlagsIt) {
     config.sequential.min_samples = 32;
     config.total_samples = 64; // two pilots fit, the third cannot
     eval::Engine engine = make_engine();
+    // The starvation must also be *loud*: capture the structured log and
+    // assert the warning fires exactly once, for the third point.
+    std::vector<std::string> log_lines;
+    log::set_sink(log::json_lines_sink(log_lines));
     const auto results = yield::run_adaptive_yield(engine, config, points, Rng(8));
+    log::set_sink(nullptr);
+    ASSERT_EQ(log_lines.size(), 1u) << "expected exactly one warning";
+    EXPECT_NE(log_lines[0].find("\"level\":\"warn\""), std::string::npos)
+        << log_lines[0];
+    EXPECT_NE(log_lines[0].find("pilot_skipped"), std::string::npos)
+        << log_lines[0];
+    EXPECT_NE(log_lines[0].find("point 2"), std::string::npos) << log_lines[0];
     ASSERT_EQ(results.size(), 3u);
     EXPECT_FALSE(results[0].pilot_skipped);
     EXPECT_EQ(results[0].pilot_samples, 32u);
