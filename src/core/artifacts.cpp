@@ -14,6 +14,12 @@ namespace fs = std::filesystem;
 
 ModelArtifacts write_artifacts(const std::vector<FrontPointData>& front,
                                const std::string& dir) {
+    return write_artifacts(front, {}, dir);
+}
+
+ModelArtifacts write_artifacts(const std::vector<FrontPointData>& front,
+                               const std::vector<YieldTableRow>& yields,
+                               const std::string& dir) {
     if (front.size() < 3)
         throw InvalidInputError("write_artifacts: need >= 3 front points");
 
@@ -69,7 +75,7 @@ ModelArtifacts write_artifacts(const std::vector<FrontPointData>& front,
         std::ofstream f(art.front_csv);
         if (!f) throw IoError("write_artifacts: cannot write front csv");
         f << "design_id,gain_db,pm_deg,dgain_pct,dpm_pct,dgain_halfrange_pct,"
-             "dpm_halfrange_pct,f3db_hz,gbw_hz,mc_failures";
+             "dpm_halfrange_pct,f3db_hz,gbw_hz,mc_failures,probe_yield";
         for (const auto& n : names) f << ',' << n;
         f << '\n';
         for (const auto& p : front) {
@@ -79,9 +85,53 @@ ModelArtifacts write_artifacts(const std::vector<FrontPointData>& front,
               << str::fmt_double(p.dgain_halfrange_pct) << ','
               << str::fmt_double(p.dpm_halfrange_pct) << ','
               << str::fmt_double(p.f3db) << ',' << str::fmt_double(p.gbw) << ','
-              << p.mc_failures;
+              << p.mc_failures << ',' << str::fmt_double(p.probe_yield);
             for (double v : p.sizing.to_vector()) f << ',' << str::fmt_double(v);
             f << '\n';
+        }
+    }
+
+    // Yield table: probe estimate vs certified estimate per design - the
+    // two-tier calibration signal - plus, when the whole front is covered,
+    // a (gain, pm) -> yield spline table for model back-annotation.
+    if (!yields.empty()) {
+        const auto front_of = [&](std::size_t design_id) -> const FrontPointData& {
+            for (const auto& p : front)
+                if (p.design_id == design_id) return p;
+            throw InvalidInputError(
+                "write_artifacts: yield row for unknown design_id " +
+                std::to_string(design_id));
+        };
+        art.yield_csv = join("yield_front.csv");
+        std::ofstream f(art.yield_csv);
+        if (!f) throw IoError("write_artifacts: cannot write yield csv");
+        f << "design_id,gain_db,pm_deg,probe_yield,yield,ci_low,ci_high,"
+             "probe_delta,ess,samples,reached_target\n";
+        for (const auto& row : yields) {
+            const FrontPointData& p = front_of(row.design_id);
+            f << row.design_id << ',' << str::fmt_double(p.gain_db) << ','
+              << str::fmt_double(p.pm_deg) << ','
+              << str::fmt_double(row.probe_yield) << ','
+              << str::fmt_double(row.yield) << ','
+              << str::fmt_double(row.ci_low) << ','
+              << str::fmt_double(row.ci_high) << ','
+              << str::fmt_double(row.probe_yield - row.yield) << ','
+              << str::fmt_double(row.ess) << ',' << row.samples << ','
+              << (row.reached_target ? 1 : 0) << '\n';
+        }
+        if (yields.size() == front.size()) {
+            std::vector<double> ygains, ypms, yvals;
+            ygains.reserve(yields.size());
+            for (const auto& row : yields) {
+                const FrontPointData& p = front_of(row.design_id);
+                ygains.push_back(p.gain_db);
+                ypms.push_back(p.pm_deg);
+                yvals.push_back(row.yield);
+            }
+            art.yield_tbl = join("yield_front.tbl");
+            table::write_tbl(art.yield_tbl,
+                             table::make_tbl_2d(ygains, ypms, yvals),
+                             {"(gain dB, pm deg) -> certified yield"});
         }
     }
 

@@ -4,6 +4,7 @@
 ///        performance tables, variation tables and the generated Verilog-A
 ///        module.
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,26 @@ struct FrontPointData {
     double f3db = 0.0; ///< dominant pole (Hz) for the macromodel
     double gbw = 0.0;
     std::size_t mc_failures = 0;
+    /// Optimiser-side yield probe estimate of this design (NaN when the
+    /// design was never probed: probes off, pre-activation generation, or
+    /// outside the probed top-K).
+    double probe_yield = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// One row of the yield artifact table: the certified yield of a front
+/// design next to the probe estimate that steered the optimiser toward it
+/// (the probe-vs-certified delta is the two-tier recipe's calibration
+/// signal). A plain POD mirror of core::FrontPointYield, so the artifact
+/// layer stays independent of the flow/yield headers.
+struct YieldTableRow {
+    std::size_t design_id = 0; ///< matches FrontPointData::design_id
+    double probe_yield = std::numeric_limits<double>::quiet_NaN();
+    double yield = 0.0;    ///< certified (sequential-run) estimate
+    double ci_low = 0.0;   ///< 95 % CI of the certified estimate
+    double ci_high = 1.0;
+    double ess = 0.0;      ///< fail-side effective sample size
+    std::size_t samples = 0; ///< certification samples folded
+    bool reached_target = false;
 };
 
 /// Paths of everything written to the artifact directory.
@@ -34,6 +55,11 @@ struct ModelArtifacts {
     std::vector<std::string> param_tbls; ///< 2-D: (gain, pm) -> parameter, lp1..lp8
     std::string f3db_tbl;       ///< 2-D: (gain, pm) -> f3db
     std::string front_csv;      ///< full front table for plotting
+    std::string yield_csv;      ///< probe-vs-certified yield table; empty
+                                ///< when no yield rows were provided
+    std::string yield_tbl;      ///< 2-D: (gain, pm) -> certified yield;
+                                ///< written only when every front point has
+                                ///< a yield row (model back-annotation)
     std::string va_module;      ///< generated Verilog-A source
 };
 
@@ -41,6 +67,18 @@ struct ModelArtifacts {
 /// \throws ypm::IoError on filesystem problems.
 [[nodiscard]] ModelArtifacts write_artifacts(const std::vector<FrontPointData>& front,
                                              const std::string& dir);
+
+/// As above, plus the yield artifact table (`yield_front.csv`): one row per
+/// certified design - probe estimate, certified estimate with CI/ESS, and
+/// the probe-vs-certified delta. Rows match front points by design_id (rows
+/// without a matching front point are rejected); when every front point has
+/// a row, a 2-D (gain, pm) -> yield spline table rides along for model
+/// back-annotation. An empty `yields` behaves exactly like the overload
+/// above. \throws ypm::InvalidInputError on an unmatched design_id.
+[[nodiscard]] ModelArtifacts
+write_artifacts(const std::vector<FrontPointData>& front,
+                const std::vector<YieldTableRow>& yields,
+                const std::string& dir);
 
 /// Reload the front from artefact files (inverse of write_artifacts).
 [[nodiscard]] std::vector<FrontPointData>

@@ -1,6 +1,7 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "circuits/ota_problem.hpp"
 #include "core/ota_mc.hpp"
@@ -12,6 +13,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "yield/estimator.hpp"
+#include "yield/probe.hpp"
 
 namespace ypm::core {
 
@@ -118,6 +120,32 @@ FlowResult YieldFlow::run() const {
             (void)yield::EstimatorRegistry::instance().create(
                 config_.yield_estimator);
     }
+    const FlowConfig::ProbeKnobs& probe_knobs = config_.yield_probe;
+    if (probe_knobs.budget > 0) {
+        if (config_.yield_specs.empty())
+            throw InvalidInputError(
+                "YieldFlow: yield_probe.budget is set but yield_specs is "
+                "empty - probes need the specs to estimate yield against");
+        if (probe_knobs.activation_generation >= config_.ga.generations)
+            throw InvalidInputError(
+                "YieldFlow: yield_probe.activation_generation >= "
+                "ga.generations - the probes would never activate; lower the "
+                "activation or raise the generation count");
+        if (!(probe_knobs.target_half_width >= 0.0))
+            throw InvalidInputError(
+                "YieldFlow: yield_probe.target_half_width must be >= 0");
+        moo::RobustnessConfig shape;
+        shape.mode = probe_knobs.mode;
+        shape.yield_weight = probe_knobs.yield_weight;
+        shape.min_yield = probe_knobs.min_yield;
+        moo::validate_robustness_config(shape);
+        // A valid estimator name can still be probe-incompatible (its pilot
+        // alone would exceed the probe budget): fail fast with the
+        // compatible zoo members listed, never degrade silently.
+        (void)yield::configure_probe_estimator(
+            probe_knobs.estimator, config_.yield_sequential,
+            probe_knobs.budget, probe_knobs.target_half_width);
+    }
 
     const TraceSession trace(config_.trace_path);
     const util::TickNs t_start = util::now_ns();
@@ -133,11 +161,79 @@ FlowResult YieldFlow::run() const {
     engine_config.cache_capacity = config_.eval_cache;
     eval::Engine engine(engine_config);
 
-    // Steps 1-2: problem definition + WBGA optimisation.
+    // Steps 1-2: problem definition + WBGA optimisation. The process
+    // sampler is shared by the optimiser-side probes and the step-4 MC /
+    // certification stages (its construction draws nothing, so hoisting it
+    // above the GA leaves the probe-off flow bit-identical).
     circuits::OtaProblem problem(ota_);
+    const circuits::OtaEvaluator& evaluator = problem.evaluator();
+    const process::ProcessSampler sampler(ota_.card, config_.variation);
     moo::WbgaConfig ga = config_.ga;
     ga.parallel = config_.parallel;
     ga.engine = &engine;
+
+    // Tier 1, yield in the loop: a low-budget probe per (selected)
+    // individual feeds estimated yield into the WBGA fitness through the
+    // robustness channel. The probe RNG derives from a dedicated child
+    // stream (4) of the flow seed, keyed per generation - streams 1-3
+    // (GA / MC / certification) are untouched, so probes off is
+    // bit-identical by construction.
+    std::unique_ptr<yield::YieldProbe> probe;
+    if (probe_knobs.budget > 0) {
+        yield::ProbeConfig probe_config;
+        probe_config.sequential = config_.yield_sequential;
+        probe_config.estimator = probe_knobs.estimator;
+        probe_config.budget = probe_knobs.budget;
+        probe_config.target_half_width = probe_knobs.target_half_width;
+        probe_config.warm_start = probe_knobs.warm_start;
+        // The u-record dimension is a topology property, identical for
+        // every sizing (see ota_yield_dimension) - probe it at the box
+        // midpoint without running any simulation.
+        std::vector<double> midpoint;
+        midpoint.reserve(problem.parameters().size());
+        for (const auto& p : problem.parameters())
+            midpoint.push_back(0.5 * (p.lo + p.hi));
+        const std::size_t dimension = ota_yield_dimension(
+            evaluator, circuits::OtaSizing::from_vector(midpoint));
+        probe = std::make_unique<yield::YieldProbe>(
+            std::move(probe_config), config_.yield_specs,
+            [&evaluator, &sampler](const std::vector<double>& params) {
+                return ota_yield_kernel_factory(
+                    evaluator, circuits::OtaSizing::from_vector(params),
+                    sampler);
+            },
+            dimension);
+
+        ga.robustness.activation_generation = probe_knobs.activation_generation;
+        ga.robustness.mode = probe_knobs.mode;
+        ga.robustness.yield_weight = probe_knobs.yield_weight;
+        ga.robustness.min_yield = probe_knobs.min_yield;
+        ga.robustness.max_points = probe_knobs.max_points;
+        const Rng probe_rng = rng.child(4);
+        ga.robustness.probe =
+            [&engine, &result, probe_rng,
+             probe_ptr = probe.get()](const std::vector<std::vector<double>>& pts,
+                                      std::size_t generation) {
+                obs::Span span("flow.probe", "flow");
+                span.arg("generation", static_cast<double>(generation));
+                span.arg("points", static_cast<double>(pts.size()));
+                const util::TickNs t0 = util::now_ns();
+                const std::size_t before = probe_ptr->total_samples();
+                const auto probed = probe_ptr->probe(
+                    engine, pts, probe_rng.child(generation + 1), generation);
+                std::vector<double> yields(probed.size());
+                for (std::size_t i = 0; i < probed.size(); ++i)
+                    yields[i] = probed[i].estimate.yield;
+                result.timings.probe_seconds += util::seconds_since(t0);
+                result.timings.probe_points += pts.size();
+                result.timings.probe_samples +=
+                    probe_ptr->total_samples() - before;
+                span.arg("samples",
+                         static_cast<double>(probe_ptr->total_samples() - before));
+                return yields;
+            };
+    }
+
     const moo::Wbga optimiser(problem, ga);
     {
         obs::Span span("flow.moo", "flow");
@@ -150,6 +246,10 @@ FlowResult YieldFlow::run() const {
         result.timings.moo_evaluations = result.optimisation.evaluations;
         span.arg("evaluations",
                  static_cast<double>(result.timings.moo_evaluations));
+        if (probe)
+            log::info("flow: probes spent ", result.timings.probe_samples,
+                      " yield samples across ", result.timings.probe_points,
+                      " individuals");
     }
 
     // Step 3: performance model from the Pareto front.
@@ -178,8 +278,6 @@ FlowResult YieldFlow::run() const {
     // overlap on the engine's pool instead of barriering point-by-point.
     {
         const util::TickNs t0 = util::now_ns();
-        const process::ProcessSampler sampler(ota_.card, config_.variation);
-        const circuits::OtaEvaluator& evaluator = problem.evaluator();
         Rng mc_rng = rng.child(2);
 
         const eval::KernelFn bode_kernel = [&](const eval::EvalRequest& request) {
@@ -205,6 +303,7 @@ FlowResult YieldFlow::run() const {
             stage.point.sizing = circuits::OtaSizing::from_vector(e.params);
             stage.point.gain_db = e.objectives[0];
             stage.point.pm_deg = e.objectives[1];
+            stage.point.probe_yield = e.robustness;
             // Front hygiene: skip endpoints no model query should land on.
             if (stage.point.pm_deg < config_.min_front_pm_deg ||
                 stage.point.gain_db < config_.min_front_gain_db) {
@@ -316,8 +415,9 @@ FlowResult YieldFlow::run() const {
                           estimates[i].estimate.yield, " (",
                           estimates[i].samples_used, " samples, ESS ",
                           estimates[i].estimate.ess, ")");
-                result.yields.push_back(
-                    {result.front[i].design_id, std::move(estimates[i])});
+                result.yields.push_back({result.front[i].design_id,
+                                         std::move(estimates[i]),
+                                         result.front[i].probe_yield});
             }
             result.timings.yield_seconds = util::seconds_since(t1);
         }
@@ -330,7 +430,22 @@ FlowResult YieldFlow::run() const {
     } else if (!config_.artifact_dir.empty()) {
         obs::Span span("flow.table", "flow");
         const util::TickNs t0 = util::now_ns();
-        result.artifacts = write_artifacts(result.front, config_.artifact_dir);
+        std::vector<YieldTableRow> yield_rows;
+        yield_rows.reserve(result.yields.size());
+        for (const FrontPointYield& y : result.yields) {
+            YieldTableRow row;
+            row.design_id = y.design_id;
+            row.probe_yield = y.probe_yield;
+            row.yield = y.result.estimate.yield;
+            row.ci_low = y.result.estimate.ci_low;
+            row.ci_high = y.result.estimate.ci_high;
+            row.ess = y.result.estimate.ess;
+            row.samples = y.result.samples_used;
+            row.reached_target = y.result.reached_target;
+            yield_rows.push_back(row);
+        }
+        result.artifacts =
+            write_artifacts(result.front, yield_rows, config_.artifact_dir);
         result.timings.table_seconds = util::seconds_since(t0);
     }
 

@@ -2,14 +2,22 @@
 /// \file flow.hpp
 /// \brief The paper's Fig. 3 pipeline, end to end:
 ///        1. netlist + objective generation     (circuits::OtaProblem)
-///        2. multi-objective optimisation        (moo::Wbga)
+///        2. multi-objective optimisation        (moo::Wbga), optionally
+///           yield-aware: low-budget yield probes (yield::YieldProbe) feed
+///           estimated yield into the WBGA fitness each generation
 ///        3. performance model from Pareto front (moo::pareto + sort)
 ///        4. variation model from Monte Carlo    (core::run_ota_monte_carlo)
 ///           + optional yield certification via the variance-reduction
 ///           yield engine (yield::run_adaptive_yield)
 ///        5. table model generation              (core::write_artifacts)
+///
+/// With probes enabled the pipeline is *two-tier*: cheap coarse-CI yield
+/// estimates steer selection inside the optimiser (tier 1), and the full
+/// sequential certification runs only on the surviving front (tier 2).
+/// Probes off reproduces the certification-only flow bit-for-bit.
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,6 +25,7 @@
 #include "core/artifacts.hpp"
 #include "eval/engine.hpp"
 #include "mc/yield.hpp"
+#include "moo/robustness.hpp"
 #include "moo/wbga.hpp"
 #include "process/variation.hpp"
 #include "yield/sequential.hpp"
@@ -65,6 +74,37 @@ struct FlowConfig {
     /// exactly as given (the legacy behaviour). Unknown names throw
     /// ypm::InvalidInputError at flow construction, listing the registry.
     std::string yield_estimator;
+    /// Yield-in-the-loop probes (step 2): when `budget` > 0, every WBGA
+    /// generation at or past `activation_generation` runs a low-budget
+    /// yield probe per (selected) individual against `yield_specs`, and the
+    /// estimated yield enters the eq. (5) fitness per `mode`. Requires
+    /// non-empty `yield_specs`. Probes ride the same engine and estimator
+    /// zoo as certification; budget 0 (the default) reproduces the
+    /// certification-only flow bit-for-bit.
+    struct ProbeKnobs {
+        /// Hard per-individual sample budget, pilot included; 0 = off.
+        std::size_t budget = 0;
+        /// First GA generation that probes (earlier generations evaluate
+        /// nominally). Must be < ga.generations when probes are on.
+        std::size_t activation_generation = 0;
+        /// Coarse per-probe CI half-width early stop (0 = spend the budget).
+        double target_half_width = 0.08;
+        /// How estimated yield enters the fitness (weight blend vs yield
+        /// constraint; see moo/robustness.hpp).
+        moo::RobustnessMode mode = moo::RobustnessMode::weight;
+        double yield_weight = 0.5; ///< weight mode: robustness share [0, 1]
+        double min_yield = 0.9;    ///< constraint mode: yield target (0, 1]
+        /// Probe only the K nominally-fittest individuals per generation
+        /// (0 = whole population) - the tiered budget control.
+        std::size_t max_points = 0;
+        /// Carry fitted proposals across generations (skip later pilots).
+        bool warm_start = true;
+        /// Estimator-zoo member the probes run (empty = plain_mc). Must be
+        /// probe-compatible with `budget`: a pilot that leaves no main-stage
+        /// sample fails fast, listing the compatible zoo members.
+        std::string estimator;
+    };
+    ProbeKnobs yield_probe;
     /// When non-empty, span tracing (obs::Tracer) is enabled for this run
     /// and the collected trace - flow step spans, engine batches, kernel
     /// chunks, yield chunk diagnostics, plus a metrics snapshot - is
@@ -77,12 +117,15 @@ struct FlowConfig {
 
 struct FlowTimings {
     double moo_seconds = 0.0;
+    double probe_seconds = 0.0; ///< inside moo_seconds: the probe share
     double mc_seconds = 0.0;
     double yield_seconds = 0.0;
     double table_seconds = 0.0;
     double total_seconds = 0.0;
     std::size_t moo_evaluations = 0; ///< points submitted by the optimiser
     std::size_t mc_evaluations = 0;  ///< points submitted by the MC stage
+    std::size_t probe_points = 0;    ///< individuals probed during the GA
+    std::size_t probe_samples = 0;   ///< yield samples spent by the probes
 
     /// The engine's ledger for the whole run: every testbench evaluation of
     /// the Fig. 3 pipeline (GA, nominal re-measures, MC) flows through one
@@ -95,6 +138,11 @@ struct FlowTimings {
 struct FrontPointYield {
     std::size_t design_id = 0; ///< matches FrontPointData::design_id
     yield::SequentialYieldResult result;
+    /// The optimiser-side probe estimate of the same design (NaN when the
+    /// point was never probed - probes off, pre-activation generation, or
+    /// outside the probed top-K). The probe-vs-certified delta this exposes
+    /// is the two-tier recipe's calibration signal.
+    double probe_yield = std::numeric_limits<double>::quiet_NaN();
 };
 
 struct FlowResult {

@@ -33,6 +33,14 @@
 /// internal retirement lock; the cache is internally thread-safe so
 /// submission-time lookups may overlap a concurrent retirement.
 ///
+/// Lock order: retire_mutex_ strictly before mutex_ (wait() and the
+/// destructor take the retirement lock, then retire_head() briefly takes
+/// the engine mutex for queue/ledger updates). The contract is spelled out
+/// with capability annotations - YPM_EXCLUDES on every public entry point
+/// that acquires a lock internally, and a negative requirement (!mutex_)
+/// on retire_head() - which the ci-analyze preset checks under Clang
+/// -Wthread-safety / -Wthread-safety-beta.
+///
 /// Memoisation contract: one engine instance serves one design context.
 /// Cache keys cover (params, process key, tag/stream) but not the kernel's
 /// captured state, so batches submitted to a shared engine must evaluate
@@ -104,7 +112,7 @@ public:
     explicit Engine(EngineConfig config = {});
     /// Retires every still-pending batch (discarding results and swallowing
     /// kernel errors) so no queued job outlives the engine's state.
-    ~Engine();
+    ~Engine() YPM_EXCLUDES(retire_mutex_, mutex_);
 
     Engine(const Engine&) = delete;
     Engine& operator=(const Engine&) = delete;
@@ -127,23 +135,25 @@ public:
     /// evaluating on the pool immediately, the call returns without
     /// blocking. The kernel is copied; anything it captures by reference
     /// must outlive the batch's retirement.
-    [[nodiscard]] Ticket submit(EvalBatch batch, KernelFn kernel);
+    [[nodiscard]] Ticket submit(EvalBatch batch, KernelFn kernel)
+        YPM_EXCLUDES(mutex_);
 
     /// Enqueue a batch through a chunk kernel (moo::Problem::evaluate_batch
     /// adapters). Misses are split into worker-sized chunks.
-    [[nodiscard]] Ticket submit(EvalBatch batch, BatchKernelFn kernel);
+    [[nodiscard]] Ticket submit(EvalBatch batch, BatchKernelFn kernel)
+        YPM_EXCLUDES(mutex_);
 
     /// Enqueue a batch through a stochastic kernel. Advances `rng` once at
     /// submission (so successive submissions differ, in submission order)
     /// and hands item i the deterministic child stream base.child(i).
     [[nodiscard]] Ticket submit(EvalBatch batch, StochasticKernelFn kernel,
-                                Rng& rng);
+                                Rng& rng) YPM_EXCLUDES(mutex_);
 
     /// Enqueue a batch through a stochastic chunk kernel (the Monte Carlo
     /// prototype-reuse path). Streams and salts are derived exactly as the
     /// scalar stochastic overload.
     [[nodiscard]] Ticket submit(EvalBatch batch, StochasticBatchKernelFn kernel,
-                                Rng& rng);
+                                Rng& rng) YPM_EXCLUDES(mutex_);
 
     /// Block until `ticket`'s batch (and every batch submitted before it)
     /// has retired, then return its results. Retirement is strictly in
@@ -151,34 +161,40 @@ public:
     /// happen in the same order as the blocking path, so evaluate() and
     /// submit()+wait() are bit-identical, counters included. Rethrows the
     /// batch's kernel exception, if any. Each ticket can be waited once.
-    [[nodiscard]] std::vector<EvalResult> wait(Ticket ticket);
+    /// Entering with either engine lock held would self-deadlock; the
+    /// EXCLUDES below makes that a compile error on the Clang CI leg.
+    [[nodiscard]] std::vector<EvalResult> wait(Ticket ticket)
+        YPM_EXCLUDES(retire_mutex_, mutex_);
 
     /// Evaluate a batch through a deterministic kernel (submit + wait).
     /// Taking the batch by value lets rvalue callers move it in for free;
     /// lvalue callers pay the same one copy the submit path needs anyway.
-    [[nodiscard]] std::vector<EvalResult> evaluate(EvalBatch batch,
-                                                   const KernelFn& kernel);
+    [[nodiscard]] std::vector<EvalResult>
+    evaluate(EvalBatch batch, const KernelFn& kernel)
+        YPM_EXCLUDES(retire_mutex_, mutex_);
 
     /// Evaluate a batch through a chunk kernel (submit + wait).
-    [[nodiscard]] std::vector<EvalResult> evaluate(EvalBatch batch,
-                                                   const BatchKernelFn& kernel);
+    [[nodiscard]] std::vector<EvalResult>
+    evaluate(EvalBatch batch, const BatchKernelFn& kernel)
+        YPM_EXCLUDES(retire_mutex_, mutex_);
 
     /// Evaluate a batch through a stochastic kernel (submit + wait).
-    [[nodiscard]] std::vector<EvalResult> evaluate(EvalBatch batch,
-                                                   const StochasticKernelFn& kernel,
-                                                   Rng& rng);
+    [[nodiscard]] std::vector<EvalResult>
+    evaluate(EvalBatch batch, const StochasticKernelFn& kernel, Rng& rng)
+        YPM_EXCLUDES(retire_mutex_, mutex_);
 
     /// Evaluate a batch through a stochastic chunk kernel (submit + wait).
     [[nodiscard]] std::vector<EvalResult>
-    evaluate(EvalBatch batch, const StochasticBatchKernelFn& kernel, Rng& rng);
+    evaluate(EvalBatch batch, const StochasticBatchKernelFn& kernel, Rng& rng)
+        YPM_EXCLUDES(retire_mutex_, mutex_);
 
     /// Snapshot of the ledger (copied under the engine lock: retirement on
     /// a waiting thread mutates the counters, so a reference would race).
-    [[nodiscard]] EngineCounters counters() const;
-    void reset_counters();
+    [[nodiscard]] EngineCounters counters() const YPM_EXCLUDES(mutex_);
+    void reset_counters() YPM_EXCLUDES(mutex_);
 
     /// Batches submitted but not yet retired.
-    [[nodiscard]] std::size_t in_flight() const;
+    [[nodiscard]] std::size_t in_flight() const YPM_EXCLUDES(mutex_);
 
     [[nodiscard]] const EngineConfig& config() const { return config_; }
     [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
@@ -198,13 +214,16 @@ private:
         std::function<std::vector<double>(const EvalRequest&, std::size_t)>;
 
     [[nodiscard]] Ticket submit_impl(EvalBatch batch, const SaltFn& salt_of,
-                                     const DispatchFn& dispatch);
+                                     const DispatchFn& dispatch)
+        YPM_EXCLUDES(mutex_);
     void dispatch_items(Pending& pending, ItemEvalFn eval_item);
     void dispatch_chunks(Pending& pending, ChunkEvalFn eval_chunk);
     /// Retire the oldest pending batch: wait for its jobs, then apply its
-    /// ledger/cache/alias updates. The "caller holds retire_mutex_"
-    /// contract is compiler-checked via YPM_REQUIRES.
-    void retire_head() YPM_REQUIRES(retire_mutex_);
+    /// ledger/cache/alias updates. The "caller holds retire_mutex_ but NOT
+    /// mutex_" lock-order contract is compiler-checked: the positive
+    /// requirement under -Wthread-safety, the negative one (!mutex_, which
+    /// this function acquires internally) under -Wthread-safety-beta.
+    void retire_head() YPM_REQUIRES(retire_mutex_, !mutex_);
 
     [[nodiscard]] ThreadPool& pool();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "moo/population_eval.hpp"
@@ -43,6 +44,7 @@ Wbga::Wbga(const Problem& problem, WbgaConfig config)
         throw InvalidInputError("Wbga: generations must be >= 1");
     if (config_.elites >= config_.population)
         throw InvalidInputError("Wbga: elites must be < population");
+    validate_robustness_config(config_.robustness);
 }
 
 WbgaResult Wbga::run(Rng& rng, const ProgressFn& progress) const {
@@ -97,9 +99,29 @@ WbgaResult Wbga::run(Rng& rng, const ProgressFn& progress) const {
 
         // eq. (5) fitness with per-generation min/max normalisation.
         const auto fit = wbga_fitness_all(evals, wts, ospecs);
+
+        // Robustness channel: probe the nominal top-K (tiered budget) and
+        // fold estimated yield into the fitness used by selection *and*
+        // elitism. Unprobed individuals keep their nominal score, so a
+        // disabled or not-yet-activated channel is bit-identical.
+        const RobustnessConfig& rcfg = config_.robustness;
+        std::vector<double> robustness(pop_size,
+                                       std::numeric_limits<double>::quiet_NaN());
+        if (rcfg.enabled() && generation >= rcfg.activation_generation) {
+            const auto idx = robustness_probe_indices(fit, rcfg.max_points);
+            std::vector<std::vector<double>> probe_points;
+            probe_points.reserve(idx.size());
+            for (const std::size_t i : idx) probe_points.push_back(points[i]);
+            const auto probed =
+                probe_population_robustness(rcfg, probe_points, generation);
+            for (std::size_t k = 0; k < idx.size(); ++k)
+                robustness[idx[k]] = probed[k];
+        }
+
         for (std::size_t i = 0; i < pop_size; ++i) {
             evaluated[i].objectives = evals[i].values;
-            evaluated[i].fitness = fit[i];
+            evaluated[i].robustness = robustness[i];
+            evaluated[i].fitness = robust_fitness(fit[i], robustness[i], rcfg);
         }
 
         if (config_.keep_archive)

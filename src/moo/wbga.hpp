@@ -12,6 +12,7 @@
 /// filter then reduces (paper Fig. 7).
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "eval/engine.hpp"
@@ -19,6 +20,7 @@
 #include "moo/ga_string.hpp"
 #include "moo/operators.hpp"
 #include "moo/problem.hpp"
+#include "moo/robustness.hpp"
 #include "util/rng.hpp"
 
 namespace ypm::moo {
@@ -31,6 +33,9 @@ struct EvaluatedIndividual {
     std::vector<double> weights;    ///< eq. (4)-normalised weights
     double fitness = 0.0;           ///< eq. (5) score within its generation
     std::size_t generation = 0;
+    /// Estimated yield from the robustness channel (NaN = not probed).
+    /// When probed, `fitness` already folds it in per the RobustnessConfig.
+    double robustness = std::numeric_limits<double>::quiet_NaN();
 };
 
 struct WbgaConfig {
@@ -52,6 +57,11 @@ struct WbgaConfig {
     /// when set, the engine's own scheduling config governs and `parallel`
     /// is ignored.
     eval::Engine* engine = nullptr;
+
+    /// Optional per-individual robustness channel: estimated yield blended
+    /// into the eq. (5) fitness each generation (see moo/robustness.hpp).
+    /// Disabled (null probe) reproduces the legacy run bit-for-bit.
+    RobustnessConfig robustness;
 };
 
 struct WbgaResult {

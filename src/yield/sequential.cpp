@@ -65,6 +65,15 @@ SequentialYieldRunner::SequentialYieldRunner(eval::Engine& engine,
             "SequentialYieldRunner: control-variate estimation is "
             "incompatible with CE refinement - per-stage moment pooling "
             "cannot carry the pass-side control term");
+    if (!config_.initial_proposal.components.empty()) {
+        if (config_.pilot_samples > 0)
+            throw InvalidInputError(
+                "SequentialYieldRunner: initial_proposal (warm start) and a "
+                "pilot stage are mutually exclusive - set pilot_samples to 0 "
+                "to run from the warm proposal, or clear the proposal to "
+                "refit from a pilot");
+        config_.initial_proposal.validate(dimension_);
+    }
     if (config_.refit_min_failures == 0) config_.refit_min_failures = 1;
     // Zero retired samples must report the vacuous interval [0, 1], not a
     // default-constructed point interval [0, 0] pretending certainty (a
@@ -104,9 +113,17 @@ void SequentialYieldRunner::finish_pilot() {
         pilot_failures_ = fit_.pilot_failures;
         span.arg("failures", static_cast<double>(pilot_failures_));
     }
-    // No pilot (or no pilot failures): the fitted proposal stays nominal
-    // and the main stage is plain Monte Carlo with unit weights.
-    bind_main_kernel(fit_);
+    if (!pilot_submitted_ && !config_.initial_proposal.components.empty()) {
+        // Warm start: bind the carried-over proposal directly (the ctor
+        // guarantees no pilot was configured alongside it).
+        main_proposal_ = config_.initial_proposal;
+        main_arity_ = specs_.size() + 1 + (record_main_u_ ? dimension_ : 0);
+        main_kernel_ = factory_(main_proposal_, record_main_u_);
+    } else {
+        // No pilot (or no pilot failures): the fitted proposal stays nominal
+        // and the main stage is plain Monte Carlo with unit weights.
+        bind_main_kernel(fit_);
+    }
     pilot_finished_ = true;
 }
 

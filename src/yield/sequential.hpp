@@ -101,6 +101,16 @@ struct SequentialConfig {
     /// of the pass-side control term - the runner ctor throws on the
     /// combination rather than silently dropping the control.
     ControlVariateOptions control;
+    /// Warm-start seam: a pre-fitted main-stage proposal (e.g. carried over
+    /// from an earlier generation's probe at a nearby design point). Empty
+    /// components - the default - leave the seam unset. When set, the run
+    /// must not also configure a pilot (pilot_samples > 0): the runner ctor
+    /// throws on the ambiguous combination rather than letting one silently
+    /// override the other. With pilot_samples == 0 the proposal is bound
+    /// directly as the main-stage proposal (exact importance weights come
+    /// from the kernel as usual, so a stale warm proposal costs variance,
+    /// never bias).
+    process::ProposalMixture initial_proposal;
 };
 
 /// Result of one sequential run.

@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "core/artifacts.hpp"
 #include "core/behav_model.hpp"
@@ -219,6 +221,207 @@ TEST(Flow, RejectsMalformedYieldSpecs) {
     bad_estimator.yield_specs = good_specs;
     bad_estimator.yield_estimator = "no_such_estimator";
     EXPECT_THROW((void)YieldFlow(ota, bad_estimator).run(), InvalidInputError);
+}
+
+TEST(Artifacts, YieldTableWrittenWithProbeDeltas) {
+    const auto front = synthetic_front();
+    std::vector<YieldTableRow> yields;
+    for (const auto& p : front) {
+        YieldTableRow row;
+        row.design_id = p.design_id;
+        row.probe_yield = 0.75; // exact in binary, so probe_delta is too
+        row.yield = 0.5;
+        row.ci_low = 0.4375;
+        row.ci_high = 0.5625;
+        row.ess = 40.0;
+        row.samples = 128;
+        row.reached_target = true;
+        yields.push_back(row);
+    }
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "ypm_yield_artifacts").string();
+    const ModelArtifacts art = write_artifacts(front, yields, dir);
+    ASSERT_TRUE(std::filesystem::exists(art.yield_csv));
+    // Full coverage of the front: the back-annotation spline table rides
+    // along.
+    ASSERT_TRUE(std::filesystem::exists(art.yield_tbl));
+    std::ifstream csv(art.yield_csv);
+    std::string header;
+    std::getline(csv, header);
+    EXPECT_NE(header.find("probe_yield"), std::string::npos);
+    EXPECT_NE(header.find("probe_delta"), std::string::npos);
+    std::string row;
+    std::getline(csv, row);
+    // probe_delta = 0.75 - 0.5.
+    EXPECT_NE(row.find("0.25"), std::string::npos) << row;
+
+    // Partial coverage keeps the CSV but drops the spline table.
+    const ModelArtifacts partial =
+        write_artifacts(front, {yields[0]}, dir + "_partial");
+    EXPECT_TRUE(std::filesystem::exists(partial.yield_csv));
+    EXPECT_TRUE(partial.yield_tbl.empty());
+
+    // Rows must match front points: an unknown design_id is rejected.
+    yields[0].design_id = 99;
+    EXPECT_THROW((void)write_artifacts(front, yields, dir + "_bad"),
+                 InvalidInputError);
+
+    std::filesystem::remove_all(dir);
+    std::filesystem::remove_all(dir + "_partial");
+}
+
+TEST(Flow, RejectsMalformedProbeKnobs) {
+    // Probe knobs are validated fail-fast in run(), before the MOO stage.
+    circuits::OtaConfig ota;
+    FlowConfig cfg;
+    cfg.ga.population = 4;
+    cfg.ga.generations = 2;
+    cfg.yield_specs = {mc::Spec::at_least("gain_db", 30.0),
+                       mc::Spec::at_least("pm_deg", 15.0)};
+
+    // Probes need specs to probe against.
+    FlowConfig no_specs = cfg;
+    no_specs.yield_specs.clear();
+    no_specs.yield_probe.budget = 32;
+    EXPECT_THROW((void)YieldFlow(ota, no_specs).run(), InvalidInputError);
+
+    // An activation at or past the generation count would silently never
+    // probe.
+    FlowConfig never = cfg;
+    never.yield_probe.budget = 32;
+    never.yield_probe.activation_generation = 2;
+    EXPECT_THROW((void)YieldFlow(ota, never).run(), InvalidInputError);
+
+    FlowConfig bad_target = cfg;
+    bad_target.yield_probe.budget = 32;
+    bad_target.yield_probe.target_half_width = -0.1;
+    EXPECT_THROW((void)YieldFlow(ota, bad_target).run(), InvalidInputError);
+
+    FlowConfig bad_weight = cfg;
+    bad_weight.yield_probe.budget = 32;
+    bad_weight.yield_probe.yield_weight = 1.5;
+    EXPECT_THROW((void)YieldFlow(ota, bad_weight).run(), InvalidInputError);
+
+    // A valid estimator whose pilot cannot fit the probe budget must be
+    // rejected up front, listing the probe-compatible zoo members.
+    FlowConfig incompatible = cfg;
+    incompatible.yield_sequential.pilot_samples = 24;
+    incompatible.yield_sequential.chunk_samples = 8;
+    incompatible.yield_sequential.max_samples = 48;
+    incompatible.yield_sequential.min_samples = 8;
+    incompatible.yield_probe.budget = 8;
+    incompatible.yield_probe.estimator = "single_shift";
+    try {
+        (void)YieldFlow(ota, incompatible).run();
+        FAIL() << "expected probe-incompatibility error";
+    } catch (const InvalidInputError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("single_shift"), std::string::npos) << what;
+        EXPECT_NE(what.find("plain_mc"), std::string::npos) << what;
+    }
+}
+
+TEST(Flow, ProbesOffBitIdenticalToSeedFlow) {
+    // The refactor's load-bearing guarantee: with probes disabled
+    // (budget 0), every other probe knob may be set and the flow still
+    // reproduces the probe-less pipeline bit-for-bit, RNG streams included.
+    circuits::OtaConfig ota;
+    FlowConfig cfg;
+    cfg.ga.population = 8;
+    cfg.ga.generations = 3;
+    cfg.mc_samples = 12;
+    cfg.max_mc_points = 4;
+    cfg.seed = 77;
+    cfg.yield_specs = {mc::Spec::at_least("gain_db", 30.0),
+                       mc::Spec::at_least("pm_deg", 15.0)};
+    cfg.yield_sequential.pilot_samples = 12;
+    cfg.yield_sequential.chunk_samples = 12;
+    cfg.yield_sequential.max_samples = 24;
+    cfg.yield_sequential.min_samples = 12;
+    const FlowResult seed = YieldFlow(ota, cfg).run();
+
+    FlowConfig knobs = cfg;
+    knobs.yield_probe.budget = 0; // off - the only knob that matters
+    knobs.yield_probe.activation_generation = 1;
+    knobs.yield_probe.mode = moo::RobustnessMode::constraint;
+    knobs.yield_probe.min_yield = 0.8;
+    knobs.yield_probe.max_points = 2;
+    knobs.yield_probe.estimator = "single_shift";
+    const FlowResult off = YieldFlow(ota, knobs).run();
+
+    ASSERT_EQ(off.optimisation.archive.size(), seed.optimisation.archive.size());
+    for (std::size_t i = 0; i < off.optimisation.archive.size(); ++i) {
+        EXPECT_EQ(off.optimisation.archive[i].objectives,
+                  seed.optimisation.archive[i].objectives);
+        EXPECT_EQ(off.optimisation.archive[i].fitness,
+                  seed.optimisation.archive[i].fitness);
+        EXPECT_TRUE(std::isnan(off.optimisation.archive[i].robustness));
+    }
+    ASSERT_EQ(off.front.size(), seed.front.size());
+    for (std::size_t i = 0; i < off.front.size(); ++i) {
+        EXPECT_EQ(off.front[i].gain_db, seed.front[i].gain_db);
+        EXPECT_EQ(off.front[i].dgain_pct, seed.front[i].dgain_pct);
+        EXPECT_TRUE(std::isnan(off.front[i].probe_yield));
+    }
+    ASSERT_EQ(off.yields.size(), seed.yields.size());
+    for (std::size_t i = 0; i < off.yields.size(); ++i) {
+        EXPECT_EQ(off.yields[i].result.estimate.yield,
+                  seed.yields[i].result.estimate.yield);
+        EXPECT_EQ(off.yields[i].result.estimate.ci_low,
+                  seed.yields[i].result.estimate.ci_low);
+        EXPECT_EQ(off.yields[i].result.samples_used,
+                  seed.yields[i].result.samples_used);
+        EXPECT_TRUE(std::isnan(off.yields[i].probe_yield));
+    }
+    EXPECT_EQ(off.timings.probe_points, 0u);
+    EXPECT_EQ(off.timings.probe_samples, 0u);
+}
+
+TEST(Flow, ProbesOnSmokeReportsAndPropagates) {
+    circuits::OtaConfig ota;
+    FlowConfig cfg;
+    cfg.ga.population = 8;
+    cfg.ga.generations = 3;
+    cfg.mc_samples = 12;
+    cfg.max_mc_points = 4;
+    cfg.seed = 77;
+    cfg.yield_specs = {mc::Spec::at_least("gain_db", 30.0),
+                       mc::Spec::at_least("pm_deg", 15.0)};
+    cfg.yield_sequential.pilot_samples = 12;
+    cfg.yield_sequential.chunk_samples = 12;
+    cfg.yield_sequential.max_samples = 24;
+    cfg.yield_sequential.min_samples = 12;
+    cfg.yield_probe.budget = 32;              // plain_mc probes (no pilot)
+    cfg.yield_probe.activation_generation = 1;
+    cfg.yield_probe.max_points = 4;
+    const FlowResult res = YieldFlow(ota, cfg).run();
+
+    // Generations 1 and 2 probed their top-4 cohorts.
+    EXPECT_EQ(res.timings.probe_points, 8u);
+    EXPECT_GT(res.timings.probe_samples, 0u);
+    EXPECT_LE(res.timings.probe_samples, 8u * 32u);
+    EXPECT_GT(res.timings.probe_seconds, 0.0);
+
+    std::size_t probed = 0;
+    for (const auto& e : res.optimisation.archive)
+        if (!std::isnan(e.robustness)) {
+            ++probed;
+            EXPECT_GE(e.robustness, 0.0);
+            EXPECT_LE(e.robustness, 1.0);
+        }
+    EXPECT_EQ(probed, 8u);
+    // The probe estimate travels archive -> front -> yield certificates
+    // (matching NaN-ness included: an unprobed design stays unprobed).
+    ASSERT_EQ(res.yields.size(), res.front.size());
+    for (std::size_t i = 0; i < res.yields.size(); ++i) {
+        if (std::isnan(res.front[i].probe_yield)) {
+            EXPECT_TRUE(std::isnan(res.yields[i].probe_yield));
+        } else {
+            EXPECT_EQ(res.yields[i].probe_yield, res.front[i].probe_yield);
+            EXPECT_GE(res.front[i].probe_yield, 0.0);
+            EXPECT_LE(res.front[i].probe_yield, 1.0);
+        }
+    }
 }
 
 TEST(Verify, ModelVsTransistorErrorsSmallOnFrontPoint) {

@@ -33,6 +33,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "yield/estimator.hpp"
+#include "yield/probe.hpp"
 #include "yield/scenarios.hpp"
 #include "yield/sequential.hpp"
 #include "yield/shift.hpp"
@@ -445,6 +446,178 @@ TEST(EstimatorRegistry, CustomEstimatorRunsThroughTheSameSeam) {
     const auto r = run_estimator(sc, "test_wide_pilot");
     EXPECT_TRUE(r.reached_target);
     EXPECT_TRUE(r.estimate.weighted);
+}
+
+// ------------------------------------------------------------- yield probes
+
+yield::ProbeConfig probe_config_for(const yield::Scenario& sc,
+                                    const std::string& estimator,
+                                    std::size_t budget,
+                                    std::size_t inflight = 1) {
+    yield::ProbeConfig config;
+    config.sequential = sc.config;
+    config.sequential.inflight = inflight;
+    config.estimator = estimator;
+    config.budget = budget;
+    config.target_half_width = 0.08;
+    return config;
+}
+
+TEST(YieldProbe, RegistryDrivenBudgetCompatibilityRows) {
+    // Zoo-wide contract of configure_probe_estimator: at a generous budget
+    // every builtin specializes with its caps clamped to the budget left
+    // after its pilot; at a budget the pilot alone exceeds, the estimator
+    // is rejected with the probe-compatible subset (which always includes
+    // the pilot-less plain_mc) listed - never silently degraded.
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    ASSERT_EQ(sc.config.pilot_samples, 256u);
+    for (const std::string& name : kBuiltins) {
+        const auto cfg =
+            yield::configure_probe_estimator(name, sc.config, 1024, 0.08);
+        EXPECT_EQ(cfg.max_samples, 1024 - cfg.pilot_samples) << name;
+        EXPECT_LE(cfg.chunk_samples, cfg.max_samples) << name;
+        EXPECT_LE(cfg.min_samples, cfg.max_samples) << name;
+        EXPECT_DOUBLE_EQ(cfg.target_half_width, 0.08) << name;
+
+        if (name == "plain_mc") {
+            const auto tiny =
+                yield::configure_probe_estimator(name, sc.config, 8, 0.08);
+            EXPECT_EQ(tiny.pilot_samples, 0u);
+            EXPECT_EQ(tiny.max_samples, 8u);
+            continue;
+        }
+        try {
+            (void)yield::configure_probe_estimator(name, sc.config, 8, 0.08);
+            FAIL() << name << ": expected probe-incompatibility error";
+        } catch (const InvalidInputError& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find(name), std::string::npos) << what;
+            EXPECT_NE(what.find("plain_mc"), std::string::npos) << what;
+        }
+    }
+    // Unknown names still fail with the registry's own listing error.
+    EXPECT_THROW((void)yield::configure_probe_estimator("no_such_estimator",
+                                                        sc.config, 1024, 0.08),
+                 InvalidInputError);
+    // The empty name resolves to plain_mc (the flow default).
+    const auto def = yield::configure_probe_estimator("", sc.config, 64, 0.08);
+    EXPECT_EQ(def.pilot_samples, 0u);
+    EXPECT_EQ(def.max_samples, 64u);
+}
+
+TEST(YieldProbe, DeterministicAcrossInflightWindowsAndReruns) {
+    // The probe-path streaming contract: per-point estimates are
+    // bit-identical for any inflight window and across reruns, because
+    // point RNGs derive from submission position and each runner's folded
+    // prefix is window-invariant.
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    const std::vector<std::vector<double>> points = {{0.0}, {1.0}, {2.0}};
+    const auto run_with_window = [&](std::size_t inflight) {
+        eval::Engine engine = make_engine();
+        yield::YieldProbe probe(
+            probe_config_for(sc, "mixture_ce", 768, inflight), sc.specs,
+            [&](const std::vector<double>&) { return sc.factory; },
+            sc.dimension);
+        return probe.probe(engine, points, Rng(73), 0);
+    };
+    const auto a = run_with_window(1);
+    const auto b = run_with_window(4);
+    const auto c = run_with_window(1);
+    ASSERT_EQ(a.size(), points.size());
+    ASSERT_EQ(b.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(a[i].samples_used, b[i].samples_used) << i;
+        EXPECT_EQ(a[i].estimate.yield, b[i].estimate.yield) << i;
+        EXPECT_EQ(a[i].estimate.ci_low, b[i].estimate.ci_low) << i;
+        EXPECT_EQ(a[i].estimate.ci_high, b[i].estimate.ci_high) << i;
+        EXPECT_EQ(a[i].estimate.ess, b[i].estimate.ess) << i;
+        EXPECT_EQ(a[i].samples_used, c[i].samples_used) << i;
+        EXPECT_EQ(a[i].estimate.yield, c[i].estimate.yield) << i;
+        // Every probe respects the hard budget, pilot included.
+        EXPECT_LE(a[i].samples_used, 768u) << i;
+        EXPECT_FALSE(a[i].warm_started) << i;
+    }
+}
+
+TEST(YieldProbe, WarmStartSkipsPilotAtSameCI) {
+    // Generation-to-generation warm start: the first (cold) call fits
+    // proposals from pilots and donates one; the second call skips pilots
+    // entirely, so the same coarse CI costs a pilot less per point - and
+    // the two estimates must agree at CI level (same quantity, exact
+    // importance weights under either proposal).
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    const std::vector<std::vector<double>> point = {{0.0}};
+    eval::Engine engine = make_engine();
+    yield::YieldProbe probe(probe_config_for(sc, "single_shift", 768),
+                            sc.specs,
+                            [&](const std::vector<double>&) { return sc.factory; },
+                            sc.dimension);
+    EXPECT_TRUE(probe.warm_proposal().components.empty());
+
+    const auto cold = probe.probe(engine, point, Rng(73).child(1), 0);
+    ASSERT_EQ(cold.size(), 1u);
+    EXPECT_FALSE(cold[0].warm_started);
+    EXPECT_GE(cold[0].samples_used, sc.config.pilot_samples);
+    // The bimodal pilot always finds failures, so the hand-off happened.
+    ASSERT_FALSE(probe.warm_proposal().components.empty());
+    EXPECT_TRUE(probe.warm_proposal().active());
+
+    const auto warm = probe.probe(engine, point, Rng(73).child(2), 1);
+    ASSERT_EQ(warm.size(), 1u);
+    EXPECT_TRUE(warm[0].warm_started);
+    // No pilot: the whole budget is main-stage, and the coarse target stops
+    // the run a full pilot cheaper than the cold call.
+    EXPECT_LT(warm[0].samples_used, cold[0].samples_used);
+    EXPECT_TRUE(warm[0].reached_target);
+    // Same-CI sanity: the two coarse intervals overlap.
+    EXPECT_LE(cold[0].estimate.ci_low, warm[0].estimate.ci_high);
+    EXPECT_LE(warm[0].estimate.ci_low, cold[0].estimate.ci_high);
+
+    EXPECT_EQ(probe.total_samples(),
+              cold[0].samples_used + warm[0].samples_used);
+}
+
+TEST(YieldProbe, RunnerWarmStartSeamValidation) {
+    // The runner-level seam the probe rides: a warm proposal and a pilot
+    // are mutually exclusive (ambiguous), and a warm-started runner binds
+    // the given proposal as its main stage.
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    eval::Engine engine = make_engine();
+
+    process::SampleShift shift;
+    shift.mu = {3.0, 0.0};
+    yield::SequentialConfig both = sc.config;
+    both.initial_proposal = process::ProposalMixture::single(shift);
+    EXPECT_THROW(yield::SequentialYieldRunner(engine, both, sc.specs,
+                                              sc.factory, sc.dimension,
+                                              Rng(73)),
+                 InvalidInputError);
+
+    yield::SequentialConfig warm = both;
+    warm.pilot_samples = 0;
+    warm.max_samples = 512;
+    warm.min_samples = 256;
+    yield::SequentialYieldRunner runner(engine, warm, sc.specs, sc.factory,
+                                        sc.dimension, Rng(73));
+    const auto r = runner.run();
+    EXPECT_EQ(r.pilot_samples, 0u);
+    ASSERT_EQ(r.proposal.components.size(), 1u);
+    EXPECT_EQ(r.proposal.components[0].mu, shift.mu);
+    EXPECT_TRUE(r.estimate.weighted);
+}
+
+TEST(YieldProbe, RejectsMalformedConstruction) {
+    const yield::Scenario sc = yield::make_scenario("synthetic_bimodal");
+    const auto factory = [&](const std::vector<double>&) { return sc.factory; };
+    EXPECT_THROW(yield::YieldProbe(probe_config_for(sc, "", 0), sc.specs,
+                                   factory, sc.dimension),
+                 InvalidInputError);
+    EXPECT_THROW(yield::YieldProbe(probe_config_for(sc, "", 64), {}, factory,
+                                   sc.dimension),
+                 InvalidInputError);
+    EXPECT_THROW(yield::YieldProbe(probe_config_for(sc, "", 64), sc.specs, {},
+                                   sc.dimension),
+                 InvalidInputError);
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include "moo/operators.hpp"
 #include "moo/pareto.hpp"
 #include "moo/random_search.hpp"
+#include "moo/robustness.hpp"
 #include "moo/test_problems.hpp"
 #include "moo/wbga.hpp"
 #include "util/error.hpp"
@@ -483,6 +484,258 @@ TEST(RandomSearch, CoversBoxUniformly) {
     }
     EXPECT_LT(lo, 1.5);
     EXPECT_GT(hi, 7.5);
+}
+
+// ------------------------------------------------------ robustness channel
+
+TEST(Robustness, ConfigValidation) {
+    RobustnessConfig cfg;
+    validate_robustness_config(cfg); // defaults are valid
+    cfg.yield_weight = 1.5;
+    EXPECT_THROW(validate_robustness_config(cfg), InvalidInputError);
+    cfg.yield_weight = -0.1;
+    EXPECT_THROW(validate_robustness_config(cfg), InvalidInputError);
+    cfg.yield_weight = 0.5;
+    cfg.min_yield = 0.0; // min_yield only matters in constraint mode
+    validate_robustness_config(cfg);
+    cfg.mode = RobustnessMode::constraint;
+    EXPECT_THROW(validate_robustness_config(cfg), InvalidInputError);
+    cfg.min_yield = 1.2;
+    EXPECT_THROW(validate_robustness_config(cfg), InvalidInputError);
+    cfg.min_yield = 1.0;
+    validate_robustness_config(cfg);
+}
+
+TEST(Robustness, RobustFitnessWeightAndConstraintModes) {
+    RobustnessConfig cfg;
+    cfg.yield_weight = 0.25;
+    // NaN = unprobed: the fitness must pass through bit-identically.
+    EXPECT_DOUBLE_EQ(robust_fitness(0.8, nan_v, cfg), 0.8);
+    // Weight blend, and clamping of an out-of-range estimate.
+    EXPECT_DOUBLE_EQ(robust_fitness(0.8, 0.4, cfg), 0.75 * 0.8 + 0.25 * 0.4);
+    EXPECT_DOUBLE_EQ(robust_fitness(0.8, 1.7, cfg), 0.75 * 0.8 + 0.25);
+    EXPECT_DOUBLE_EQ(robust_fitness(0.8, -0.3, cfg), 0.75 * 0.8);
+    // Constraint mode: proportional penalty below the target, none at or
+    // above it.
+    cfg.mode = RobustnessMode::constraint;
+    cfg.min_yield = 0.8;
+    EXPECT_DOUBLE_EQ(robust_fitness(0.6, 0.4, cfg), 0.6 * 0.5);
+    EXPECT_DOUBLE_EQ(robust_fitness(0.6, 0.8, cfg), 0.6);
+    EXPECT_DOUBLE_EQ(robust_fitness(0.6, 1.0, cfg), 0.6);
+    EXPECT_DOUBLE_EQ(robust_fitness(0.6, nan_v, cfg), 0.6);
+}
+
+TEST(Robustness, ProbeContractOffPreActivationAndSizeChecked) {
+    const std::vector<std::vector<double>> pts = {{1.0}, {2.0}, {3.0}};
+    RobustnessConfig off;
+    for (double r : probe_population_robustness(off, pts, 0))
+        EXPECT_TRUE(std::isnan(r));
+
+    int calls = 0;
+    RobustnessConfig cfg;
+    cfg.activation_generation = 2;
+    cfg.probe = [&](const std::vector<std::vector<double>>& p, std::size_t) {
+        ++calls;
+        return std::vector<double>(p.size(), 0.5);
+    };
+    // Pre-activation generations must not even invoke the probe.
+    for (double r : probe_population_robustness(cfg, pts, 1))
+        EXPECT_TRUE(std::isnan(r));
+    EXPECT_EQ(calls, 0);
+    const auto probed = probe_population_robustness(cfg, pts, 2);
+    EXPECT_EQ(calls, 1);
+    for (double r : probed) EXPECT_DOUBLE_EQ(r, 0.5);
+
+    cfg.probe = [](const std::vector<std::vector<double>>&, std::size_t) {
+        return std::vector<double>{0.5};
+    };
+    EXPECT_THROW((void)probe_population_robustness(cfg, pts, 2),
+                 InvalidInputError);
+}
+
+TEST(Robustness, ProbeIndicesSelectTopKTiesTowardLowerIndex) {
+    const std::vector<double> fitness = {0.1, 0.9, 0.9, 0.5};
+    EXPECT_EQ(robustness_probe_indices(fitness, 2),
+              (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(robustness_probe_indices(fitness, 3),
+              (std::vector<std::size_t>{1, 2, 3}));
+    EXPECT_EQ(robustness_probe_indices(fitness, 0),
+              (std::vector<std::size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(robustness_probe_indices(fitness, 9),
+              (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Robustness, AppendObjectiveClampsNanAndCapsAtTarget) {
+    const std::vector<std::vector<double>> objs = {{1.0, 2.0}, {3.0, 4.0}};
+    RobustnessConfig cfg;
+    cfg.mode = RobustnessMode::constraint;
+    cfg.min_yield = 0.9;
+    std::vector<ObjectiveSpec> specs = max2;
+    const auto ext = append_robustness_objective(objs, {nan_v, 0.95}, cfg, specs);
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs.back().name, "robustness");
+    EXPECT_EQ(specs.back().dir, Direction::maximize);
+    // NaN earns no robustness credit; the constraint caps at the target.
+    EXPECT_DOUBLE_EQ(ext[0][2], 0.0);
+    EXPECT_DOUBLE_EQ(ext[1][2], 0.9);
+    // Weight mode keeps the (clamped) estimate itself.
+    cfg.mode = RobustnessMode::weight;
+    std::vector<ObjectiveSpec> specs2 = max2;
+    const auto ext2 = append_robustness_objective(objs, {1.7, 0.95}, cfg, specs2);
+    EXPECT_DOUBLE_EQ(ext2[0][2], 1.0);
+    EXPECT_DOUBLE_EQ(ext2[1][2], 0.95);
+
+    EXPECT_THROW((void)append_robustness_objective(objs, {0.5}, cfg, specs),
+                 InvalidInputError);
+}
+
+TEST(Wbga, RobustnessOffPathBitIdentical) {
+    // The channel contract at optimiser level: a never-activating probe and
+    // an all-NaN probe both reproduce the legacy run bit-for-bit.
+    const ToyAmplifierProblem problem;
+    WbgaConfig base;
+    base.population = 16;
+    base.generations = 6;
+    const auto run_with = [&](const WbgaConfig& cfg) {
+        Rng rng(5);
+        return Wbga(problem, cfg).run(rng);
+    };
+    const auto legacy = run_with(base);
+
+    int calls = 0;
+    WbgaConfig dormant = base;
+    dormant.robustness.activation_generation = base.generations;
+    dormant.robustness.probe = [&](const std::vector<std::vector<double>>& p,
+                                   std::size_t) {
+        ++calls;
+        return std::vector<double>(p.size(), 1.0);
+    };
+    WbgaConfig all_nan = base;
+    all_nan.robustness.probe = [&](const std::vector<std::vector<double>>& p,
+                                   std::size_t) {
+        ++calls;
+        return std::vector<double>(p.size(), nan_v);
+    };
+    for (const auto& res : {run_with(dormant), run_with(all_nan)}) {
+        ASSERT_EQ(res.archive.size(), legacy.archive.size());
+        for (std::size_t i = 0; i < res.archive.size(); ++i) {
+            EXPECT_EQ(res.archive[i].objectives, legacy.archive[i].objectives);
+            EXPECT_EQ(res.archive[i].fitness, legacy.archive[i].fitness);
+            EXPECT_EQ(res.archive[i].params, legacy.archive[i].params);
+            EXPECT_TRUE(std::isnan(res.archive[i].robustness));
+        }
+    }
+    // The dormant probe never fired; the all-NaN one fired once per
+    // generation.
+    EXPECT_EQ(calls, 6);
+}
+
+TEST(Wbga, RobustnessEntersFitnessAndArchive) {
+    // yield_weight 1 makes the blended fitness *equal* the (clamped) probe
+    // value - the sharpest possible check that the channel reaches
+    // selection.
+    const ToyAmplifierProblem problem;
+    WbgaConfig cfg;
+    cfg.population = 10;
+    cfg.generations = 4;
+    cfg.robustness.activation_generation = 2;
+    cfg.robustness.yield_weight = 1.0;
+    cfg.robustness.probe = [](const std::vector<std::vector<double>>& p,
+                              std::size_t) {
+        return std::vector<double>(p.size(), 0.25);
+    };
+    Rng rng(7);
+    const auto res = Wbga(problem, cfg).run(rng);
+    ASSERT_EQ(res.archive.size(), 40u);
+    std::size_t probed = 0;
+    for (const auto& e : res.archive) {
+        if (std::isnan(e.robustness)) continue;
+        ++probed;
+        EXPECT_DOUBLE_EQ(e.robustness, 0.25);
+        EXPECT_DOUBLE_EQ(e.fitness, 0.25);
+    }
+    // Generations 2 and 3 probed the whole population of 10.
+    EXPECT_EQ(probed, 20u);
+}
+
+TEST(Wbga, RobustnessMaxPointsTiersTheProbe) {
+    const ToyAmplifierProblem problem;
+    WbgaConfig cfg;
+    cfg.population = 12;
+    cfg.generations = 3;
+    cfg.robustness.max_points = 3;
+    std::vector<std::size_t> batch_sizes;
+    cfg.robustness.probe = [&](const std::vector<std::vector<double>>& p,
+                               std::size_t) {
+        batch_sizes.push_back(p.size());
+        return std::vector<double>(p.size(), 1.0);
+    };
+    Rng rng(9);
+    const auto res = Wbga(problem, cfg).run(rng);
+    // Every probe call saw exactly the top-K cohort.
+    ASSERT_EQ(batch_sizes.size(), 3u);
+    for (std::size_t n : batch_sizes) EXPECT_EQ(n, 3u);
+    std::size_t probed = 0;
+    for (const auto& e : res.archive)
+        if (!std::isnan(e.robustness)) ++probed;
+    EXPECT_EQ(probed, 9u);
+}
+
+TEST(Wbga, RobustnessConfigValidatedAtConstruction) {
+    const ToyAmplifierProblem problem;
+    WbgaConfig cfg;
+    cfg.robustness.yield_weight = 2.0;
+    EXPECT_THROW((void)Wbga(problem, cfg), InvalidInputError);
+}
+
+TEST(Nsga2, RobustnessOffPathBitIdentical) {
+    const ZdtProblem problem(1, 6);
+    Nsga2Config base;
+    base.population = 12;
+    base.generations = 8;
+    const auto run_with = [&](const Nsga2Config& cfg) {
+        Rng rng(11);
+        return Nsga2(problem, cfg).run(rng);
+    };
+    const auto legacy = run_with(base);
+
+    Nsga2Config all_nan = base;
+    all_nan.robustness.probe = [](const std::vector<std::vector<double>>& p,
+                                  std::size_t) {
+        return std::vector<double>(p.size(), nan_v);
+    };
+    const auto res = run_with(all_nan);
+    ASSERT_EQ(res.final_population.size(), legacy.final_population.size());
+    for (std::size_t i = 0; i < res.final_population.size(); ++i) {
+        EXPECT_EQ(res.final_population[i].objectives,
+                  legacy.final_population[i].objectives);
+        EXPECT_EQ(res.final_population[i].params,
+                  legacy.final_population[i].params);
+        EXPECT_TRUE(std::isnan(res.final_population[i].robustness));
+    }
+}
+
+TEST(Nsga2, RobustnessRecordedFromProbe) {
+    // The probe is a pure function of the first parameter, so every
+    // surviving individual must carry exactly the value its point maps to.
+    const ZdtProblem problem(1, 6);
+    Nsga2Config cfg;
+    cfg.population = 12;
+    cfg.generations = 5;
+    cfg.robustness.probe = [](const std::vector<std::vector<double>>& p,
+                              std::size_t) {
+        std::vector<double> r(p.size());
+        for (std::size_t i = 0; i < p.size(); ++i)
+            r[i] = 0.5 + 0.5 * std::clamp(p[i][0], 0.0, 1.0) / 2.0;
+        return r;
+    };
+    Rng rng(13);
+    const auto res = Nsga2(problem, cfg).run(rng);
+    for (const auto& e : res.final_population) {
+        const double expected = 0.5 + 0.5 * std::clamp(e.params[0], 0.0, 1.0) / 2.0;
+        ASSERT_FALSE(std::isnan(e.robustness));
+        EXPECT_DOUBLE_EQ(e.robustness, expected);
+    }
 }
 
 TEST(TestProblems, ZdtTrueFrontAtGEquals1) {
